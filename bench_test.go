@@ -1,0 +1,96 @@
+// Package-level benchmarks: one per table/figure of the paper's
+// evaluation. Each benchmark iteration runs the corresponding
+// experiment of the internal/bench harness end to end and reports the
+// headline quantity as custom metrics where it is a single number.
+//
+// The quick preset keeps `go test -bench=.` tractable; full-scale runs
+// (the numbers recorded in EXPERIMENTS.md) go through cmd/ebvbench.
+package ebv_test
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"ebv/internal/bench"
+)
+
+var (
+	envOnce sync.Once
+	envVal  *bench.Env
+	envErr  error
+)
+
+// benchEnv builds the shared quick-scale environment once per process.
+func benchEnv(b *testing.B) *bench.Env {
+	b.Helper()
+	envOnce.Do(func() {
+		opts := bench.QuickOptions()
+		opts.DataDir = filepath.Join(os.TempDir(), "ebv-bench-test")
+		envVal, envErr = bench.NewEnv(opts, nil)
+	})
+	if envErr != nil {
+		b.Fatal(envErr)
+	}
+	return envVal
+}
+
+func runExperiment(b *testing.B, id string) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bench.RunByID(e, id, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1 regenerates Fig. 1: UTXO count and UTXO-set size by
+// quarter.
+func BenchmarkFig1(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkFig4a and BenchmarkFig4b regenerate Fig. 4: the baseline's
+// per-block validation breakdown and the inputs-vs-DBO/SV comparison
+// (one experiment produces both series).
+func BenchmarkFig4a(b *testing.B) { runExperiment(b, "fig4") }
+func BenchmarkFig4b(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5 regenerates Fig. 5: baseline IBD time per period with
+// the DBO share.
+func BenchmarkFig5(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig14 regenerates Fig. 14: memory requirement of Bitcoin vs
+// EBV vs EBV without vector optimization.
+func BenchmarkFig14(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkFig15 regenerates Fig. 15: EBV input count vs validation
+// time.
+func BenchmarkFig15(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkFig16a and BenchmarkFig16b regenerate Fig. 16: validation
+// time Bitcoin vs EBV and the EBV component split.
+func BenchmarkFig16a(b *testing.B) { runExperiment(b, "fig16") }
+func BenchmarkFig16b(b *testing.B) { runExperiment(b, "fig16") }
+
+// BenchmarkFig17a and BenchmarkFig17b regenerate Fig. 17: repeated IBD
+// runs of both systems and the EBV component split per period.
+func BenchmarkFig17a(b *testing.B) { runExperiment(b, "fig17") }
+func BenchmarkFig17b(b *testing.B) { runExperiment(b, "fig17") }
+
+// BenchmarkFig18 regenerates Fig. 18: block propagation delay over the
+// simulated gossip network.
+func BenchmarkFig18(b *testing.B) { runExperiment(b, "fig18") }
+
+// BenchmarkFig14Full regenerates the full-block-size memory comparison
+// (the sparse-vector optimization's 42.6% headroom).
+func BenchmarkFig14Full(b *testing.B) { runExperiment(b, "fig14full") }
+
+// BenchmarkRelatedProofs regenerates the §VII-B related-work
+// comparison: proof sizes and churn, EBV vs accumulator designs.
+func BenchmarkRelatedProofs(b *testing.B) { runExperiment(b, "related-proofs") }
+
+// BenchmarkNetIBD regenerates the networked IBD measurement (the
+// paper's §VI-A synchronization procedure).
+func BenchmarkNetIBD(b *testing.B) { runExperiment(b, "net-ibd") }

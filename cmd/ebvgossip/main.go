@@ -1,0 +1,102 @@
+// Command ebvgossip runs an EBV node on the block-gossip network: it
+// serves its chain to peers, syncs from peers that are ahead, and
+// relays newly learned blocks after validating them.
+//
+// Seed a network from a generated chain, then let fresh nodes join:
+//
+//	chaingen -blocks 2000 -out ./chains
+//	ebvgossip -datadir ./seed -import ./chains/inter/chain -listen 127.0.0.1:7401
+//	ebvgossip -datadir ./n1 -connect 127.0.0.1:7401 -listen 127.0.0.1:7402
+//	ebvgossip -datadir ./n2 -connect 127.0.0.1:7402
+//
+// The process prints each accepted block and runs until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ebv/internal/chainstore"
+	"ebv/internal/node"
+	"ebv/internal/p2p"
+)
+
+func main() {
+	var (
+		dataDir   = flag.String("datadir", "gossipnode", "node state directory")
+		listen    = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		connectTo = flag.String("connect", "", "comma-separated peer addresses to dial")
+		importDir = flag.String("import", "", "preload blocks from this chain directory before serving")
+		quiet     = flag.Bool("quiet", false, "suppress per-block output")
+	)
+	flag.Parse()
+
+	n, err := node.NewEBVNode(node.Config{Dir: *dataDir, Optimize: true})
+	if err != nil {
+		fail(err)
+	}
+	defer n.Close()
+
+	if *importDir != "" {
+		src, err := chainstore.Open(*importDir)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "importing %d blocks from %s\n", src.Count(), *importDir)
+		if _, err := node.RunIBDEBV(src, n, 0, nil); err != nil {
+			src.Close()
+			fail(err)
+		}
+		src.Close()
+	}
+
+	cfg := p2p.Config{ListenAddr: *listen}
+	if !*quiet {
+		cfg.OnBlock = func(h uint64, from string) {
+			src := "local"
+			if from != "" {
+				src = from
+			}
+			fmt.Printf("%s block %d accepted (from %s)\n", time.Now().Format("15:04:05.000"), h, src)
+		}
+	}
+	gn := p2p.NewNode(p2p.EBVChain{Node: n}, cfg)
+	addr, err := gn.Start()
+	if err != nil {
+		fail(err)
+	}
+	defer gn.Close()
+	tip, ok := n.Chain.TipHeight()
+	tipStr := "empty"
+	if ok {
+		tipStr = fmt.Sprint(tip)
+	}
+	fmt.Fprintf(os.Stderr, "listening on %s (chain tip: %s)\n", addr, tipStr)
+
+	for _, peer := range strings.Split(*connectTo, ",") {
+		peer = strings.TrimSpace(peer)
+		if peer == "" {
+			continue
+		}
+		if err := gn.Connect(peer); err != nil {
+			fmt.Fprintf(os.Stderr, "connect %s: %v\n", peer, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "connected to %s\n", peer)
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "shutting down")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ebvgossip:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,261 @@
+// Package accumulator implements a Utreexo-style dynamic Merkle
+// accumulator over the UTXO set — the main related-work alternative
+// the paper positions EBV against (§VII-B: Utreexo, Boneh, MiniChain).
+//
+// In accumulator designs the validator stores only a logarithmic
+// digest of the UTXO set; each transaction carries membership proofs
+// for the outputs it spends, and every block's additions and deletions
+// rewrite the accumulator, invalidating outstanding proofs — the
+// proposer burden the paper criticizes. This package exists to measure
+// that trade-off against EBV on equal workloads (the related-proofs
+// experiment): proof sizes that grow with the UTXO count, and proof
+// churn per block, versus EBV's fixed-size, never-expiring MBr proofs.
+//
+// The structure is a dynamic Merkle tree with swap-delete: leaves
+// append on the right; deletion swaps the victim with the last leaf
+// and pops, recomputing the two affected paths. This variant has the
+// same characteristics as Utreexo's forest for everything measured
+// here — O(log n) proof length, O(log n) update cost, and whole-tree
+// proof invalidation on update — with considerably simpler code; the
+// difference is documented rather than hidden.
+package accumulator
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"ebv/internal/hashx"
+)
+
+// ErrOutOfRange is returned for leaf indices not in the forest.
+var ErrOutOfRange = errors.New("accumulator: leaf index out of range")
+
+// Forest is the accumulator. The zero value is an empty forest.
+type Forest struct {
+	// levels[0] holds the leaves; levels[k] the interior nodes at
+	// height k. Interior levels are resized lazily.
+	levels [][]hashx.Hash
+	// updates counts every structural change (adds + deletes): any
+	// proof generated before the latest update may no longer verify.
+	updates uint64
+}
+
+// Len returns the number of leaves (live set elements).
+func (f *Forest) Len() int {
+	if len(f.levels) == 0 {
+		return 0
+	}
+	return len(f.levels[0])
+}
+
+// Updates returns the number of structural changes so far.
+func (f *Forest) Updates() uint64 { return f.updates }
+
+// Root returns the accumulator digest: the fold of the (padded) tree
+// root. An empty forest has the zero digest.
+func (f *Forest) Root() hashx.Hash {
+	n := f.Len()
+	if n == 0 {
+		return hashx.ZeroHash
+	}
+	return f.nodeAt(f.height(), 0)
+}
+
+// height returns the tree height for the current leaf count.
+func (f *Forest) height() int {
+	n := f.Len()
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// nodeAt computes/fetches the node at (level, index), padding with the
+// duplication rule (same as the block Merkle trees).
+func (f *Forest) nodeAt(level, idx int) hashx.Hash {
+	if level == 0 {
+		return f.levels[0][idx]
+	}
+	width := len(f.levels[level-1])
+	li := 2 * idx
+	ri := li + 1
+	l := f.cached(level-1, li, width)
+	r := l
+	if ri < width {
+		r = f.cached(level-1, ri, width)
+	}
+	return hashx.SumPair(l, r)
+}
+
+// cached returns the stored node if the level is materialized.
+func (f *Forest) cached(level, idx, width int) hashx.Hash {
+	if level < len(f.levels) && idx < len(f.levels[level]) {
+		return f.levels[level][idx]
+	}
+	return f.nodeAt(level, idx)
+}
+
+// recomputePath refreshes the stored interior nodes above leaf i.
+func (f *Forest) recomputePath(i int) {
+	idx := i
+	for level := 1; level <= f.height(); level++ {
+		idx /= 2
+		f.ensureLevel(level)
+		// Level width shrinks as ceil(prev/2).
+		width := (len(f.levels[level-1]) + 1) / 2
+		f.truncateLevel(level, width)
+		if idx < width {
+			for len(f.levels[level]) <= idx {
+				f.levels[level] = append(f.levels[level], hashx.ZeroHash)
+			}
+			f.levels[level][idx] = f.nodeAt(level, idx)
+		}
+	}
+}
+
+func (f *Forest) ensureLevel(level int) {
+	for len(f.levels) <= level {
+		f.levels = append(f.levels, nil)
+	}
+}
+
+func (f *Forest) truncateLevel(level, width int) {
+	if len(f.levels[level]) > width {
+		f.levels[level] = f.levels[level][:width]
+	}
+}
+
+// rebuildAll recomputes every interior level (used when the tree
+// height changes; O(n), amortized across the power-of-two boundaries).
+func (f *Forest) rebuildAll() {
+	h := f.height()
+	f.levels = f.levels[:1]
+	prev := f.levels[0]
+	for level := 1; level <= h; level++ {
+		width := (len(prev) + 1) / 2
+		next := make([]hashx.Hash, width)
+		for i := 0; i < width; i++ {
+			l := prev[2*i]
+			r := l
+			if 2*i+1 < len(prev) {
+				r = prev[2*i+1]
+			}
+			next[i] = hashx.SumPair(l, r)
+		}
+		f.levels = append(f.levels, next)
+		prev = next
+	}
+}
+
+// Add appends a leaf and returns its index. The caller tracks index
+// moves caused by later deletions (see Delete).
+func (f *Forest) Add(leaf hashx.Hash) int {
+	f.ensureLevel(0)
+	f.levels[0] = append(f.levels[0], leaf)
+	f.updates++
+	n := f.Len()
+	// The height grows when the previous count was a power of two
+	// (n == 2^k + 1, and n == 2): rebuild then; otherwise refresh just
+	// the new leaf's path.
+	if n >= 2 && (n-1)&(n-2) == 0 {
+		f.rebuildAll()
+	} else {
+		f.recomputePath(n - 1)
+	}
+	return n - 1
+}
+
+// Delete removes leaf i by swapping the last leaf into its place and
+// popping. It returns movedFrom: the previous index of the leaf that
+// now lives at i (== i when the last leaf itself was deleted), so
+// callers can update their position maps.
+func (f *Forest) Delete(i int) (movedFrom int, err error) {
+	n := f.Len()
+	if i < 0 || i >= n {
+		return 0, fmt.Errorf("%w: %d of %d", ErrOutOfRange, i, n)
+	}
+	last := n - 1
+	f.levels[0][i] = f.levels[0][last]
+	f.levels[0] = f.levels[0][:last]
+	f.updates++
+	if f.Len() == 0 {
+		f.levels = f.levels[:1]
+		return i, nil
+	}
+	// Height may shrink at powers of two; rebuilding is simplest and
+	// still O(n) only at those boundaries.
+	oldHeight := len(f.levels) - 1
+	if f.height() != oldHeight {
+		f.rebuildAll()
+	} else {
+		if i < f.Len() {
+			f.recomputePath(i)
+		}
+		f.recomputePath(f.Len() - 1)
+	}
+	if i == last {
+		return i, nil
+	}
+	return last, nil
+}
+
+// Leaf returns the leaf at index i.
+func (f *Forest) Leaf(i int) (hashx.Hash, error) {
+	if i < 0 || i >= f.Len() {
+		return hashx.ZeroHash, fmt.Errorf("%w: %d of %d", ErrOutOfRange, i, f.Len())
+	}
+	return f.levels[0][i], nil
+}
+
+// Proof is a membership proof: sibling hashes from leaf to root. It is
+// only valid against the Root at the Updates count it was created for
+// — any later Add or Delete may invalidate it (the churn the
+// experiments measure).
+type Proof struct {
+	Index    int
+	Siblings []hashx.Hash
+}
+
+// Size returns the proof's wire size in bytes (32 per sibling plus the
+// index varint, matching the merkle.Branch encoding).
+func (p Proof) Size() int { return 2 + len(p.Siblings)*hashx.Size }
+
+// Prove builds the membership proof for leaf i against the current
+// root.
+func (f *Forest) Prove(i int) (Proof, error) {
+	n := f.Len()
+	if i < 0 || i >= n {
+		return Proof{}, fmt.Errorf("%w: %d of %d", ErrOutOfRange, i, n)
+	}
+	p := Proof{Index: i}
+	idx := i
+	for level := 0; level < f.height(); level++ {
+		width := len(f.levels[0])
+		for l := 0; l < level; l++ {
+			width = (width + 1) / 2
+		}
+		sib := idx ^ 1
+		if sib >= width {
+			sib = idx
+		}
+		p.Siblings = append(p.Siblings, f.cached(level, sib, width))
+		idx /= 2
+	}
+	return p, nil
+}
+
+// Verify checks a membership proof against a root digest.
+func Verify(leaf hashx.Hash, p Proof, root hashx.Hash) bool {
+	h := leaf
+	idx := p.Index
+	for _, sib := range p.Siblings {
+		if idx&1 == 0 {
+			h = hashx.SumPair(h, sib)
+		} else {
+			h = hashx.SumPair(sib, h)
+		}
+		idx /= 2
+	}
+	return h == root
+}

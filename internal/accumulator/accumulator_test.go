@@ -1,0 +1,228 @@
+package accumulator
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ebv/internal/hashx"
+	"ebv/internal/merkle"
+)
+
+func leaf(i int) hashx.Hash { return hashx.Sum([]byte(fmt.Sprintf("leaf-%d", i))) }
+
+// checkAgainstRebuild asserts that the incrementally maintained root
+// equals a from-scratch Merkle root over the same leaves.
+func checkAgainstRebuild(t *testing.T, f *Forest) {
+	t.Helper()
+	n := f.Len()
+	if n == 0 {
+		if f.Root() != hashx.ZeroHash {
+			t.Fatal("empty forest root must be zero")
+		}
+		return
+	}
+	leaves := make([]hashx.Hash, n)
+	for i := 0; i < n; i++ {
+		leaves[i], _ = f.Leaf(i)
+	}
+	if got, want := f.Root(), merkle.Root(leaves); got != want {
+		t.Fatalf("incremental root %s != rebuilt %s (n=%d)", got.Short(), want.Short(), n)
+	}
+}
+
+func TestAddMaintainsRoot(t *testing.T) {
+	f := &Forest{}
+	for i := 0; i < 300; i++ {
+		f.Add(leaf(i))
+		checkAgainstRebuild(t, f)
+	}
+	if f.Updates() != 300 {
+		t.Fatalf("Updates=%d", f.Updates())
+	}
+}
+
+func TestDeleteMaintainsRoot(t *testing.T) {
+	f := &Forest{}
+	for i := 0; i < 100; i++ {
+		f.Add(leaf(i))
+	}
+	rng := rand.New(rand.NewSource(5))
+	for f.Len() > 0 {
+		i := rng.Intn(f.Len())
+		if _, err := f.Delete(i); err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstRebuild(t, f)
+	}
+}
+
+func TestDeleteReportsMove(t *testing.T) {
+	f := &Forest{}
+	for i := 0; i < 5; i++ {
+		f.Add(leaf(i))
+	}
+	// Delete index 1: leaf 4 moves to slot 1.
+	moved, err := f.Delete(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 4 {
+		t.Fatalf("movedFrom=%d want 4", moved)
+	}
+	got, _ := f.Leaf(1)
+	if got != leaf(4) {
+		t.Fatal("slot 1 must now hold the old last leaf")
+	}
+	// Deleting the last slot moves nothing.
+	moved, err = f.Delete(f.Len() - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != f.Len() {
+		t.Fatalf("deleting last: movedFrom=%d want %d", moved, f.Len())
+	}
+}
+
+func TestProveVerify(t *testing.T) {
+	f := &Forest{}
+	for i := 0; i < 77; i++ {
+		f.Add(leaf(i))
+	}
+	root := f.Root()
+	for i := 0; i < 77; i += 5 {
+		p, err := f.Prove(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, _ := f.Leaf(i)
+		if !Verify(l, p, root) {
+			t.Fatalf("proof for leaf %d must verify", i)
+		}
+		if Verify(leaf(999), p, root) {
+			t.Fatal("wrong leaf must not verify")
+		}
+	}
+}
+
+func TestProofsExpireOnUpdate(t *testing.T) {
+	f := &Forest{}
+	for i := 0; i < 64; i++ {
+		f.Add(leaf(i))
+	}
+	p, err := f.Prove(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ := f.Leaf(3)
+	before := f.Updates()
+	f.Add(leaf(1000)) // any update can invalidate outstanding proofs
+	if f.Updates() != before+1 {
+		t.Fatal("updates must count")
+	}
+	if Verify(l, p, f.Root()) {
+		t.Fatal("stale proof must not verify against the new root")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	f := &Forest{}
+	if _, err := f.Delete(0); err == nil {
+		t.Fatal("delete on empty must fail")
+	}
+	if _, err := f.Prove(0); err == nil {
+		t.Fatal("prove on empty must fail")
+	}
+	if _, err := f.Leaf(-1); err == nil {
+		t.Fatal("negative index must fail")
+	}
+	f.Add(leaf(1))
+	if _, err := f.Delete(1); err == nil {
+		t.Fatal("out of range delete must fail")
+	}
+}
+
+func TestProofLengthLogarithmic(t *testing.T) {
+	f := &Forest{}
+	for i := 0; i < 1000; i++ {
+		f.Add(leaf(i))
+	}
+	p, _ := f.Prove(123)
+	if len(p.Siblings) != 10 { // ceil(log2(1000))
+		t.Fatalf("proof depth %d want 10", len(p.Siblings))
+	}
+	if p.Size() != 2+10*32 {
+		t.Fatalf("proof size %d", p.Size())
+	}
+}
+
+func TestPropertyRandomOpsAgainstModel(t *testing.T) {
+	f := func(seed int64, opsRaw []byte) bool {
+		forest := &Forest{}
+		rng := rand.New(rand.NewSource(seed))
+		model := []hashx.Hash{} // mirrors the swap-delete semantics
+		for _, op := range opsRaw {
+			if op%3 != 0 && forest.Len() > 0 {
+				i := rng.Intn(forest.Len())
+				forest.Delete(i)
+				model[i] = model[len(model)-1]
+				model = model[:len(model)-1]
+			} else {
+				l := hashx.Sum([]byte{op, byte(rng.Intn(256))})
+				forest.Add(l)
+				model = append(model, l)
+			}
+			if len(model) == 0 {
+				if forest.Root() != hashx.ZeroHash {
+					return false
+				}
+				continue
+			}
+			if forest.Root() != merkle.Root(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := &Forest{}
+	for i := 0; i < 1<<16; i++ {
+		f.Add(leaf(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Add(leaf(i + 1<<16))
+	}
+}
+
+func BenchmarkDeleteAdd(b *testing.B) {
+	f := &Forest{}
+	for i := 0; i < 1<<16; i++ {
+		f.Add(leaf(i))
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Delete(rng.Intn(f.Len()))
+		f.Add(leaf(i + 1<<20))
+	}
+}
+
+func BenchmarkProve(b *testing.B) {
+	f := &Forest{}
+	for i := 0; i < 1<<18; i++ {
+		f.Add(leaf(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Prove(i % f.Len()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

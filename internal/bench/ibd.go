@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ebv/internal/node"
+)
+
+// ibdRun is one full IBD replay's per-period wall times plus the
+// summed breakdown.
+type ibdRun struct {
+	periods []node.PeriodStats
+	total   time.Duration
+}
+
+// runBitcoinIBD replays the classic chain into a fresh baseline node.
+func (e *Env) runBitcoinIBD(log io.Writer) (*ibdRun, error) {
+	dir, err := e.TempNodeDir()
+	if err != nil {
+		return nil, err
+	}
+	n, err := node.NewBitcoinNode(node.Config{
+		Dir: dir, MemLimit: e.Opts.MemLimit,
+		ReadLatency: e.Opts.ReadLatency, Scheme: e.Opts.Scheme(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer n.Close()
+	res, err := node.RunIBDBitcoin(e.ClassicChain, n, e.PeriodLen(), nil)
+	if err != nil {
+		return nil, err
+	}
+	return &ibdRun{periods: res.Periods, total: res.Wall}, nil
+}
+
+// runEBVIBD replays the EBV chain into a fresh EBV node.
+func (e *Env) runEBVIBD(log io.Writer) (*ibdRun, error) {
+	dir, err := e.TempNodeDir()
+	if err != nil {
+		return nil, err
+	}
+	n, err := node.NewEBVNode(node.Config{Dir: dir, Optimize: true, Scheme: e.Opts.Scheme()})
+	if err != nil {
+		return nil, err
+	}
+	defer n.Close()
+	res, err := node.RunIBDEBV(e.EBVChain, n, e.PeriodLen(), nil)
+	if err != nil {
+		return nil, err
+	}
+	return &ibdRun{periods: res.Periods, total: res.Wall}, nil
+}
+
+// Fig5 reproduces Fig. 5: baseline IBD time per period, split into
+// DBO / SV / others, with the DBO share per period — including the dip
+// caused by the consolidation episode.
+func (e *Env) Fig5(w io.Writer) error {
+	logf(w, "Fig 5: baseline IBD over %d blocks (periods of %d)", e.Opts.Blocks, e.PeriodLen())
+	run, err := e.runBitcoinIBD(w)
+	if err != nil {
+		return err
+	}
+	t := newTable("period", "blocks", "inputs", "total", "dbo", "sv", "others", "dbo-share")
+	for i, p := range run.periods {
+		bd := p.Breakdown
+		other := p.Wall - bd.DBO - bd.SV
+		if other < 0 {
+			other = 0
+		}
+		t.row(fmt.Sprintf("P%02d", i+1),
+			fmt.Sprintf("%d-%d", p.StartHeight, p.EndHeight),
+			bd.Inputs, p.Wall, bd.DBO, bd.SV, other, pct(bd.DBO, p.Wall))
+	}
+	t.write(w, "Fig 5: IBD time per period (Bitcoin)")
+	fmt.Fprintf(w, "total IBD: %s\n", fmtDur(run.total))
+	return nil
+}
+
+// Fig17 reproduces Fig. 17: IBD time of Bitcoin vs EBV over the chain,
+// repeated Repeats times (boxplot min/mean/max per period, 17a), plus
+// the EBV component split per period (17b).
+func (e *Env) Fig17(w io.Writer) error {
+	reps := e.Opts.Repeats
+	logf(w, "Fig 17: %d IBD runs per system (periods of %d)", reps, e.PeriodLen())
+
+	var btcRuns, ebvRuns []*ibdRun
+	for r := 0; r < reps; r++ {
+		br, err := e.runBitcoinIBD(w)
+		if err != nil {
+			return err
+		}
+		btcRuns = append(btcRuns, br)
+		er, err := e.runEBVIBD(w)
+		if err != nil {
+			return err
+		}
+		ebvRuns = append(ebvRuns, er)
+		logf(w, "  run %d/%d: bitcoin %s, ebv %s", r+1, reps, fmtDur(br.total), fmtDur(er.total))
+	}
+
+	// Cumulative wall time at each period boundary, per run.
+	cumulative := func(run *ibdRun) []time.Duration {
+		out := make([]time.Duration, len(run.periods))
+		var acc time.Duration
+		for i, p := range run.periods {
+			acc += p.Wall
+			out[i] = acc
+		}
+		return out
+	}
+	stats := func(runs []*ibdRun, period int) (mean, lo, hi time.Duration) {
+		lo = 1 << 62
+		for _, r := range runs {
+			v := cumulative(r)[period]
+			mean += v
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		mean /= time.Duration(len(runs))
+		return
+	}
+
+	nPeriods := len(btcRuns[0].periods)
+	ta := newTable("period", "end-height", "bitcoin-mean", "btc-min", "btc-max", "ebv-mean", "ebv-min", "ebv-max", "reduction")
+	var lastRed string
+	for i := 0; i < nPeriods; i++ {
+		bm, bl, bh := stats(btcRuns, i)
+		em, el, eh := stats(ebvRuns, i)
+		lastRed = reduction(float64(bm), float64(em))
+		ta.row(fmt.Sprintf("P%02d", i+1), btcRuns[0].periods[i].EndHeight,
+			bm, bl, bh, em, el, eh, lastRed)
+	}
+	ta.write(w, "Fig 17a: cumulative IBD time, Bitcoin vs EBV (mean/min/max over runs)")
+	fmt.Fprintf(w, "final reduction: %s (paper: 38.5%% at block 650,000)\n", lastRed)
+
+	tb := newTable("period", "ev", "uv", "sv", "others", "sv-share")
+	for i, p := range ebvRuns[0].periods {
+		bd := p.Breakdown
+		other := p.Wall - bd.EV - bd.UV - bd.SV
+		if other < 0 {
+			other = 0
+		}
+		tb.row(fmt.Sprintf("P%02d", i+1), bd.EV, bd.UV, bd.SV, other, pct(bd.SV, p.Wall))
+	}
+	tb.write(w, "Fig 17b: EBV IBD time components per period")
+	return nil
+}

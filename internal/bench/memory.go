@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"ebv/internal/node"
+	"ebv/internal/workload"
+)
+
+// MemSample is one point of the memory-growth series (Figs. 1 and 14):
+// the status-data footprint of each system after connecting all blocks
+// up to Height.
+type MemSample struct {
+	Height        uint64
+	MainnetHeight uint64
+	Quarter       string
+	UTXOCount     int64
+	UTXOBytes     int64 // Bitcoin's UTXO set, serialized size
+	EBVBytes      int64 // bit-vector set, optimized
+	EBVDenseBytes int64 // bit-vector set without the optimization
+}
+
+// memorySeries replays both chains once (no latency injection — memory
+// does not depend on it) and samples the status-data sizes at quarter
+// boundaries.
+func (e *Env) memorySeries(log io.Writer) ([]MemSample, error) {
+	if e.memCache != nil {
+		return e.memCache, nil
+	}
+	nSamples := 26
+	step := e.Opts.Blocks / nSamples
+	if step < 1 {
+		step = 1
+	}
+
+	samples := make([]MemSample, 0, nSamples+1)
+	sampleAt := func(h uint64) bool { return (h+1)%uint64(step) == 0 || h == uint64(e.Opts.Blocks-1) }
+
+	// Baseline pass.
+	dir, err := e.TempNodeDir()
+	if err != nil {
+		return nil, err
+	}
+	btc, err := node.NewBitcoinNode(node.Config{Dir: dir, MemLimit: e.Opts.MemLimit, Scheme: e.Opts.Scheme()})
+	if err != nil {
+		return nil, err
+	}
+	defer btc.Close()
+	logf(log, "memory series: baseline pass over %d blocks", e.Opts.Blocks)
+	tip, _ := e.ClassicChain.TipHeight()
+	mh := func(h uint64) uint64 { return h * 650_000 / uint64(e.Opts.Blocks-1) }
+	for h := uint64(0); h <= tip; h++ {
+		raw, err := e.ClassicChain.BlockBytes(h)
+		if err != nil {
+			return nil, err
+		}
+		blk, err := decodeClassic(raw)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := btc.SubmitBlock(blk); err != nil {
+			return nil, fmt.Errorf("baseline at %d: %w", h, err)
+		}
+		if sampleAt(h) {
+			samples = append(samples, MemSample{
+				Height:        h,
+				MainnetHeight: mh(h),
+				Quarter:       workload.QuarterLabel(mh(h)),
+				UTXOCount:     btc.UTXO.Count(),
+				UTXOBytes:     btc.UTXO.SizeBytes(),
+			})
+		}
+	}
+
+	// EBV pass: one pass yields both the optimized and the dense
+	// footprint (statusdb tracks both).
+	dir2, err := e.TempNodeDir()
+	if err != nil {
+		return nil, err
+	}
+	ebv, err := node.NewEBVNode(node.Config{Dir: dir2, Optimize: true, Scheme: e.Opts.Scheme()})
+	if err != nil {
+		return nil, err
+	}
+	defer ebv.Close()
+	logf(log, "memory series: EBV pass over %d blocks", e.Opts.Blocks)
+	si := 0
+	for h := uint64(0); h <= tip; h++ {
+		raw, err := e.EBVChain.BlockBytes(h)
+		if err != nil {
+			return nil, err
+		}
+		blk, err := decodeEBV(raw)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := ebv.SubmitBlock(blk); err != nil {
+			return nil, fmt.Errorf("ebv at %d: %w", h, err)
+		}
+		if sampleAt(h) {
+			samples[si].EBVBytes = ebv.Status.MemUsage()
+			samples[si].EBVDenseBytes = ebv.Status.DenseUsage()
+			si++
+		}
+	}
+	e.memCache = samples
+	return samples, nil
+}
+
+// Fig1 reproduces Fig. 1: the growth of the UTXO count and UTXO-set
+// size over calendar quarters.
+func (e *Env) Fig1(w io.Writer) error {
+	samples, err := e.memorySeries(w)
+	if err != nil {
+		return err
+	}
+	t := newTable("quarter", "mainnet-h", "utxo-count", "utxo-size")
+	// The paper's Fig. 1 window starts at 2015-Q1 (mainnet height
+	// ~315k); measure growth over the same window.
+	const q15Start = 24 * 13_140
+	var first, last MemSample
+	for _, s := range samples {
+		t.row(s.Quarter, s.MainnetHeight, s.UTXOCount, fmtBytes(s.UTXOBytes))
+		if first.UTXOCount == 0 && s.MainnetHeight >= q15Start {
+			first = s
+		}
+		last = s
+	}
+	t.write(w, "Fig 1: UTXO count and UTXO-set size by quarter")
+	if first.UTXOCount > 0 {
+		fmt.Fprintf(w, "growth %s..%s: count %.1fx, size %.1fx (paper: 4.4x, 7.6x over 15-Q1..21-Q2)\n",
+			first.Quarter, last.Quarter,
+			float64(last.UTXOCount)/float64(first.UTXOCount),
+			float64(last.UTXOBytes)/float64(first.UTXOBytes))
+	}
+	return nil
+}
+
+// Fig14 reproduces Fig. 14: memory requirement of Bitcoin vs EBV vs
+// EBV without the vector optimization.
+func (e *Env) Fig14(w io.Writer) error {
+	samples, err := e.memorySeries(w)
+	if err != nil {
+		return err
+	}
+	t := newTable("quarter", "bitcoin", "ebv", "ebv-no-opt", "ebv-vs-bitcoin", "opt-saving")
+	for _, s := range samples {
+		t.row(s.Quarter, fmtBytes(s.UTXOBytes), fmtBytes(s.EBVBytes), fmtBytes(s.EBVDenseBytes),
+			reduction(float64(s.UTXOBytes), float64(s.EBVBytes)),
+			reduction(float64(s.EBVDenseBytes), float64(s.EBVBytes)))
+	}
+	t.write(w, "Fig 14: memory requirement comparison")
+	last := samples[len(samples)-1]
+	fmt.Fprintf(w, "final: bitcoin %s, ebv %s (%s reduction; paper: 93.1%%), no-opt %s (optimization saves %s; paper: 42.6%%)\n",
+		fmtBytes(last.UTXOBytes), fmtBytes(last.EBVBytes),
+		reduction(float64(last.UTXOBytes), float64(last.EBVBytes)),
+		fmtBytes(last.EBVDenseBytes),
+		reduction(float64(last.EBVDenseBytes), float64(last.EBVBytes)))
+	return nil
+}

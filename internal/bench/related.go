@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"ebv/internal/accumulator"
+	"ebv/internal/hashx"
+	"ebv/internal/workload"
+)
+
+// RelatedProofs compares EBV's input proofs against the related work
+// the paper discusses (§VII-B): a Utreexo-style dynamic accumulator
+// (implemented in internal/accumulator and driven with the same
+// full-block-size spend trace as fig14full) and the Edrax sparse
+// Merkle tree (modeled at its published depth of ~40).
+//
+// Two axes matter:
+//
+//   - Proof size. EBV's MBr grows with the log of the *block's*
+//     transaction count (≈11 levels at 2,500 txs) and is measured here
+//     from the real reconstructed chain; accumulator proofs grow with
+//     the log of the whole UTXO set and are measured from the live
+//     forest at each spend.
+//
+//   - Proof lifetime. An EBV proof never expires: the Merkle root it
+//     folds to is fixed in a mined header. Accumulator proofs are
+//     invalidated by every block's additions and deletions — the
+//     proposer burden the paper criticizes in Edrax/Utreexo/MiniChain —
+//     reported as structural updates per block.
+func (e *Env) RelatedProofs(w io.Writer) error {
+	// Measured EBV proof bytes per input: the body minus the
+	// unlocking script (signatures are common to every scheme).
+	ebvProof, ebvInputs, err := e.measureEBVProofBytes()
+	if err != nil {
+		return err
+	}
+
+	// Accumulator replay over the full-block-size trace.
+	blocks := e.Opts.Blocks / 5
+	if blocks > 2600 {
+		blocks = 2600
+	}
+	if blocks < 130 {
+		blocks = 130
+	}
+	logf(w, "related-proofs: accumulator replay over %d full-size blocks", blocks)
+	trace := newTraceGen(e.Opts.Seed, blocks)
+	forest := &accumulator.Forest{}
+	// position maps: packed (height<<16|pos) <-> forest leaf index.
+	index := make(map[uint64]int)
+	at := make([]uint64, 0, 1<<20) // leaf index -> packed output id
+
+	setLeaf := func(li int, packed uint64) {
+		for len(at) <= li {
+			at = append(at, 0)
+		}
+		at[li] = packed
+		index[packed] = li
+	}
+
+	nSamples := 13
+	step := blocks / nSamples
+	if step < 1 {
+		step = 1
+	}
+	t := newTable("quarter", "utxo-count", "ebv-proof", "utreexo-proof", "edrax-model", "acc-updates/blk")
+	var proofBytes, proofCount, updatesPrev uint64
+	for h := 0; h < blocks; h++ {
+		nOut, spends := trace.nextBlock(h)
+		for _, sp := range spends {
+			packed := sp.Height<<16 | uint64(sp.Pos)
+			li, ok := index[packed]
+			if !ok {
+				return fmt.Errorf("related-proofs: spend of untracked output %d:%d", sp.Height, sp.Pos)
+			}
+			// The proposer builds the membership proof at spend time.
+			p, err := forest.Prove(li)
+			if err != nil {
+				return err
+			}
+			proofBytes += uint64(p.Size())
+			proofCount++
+			moved, err := forest.Delete(li)
+			if err != nil {
+				return err
+			}
+			delete(index, packed)
+			if moved != li && moved < len(at) {
+				setLeaf(li, at[moved])
+			}
+		}
+		for p := 0; p < nOut; p++ {
+			packed := uint64(h)<<16 | uint64(p)
+			li := forest.Add(leafFor(packed))
+			setLeaf(li, packed)
+		}
+		if (h+1)%step == 0 || h == blocks-1 {
+			mh := uint64(h) * 650_000 / uint64(blocks-1)
+			avgAcc := "n/a"
+			if proofCount > 0 {
+				avgAcc = fmtBytes(int64(proofBytes / proofCount))
+			}
+			edrax := int64(40 * hashx.Size)
+			t.row(workload.QuarterLabel(mh), forest.Len(), fmtBytes(int64(ebvProof)),
+				avgAcc, fmtBytes(edrax),
+				fmt.Sprintf("%.0f", float64(forest.Updates()-updatesPrev)/float64(step)))
+			updatesPrev = forest.Updates()
+			proofBytes, proofCount = 0, 0
+		}
+	}
+	t.write(w, "Related work: per-input proof size and churn (EBV vs accumulator designs)")
+	fmt.Fprintf(w, "EBV proofs measured over %d inputs; they never expire (the header root is fixed).\n", ebvInputs)
+	fmt.Fprintf(w, "Accumulator proofs expire every block; depth at %d UTXOs ≈ %.0f (mainnet 70M ≈ 27).\n",
+		forest.Len(), math.Ceil(math.Log2(float64(forest.Len()))))
+	return nil
+}
+
+// leafFor derives the accumulator leaf digest of an output id.
+func leafFor(packed uint64) hashx.Hash {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(packed >> (8 * i))
+	}
+	return hashx.Sum(buf[:])
+}
+
+// measureEBVProofBytes averages the proof portion (everything but the
+// unlocking script) of input bodies over the chain's last blocks.
+func (e *Env) measureEBVProofBytes() (avg uint64, inputs int, err error) {
+	tip, ok := e.EBVChain.TipHeight()
+	if !ok {
+		return 0, 0, fmt.Errorf("related-proofs: empty EBV chain")
+	}
+	start := uint64(0)
+	if tip > 200 {
+		start = tip - 200
+	}
+	var total uint64
+	for h := start; h <= tip; h++ {
+		raw, err := e.EBVChain.BlockBytes(h)
+		if err != nil {
+			return 0, 0, err
+		}
+		blk, err := decodeEBV(raw)
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, tx := range blk.Txs {
+			for i := range tx.Bodies {
+				b := &tx.Bodies[i]
+				total += uint64(b.EncodedSize() - len(b.UnlockScript))
+				inputs++
+			}
+		}
+	}
+	if inputs == 0 {
+		return 0, 0, fmt.Errorf("related-proofs: no inputs in sample")
+	}
+	return total / uint64(inputs), inputs, nil
+}

@@ -1,0 +1,281 @@
+// Package bitvec implements the per-block spent/unspent bit vectors
+// that form EBV's status data (paper §IV-B, §IV-E).
+//
+// A Vector has one bit per transaction output of a block: 1 means the
+// output is unspent, 0 means it has been spent. A freshly connected
+// block contributes an all-ones vector; connecting later blocks clears
+// bits; a vector whose bits are all zero can be dropped entirely.
+//
+// The package also implements the paper's vector optimization
+// (§IV-E2): a vector with few remaining 1-bits (a "sparse vector") is
+// encoded as an array of 16-bit indices of the 1-bits instead of raw
+// bits, prefixed by a flag byte that selects the representation. The
+// paper notes a block holds fewer than 65536 outputs, so 16-bit
+// indices always suffice.
+package bitvec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"ebv/internal/varint"
+)
+
+// MaxLen is the maximum number of bits in a Vector: the paper bounds
+// the number of outputs in a block below 65536 so that sparse indices
+// fit in 16 bits.
+const MaxLen = 1 << 16
+
+// Encoding flag bytes. The paper uses a single flag bit; a byte is the
+// practical unit and keeps the format self-describing.
+const (
+	flagDense  = 0x00
+	flagSparse = 0x01
+)
+
+// Vector is a fixed-length bit vector. The zero value is an empty
+// vector of length 0.
+type Vector struct {
+	words []uint64
+	n     int // number of valid bits
+	ones  int // cached population count
+}
+
+// New returns a vector of n bits, all zero.
+func New(n int) *Vector {
+	if n < 0 || n > MaxLen {
+		panic(fmt.Sprintf("bitvec: length %d out of range [0,%d]", n, MaxLen))
+	}
+	return &Vector{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// NewAllSet returns a vector of n bits, all one — the state of a block
+// none of whose outputs has been spent yet.
+func NewAllSet(n int) *Vector {
+	v := New(n)
+	for i := range v.words {
+		v.words[i] = ^uint64(0)
+	}
+	v.maskTail()
+	v.ones = n
+	return v
+}
+
+// maskTail clears the unused bits of the last word so popcounts and
+// equality work on whole words.
+func (v *Vector) maskTail() {
+	if rem := v.n % 64; rem != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Ones returns the number of 1-bits (unspent outputs).
+func (v *Vector) Ones() int { return v.ones }
+
+// AllZero reports whether every bit is 0, i.e. every output of the
+// block has been spent and the vector may be deleted.
+func (v *Vector) AllZero() bool { return v.ones == 0 }
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Get reports whether bit i is set.
+func (v *Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i/64]&(1<<uint(i%64)) != 0
+}
+
+// Set sets bit i to 1.
+func (v *Vector) Set(i int) {
+	v.check(i)
+	w, m := i/64, uint64(1)<<uint(i%64)
+	if v.words[w]&m == 0 {
+		v.words[w] |= m
+		v.ones++
+	}
+}
+
+// Clear sets bit i to 0 and reports whether the bit was previously 1.
+// Clearing a bit marks the corresponding output as spent; the return
+// value lets callers detect double spends without a prior Get.
+func (v *Vector) Clear(i int) bool {
+	v.check(i)
+	w, m := i/64, uint64(1)<<uint(i%64)
+	if v.words[w]&m == 0 {
+		return false
+	}
+	v.words[w] &^= m
+	v.ones--
+	return true
+}
+
+// Indices returns the positions of all 1-bits in ascending order.
+func (v *Vector) Indices() []int {
+	out := make([]int, 0, v.ones)
+	for wi, w := range v.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &^= 1 << uint(b)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of v.
+func (v *Vector) Clone() *Vector {
+	c := &Vector{words: make([]uint64, len(v.words)), n: v.n, ones: v.ones}
+	copy(c.words, v.words)
+	return c
+}
+
+// Equal reports whether v and o have the same length and bits.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.n != o.n || v.ones != o.ones {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// denseSize returns the byte size of the dense encoding of a vector of
+// n bits (flag + varint length + packed bits).
+func denseSize(n int) int {
+	return 1 + uvarintLen(uint64(n)) + (n+7)/8
+}
+
+// sparseSize returns the byte size of the sparse encoding of a vector
+// of n bits with k ones (flag + varint length + varint count + 2 bytes
+// per index).
+func sparseSize(n, k int) int {
+	return 1 + uvarintLen(uint64(n)) + uvarintLen(uint64(k)) + 2*k
+}
+
+func uvarintLen(x uint64) int {
+	var buf [binary.MaxVarintLen64]byte
+	return binary.PutUvarint(buf[:], x)
+}
+
+// EncodedSize returns the number of bytes Encode would produce: the
+// smaller of the dense and sparse representations. This is the memory
+// requirement the paper reports for EBV in Fig. 14.
+func (v *Vector) EncodedSize() int {
+	d, s := denseSize(v.n), sparseSize(v.n, v.ones)
+	if s < d {
+		return s
+	}
+	return d
+}
+
+// DenseSize returns the number of bytes EncodeDense would produce —
+// the memory requirement of "EBV without optimization" in Fig. 14.
+func (v *Vector) DenseSize() int { return denseSize(v.n) }
+
+// Encode serializes the vector, choosing the representation — dense
+// bits or sparse 16-bit index array — that is smaller, per the paper's
+// vector optimization.
+func (v *Vector) Encode() []byte {
+	if sparseSize(v.n, v.ones) < denseSize(v.n) {
+		return v.encodeSparse()
+	}
+	return v.EncodeDense()
+}
+
+// EncodeDense serializes the vector as a flag byte, a varint bit
+// length, and packed little-endian bit bytes.
+func (v *Vector) EncodeDense() []byte {
+	out := make([]byte, 0, denseSize(v.n))
+	out = append(out, flagDense)
+	out = binary.AppendUvarint(out, uint64(v.n))
+	nb := (v.n + 7) / 8
+	for i := 0; i < nb; i++ {
+		out = append(out, byte(v.words[i/8]>>uint(8*(i%8))))
+	}
+	return out
+}
+
+func (v *Vector) encodeSparse() []byte {
+	out := make([]byte, 0, sparseSize(v.n, v.ones))
+	out = append(out, flagSparse)
+	out = binary.AppendUvarint(out, uint64(v.n))
+	out = binary.AppendUvarint(out, uint64(v.ones))
+	for _, i := range v.Indices() {
+		out = binary.LittleEndian.AppendUint16(out, uint16(i))
+	}
+	return out
+}
+
+// Decode parses a vector previously produced by Encode or EncodeDense.
+func Decode(data []byte) (*Vector, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("bitvec: empty encoding")
+	}
+	flag, rest := data[0], data[1:]
+	n, used := varint.Uvarint(rest)
+	if used <= 0 {
+		return nil, fmt.Errorf("bitvec: bad length varint")
+	}
+	if n > MaxLen {
+		return nil, fmt.Errorf("bitvec: length %d exceeds max %d", n, MaxLen)
+	}
+	rest = rest[used:]
+	switch flag {
+	case flagDense:
+		nb := (int(n) + 7) / 8
+		if len(rest) != nb {
+			return nil, fmt.Errorf("bitvec: dense body %d bytes, want %d", len(rest), nb)
+		}
+		v := New(int(n))
+		for i, b := range rest {
+			v.words[i/8] |= uint64(b) << uint(8*(i%8))
+		}
+		v.maskTail()
+		for _, w := range v.words {
+			v.ones += bits.OnesCount64(w)
+		}
+		// Reject encodings with junk bits beyond the declared length:
+		// maskTail zeroed them, so re-check against the raw tail byte.
+		if rem := int(n) % 8; rem != 0 {
+			if rest[nb-1]>>uint(rem) != 0 {
+				return nil, fmt.Errorf("bitvec: dense encoding has bits beyond length %d", n)
+			}
+		}
+		return v, nil
+	case flagSparse:
+		k, used := varint.Uvarint(rest)
+		if used <= 0 {
+			return nil, fmt.Errorf("bitvec: bad count varint")
+		}
+		rest = rest[used:]
+		if len(rest) != 2*int(k) {
+			return nil, fmt.Errorf("bitvec: sparse body %d bytes, want %d", len(rest), 2*int(k))
+		}
+		v := New(int(n))
+		prev := -1
+		for i := 0; i < int(k); i++ {
+			idx := int(binary.LittleEndian.Uint16(rest[2*i:]))
+			if idx >= int(n) {
+				return nil, fmt.Errorf("bitvec: sparse index %d out of range %d", idx, n)
+			}
+			if idx <= prev {
+				return nil, fmt.Errorf("bitvec: sparse indices not strictly ascending")
+			}
+			prev = idx
+			v.Set(idx)
+		}
+		return v, nil
+	default:
+		return nil, fmt.Errorf("bitvec: unknown flag 0x%02x", flag)
+	}
+}

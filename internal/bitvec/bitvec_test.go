@@ -1,0 +1,286 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAllSet(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 1000} {
+		v := NewAllSet(n)
+		if v.Len() != n || v.Ones() != n {
+			t.Fatalf("n=%d: Len=%d Ones=%d", n, v.Len(), v.Ones())
+		}
+		for i := 0; i < n; i++ {
+			if !v.Get(i) {
+				t.Fatalf("n=%d: bit %d not set", n, i)
+			}
+		}
+	}
+}
+
+func TestSetClearGet(t *testing.T) {
+	v := New(130)
+	if v.Ones() != 0 {
+		t.Fatal("new vector must be all zero")
+	}
+	v.Set(0)
+	v.Set(64)
+	v.Set(129)
+	v.Set(129) // idempotent
+	if v.Ones() != 3 {
+		t.Fatalf("Ones=%d want 3", v.Ones())
+	}
+	if !v.Clear(64) {
+		t.Fatal("Clear of set bit must return true")
+	}
+	if v.Clear(64) {
+		t.Fatal("Clear of cleared bit must return false")
+	}
+	if v.Get(64) {
+		t.Fatal("bit 64 must be cleared")
+	}
+	if v.Ones() != 2 {
+		t.Fatalf("Ones=%d want 2", v.Ones())
+	}
+}
+
+func TestAllZeroAfterSpendingEverything(t *testing.T) {
+	v := NewAllSet(77)
+	for i := 0; i < 77; i++ {
+		if !v.Clear(i) {
+			t.Fatalf("bit %d already cleared", i)
+		}
+	}
+	if !v.AllZero() {
+		t.Fatal("vector must be all zero")
+	}
+}
+
+func TestIndices(t *testing.T) {
+	v := New(200)
+	want := []int{0, 3, 63, 64, 127, 128, 199}
+	for _, i := range want {
+		v.Set(i)
+	}
+	got := v.Indices()
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	v := New(10)
+	for _, f := range []func(){
+		func() { v.Get(10) },
+		func() { v.Set(-1) },
+		func() { v.Clear(10) },
+		func() { New(MaxLen + 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEncodeDecodeDense(t *testing.T) {
+	v := NewAllSet(100)
+	v.Clear(5)
+	v.Clear(99)
+	enc := v.Encode()
+	if enc[0] != flagDense {
+		t.Fatalf("mostly-ones vector should encode dense, flag=%d", enc[0])
+	}
+	back, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(v) {
+		t.Fatal("dense round trip mismatch")
+	}
+}
+
+func TestEncodeDecodeSparse(t *testing.T) {
+	v := New(5000)
+	v.Set(3)
+	v.Set(4999)
+	enc := v.Encode()
+	if enc[0] != flagSparse {
+		t.Fatalf("2-of-5000 vector should encode sparse, flag=%d", enc[0])
+	}
+	back, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(v) {
+		t.Fatal("sparse round trip mismatch")
+	}
+}
+
+func TestPaperExampleSparseSmaller(t *testing.T) {
+	// Paper Fig. 13: a 5-bit vector with one 1-bit; the index array is
+	// smaller than the raw bits only once overheads are amortized, so
+	// check the crossover logic on a realistic block-sized vector.
+	v := New(2000)
+	v.Set(3)
+	if v.EncodedSize() >= v.DenseSize() {
+		t.Fatalf("sparse %d must beat dense %d", v.EncodedSize(), v.DenseSize())
+	}
+}
+
+func TestEncodedSizeMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(3000)
+		v := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(10) == 0 {
+				v.Set(i)
+			}
+		}
+		if got := len(v.Encode()); got != v.EncodedSize() {
+			t.Fatalf("n=%d ones=%d: len(Encode)=%d EncodedSize=%d", n, v.Ones(), got, v.EncodedSize())
+		}
+		if got := len(v.EncodeDense()); got != v.DenseSize() {
+			t.Fatalf("dense size mismatch: %d vs %d", got, v.DenseSize())
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0x02},             // unknown flag
+		{flagDense},        // missing length
+		{flagDense, 5},     // truncated body
+		{flagSparse, 5},    // missing count
+		{flagSparse, 5, 1}, // truncated indices
+	}
+	for i, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Fatalf("case %d: corruption must be rejected", i)
+		}
+	}
+	// Sparse index out of range.
+	v := New(4)
+	v.Set(3)
+	enc := v.encodeSparse()
+	enc[len(enc)-2] = 200 // index 200 in a 4-bit vector
+	if _, err := Decode(enc); err == nil {
+		t.Fatal("out-of-range sparse index must be rejected")
+	}
+	// Dense junk bits beyond declared length.
+	d := New(4).EncodeDense()
+	d[len(d)-1] = 0xF0
+	if _, err := Decode(d); err == nil {
+		t.Fatal("junk tail bits must be rejected")
+	}
+	// Sparse duplicate index.
+	v2 := New(10)
+	v2.Set(2)
+	v2.Set(5)
+	enc2 := v2.encodeSparse()
+	copy(enc2[len(enc2)-2:], enc2[len(enc2)-4:len(enc2)-2])
+	if _, err := Decode(enc2); err == nil {
+		t.Fatal("duplicate sparse indices must be rejected")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	v := NewAllSet(64)
+	c := v.Clone()
+	v.Clear(10)
+	if !c.Get(10) {
+		t.Fatal("Clone must not alias")
+	}
+	if c.Equal(v) {
+		t.Fatal("Equal must detect difference")
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(raw []byte, nSeed uint16) bool {
+		n := int(nSeed)%2500 + 1
+		v := New(n)
+		for _, b := range raw {
+			v.Set(int(b) % n)
+		}
+		back, err := Decode(v.Encode())
+		if err != nil {
+			return false
+		}
+		return back.Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySparseDenseAgree(t *testing.T) {
+	f := func(raw []byte, nSeed uint16) bool {
+		n := int(nSeed)%1000 + 1
+		v := New(n)
+		for _, b := range raw {
+			v.Set(int(b) % n)
+		}
+		dense, err1 := Decode(v.EncodeDense())
+		auto, err2 := Decode(v.Encode())
+		return err1 == nil && err2 == nil && dense.Equal(auto)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyOnesMatchesIndices(t *testing.T) {
+	f := func(raw []byte) bool {
+		v := New(256)
+		for _, b := range raw {
+			v.Set(int(b))
+		}
+		return len(v.Indices()) == v.Ones()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkClear(b *testing.B) {
+	v := NewAllSet(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := i % 4096
+		v.Clear(idx)
+		v.Set(idx)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	v := NewAllSet(4096)
+	for i := 0; i < b.N; i++ {
+		v.Get(i % 4096)
+	}
+}
+
+func BenchmarkEncodeSparse(b *testing.B) {
+	v := New(4096)
+	for i := 0; i < 40; i++ {
+		v.Set(i * 100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Encode()
+	}
+}

@@ -1,0 +1,24 @@
+package bitvec_test
+
+import (
+	"fmt"
+
+	"ebv/internal/bitvec"
+)
+
+// Example shows the vector optimization (paper §IV-E2): a mostly-spent
+// vector encodes as a 16-bit index array, much smaller than raw bits.
+func Example() {
+	v := bitvec.NewAllSet(2000)
+	for i := 0; i < 1997; i++ {
+		v.Clear(i)
+	}
+	fmt.Println("dense bytes: ", v.DenseSize())
+	fmt.Println("sparse bytes:", v.EncodedSize())
+	set, _ := bitvec.ProbeEncoded(v.Encode(), 1999)
+	fmt.Println("bit 1999:", set)
+	// Output:
+	// dense bytes:  253
+	// sparse bytes: 10
+	// bit 1999: true
+}

@@ -1,0 +1,41 @@
+package bitvec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode checks the vector decoder is total and canonical, and
+// that ProbeEncoded agrees with the decoded vector on every bit.
+func FuzzDecode(f *testing.F) {
+	v := NewAllSet(100)
+	v.Clear(3)
+	f.Add(v.Encode())
+	f.Add(v.EncodeDense())
+	sparse := New(5000)
+	sparse.Set(7)
+	f.Add(sparse.Encode())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Canonical for the representation the flag declares.
+		var re []byte
+		if data[0] == flagDense {
+			re = v.EncodeDense()
+		} else {
+			re = v.encodeSparse()
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted non-canonical encoding")
+		}
+		for i := 0; i < v.Len(); i += 1 + v.Len()/64 {
+			got, err := ProbeEncoded(data, i)
+			if err != nil || got != v.Get(i) {
+				t.Fatalf("probe disagrees at %d: %v %v", i, got, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package bitvec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"ebv/internal/varint"
+)
+
+// ProbeEncoded reports whether bit i is set in an encoded vector
+// without decoding it. The status database keeps vectors in their
+// encoded (optimized) form — that is where the paper's memory saving
+// comes from — so the Unspent Validation hot path probes the encoding
+// directly: a bit test for dense vectors, a binary search over the
+// 16-bit index array for sparse ones.
+func ProbeEncoded(enc []byte, i int) (bool, error) {
+	if len(enc) == 0 {
+		return false, fmt.Errorf("bitvec: empty encoding")
+	}
+	flag, rest := enc[0], enc[1:]
+	n, used := varint.Uvarint(rest)
+	if used <= 0 || n > MaxLen {
+		return false, fmt.Errorf("bitvec: bad length varint")
+	}
+	if i < 0 || uint64(i) >= n {
+		return false, fmt.Errorf("bitvec: probe index %d out of range %d", i, n)
+	}
+	rest = rest[used:]
+	switch flag {
+	case flagDense:
+		if i/8 >= len(rest) {
+			return false, fmt.Errorf("bitvec: truncated dense body")
+		}
+		return rest[i/8]&(1<<uint(i%8)) != 0, nil
+	case flagSparse:
+		k, used := varint.Uvarint(rest)
+		if used <= 0 {
+			return false, fmt.Errorf("bitvec: bad count varint")
+		}
+		rest = rest[used:]
+		if len(rest) < 2*int(k) {
+			return false, fmt.Errorf("bitvec: truncated sparse body")
+		}
+		target := uint16(i)
+		lo := sort.Search(int(k), func(j int) bool {
+			return binary.LittleEndian.Uint16(rest[2*j:]) >= target
+		})
+		return lo < int(k) && binary.LittleEndian.Uint16(rest[2*lo:]) == target, nil
+	default:
+		return false, fmt.Errorf("bitvec: unknown flag 0x%02x", flag)
+	}
+}
+
+// EncodedLen returns the bit length declared by an encoded vector.
+func EncodedLen(enc []byte) (int, error) {
+	if len(enc) == 0 {
+		return 0, fmt.Errorf("bitvec: empty encoding")
+	}
+	n, used := varint.Uvarint(enc[1:])
+	if used <= 0 || n > MaxLen {
+		return 0, fmt.Errorf("bitvec: bad length varint")
+	}
+	return int(n), nil
+}

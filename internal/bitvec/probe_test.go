@@ -1,0 +1,100 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestProbeEncodedMatchesGet(t *testing.T) {
+	f := func(raw []byte, nSeed uint16, dense bool) bool {
+		n := int(nSeed)%3000 + 1
+		v := New(n)
+		for _, b := range raw {
+			v.Set((int(b) * 13) % n)
+		}
+		enc := v.Encode()
+		if dense {
+			enc = v.EncodeDense()
+		}
+		for i := 0; i < n; i += 1 + n/50 {
+			got, err := ProbeEncoded(enc, i)
+			if err != nil || got != v.Get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeEncodedSparsePath(t *testing.T) {
+	v := New(5000)
+	for _, i := range []int{0, 17, 2500, 4999} {
+		v.Set(i)
+	}
+	enc := v.Encode()
+	if enc[0] != flagSparse {
+		t.Fatal("expected sparse encoding")
+	}
+	for _, i := range []int{0, 17, 2500, 4999} {
+		if ok, err := ProbeEncoded(enc, i); err != nil || !ok {
+			t.Fatalf("bit %d: %v %v", i, ok, err)
+		}
+	}
+	for _, i := range []int{1, 16, 18, 4998} {
+		if ok, err := ProbeEncoded(enc, i); err != nil || ok {
+			t.Fatalf("bit %d must be clear: %v %v", i, ok, err)
+		}
+	}
+}
+
+func TestProbeEncodedErrors(t *testing.T) {
+	v := NewAllSet(100)
+	enc := v.Encode()
+	if _, err := ProbeEncoded(enc, 100); err == nil {
+		t.Fatal("out-of-range probe must fail")
+	}
+	if _, err := ProbeEncoded(enc, -1); err == nil {
+		t.Fatal("negative probe must fail")
+	}
+	if _, err := ProbeEncoded(nil, 0); err == nil {
+		t.Fatal("empty encoding must fail")
+	}
+	if _, err := ProbeEncoded([]byte{9, 5}, 0); err == nil {
+		t.Fatal("unknown flag must fail")
+	}
+}
+
+func TestEncodedLen(t *testing.T) {
+	v := NewAllSet(1234)
+	n, err := EncodedLen(v.Encode())
+	if err != nil || n != 1234 {
+		t.Fatalf("EncodedLen=%d,%v", n, err)
+	}
+	if _, err := EncodedLen(nil); err == nil {
+		t.Fatal("empty must fail")
+	}
+}
+
+func BenchmarkProbeEncodedDense(b *testing.B) {
+	v := NewAllSet(4096)
+	enc := v.EncodeDense()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ProbeEncoded(enc, i%4096)
+	}
+}
+
+func BenchmarkProbeEncodedSparse(b *testing.B) {
+	v := New(4096)
+	for i := 0; i < 40; i++ {
+		v.Set(i * 100)
+	}
+	enc := v.Encode()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ProbeEncoded(enc, i%4096)
+	}
+}

@@ -1,0 +1,49 @@
+package blockmodel
+
+import (
+	"testing"
+
+	"ebv/internal/hashx"
+	"ebv/internal/txmodel"
+)
+
+// Block decoders must be total over arbitrary bytes.
+
+func FuzzDecodeClassicBlock(f *testing.F) {
+	cb := classicCoinbase(1)
+	blk, _ := AssembleClassic(hashx.ZeroHash, 0, 0, []*txmodel.Tx{cb})
+	if blk != nil {
+		blk.Header.Height = 0
+		f.Add(blk.Encode(nil))
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		blk, err := DecodeClassicBlock(data)
+		if err != nil {
+			return
+		}
+		// Decoded blocks re-encode to the same bytes.
+		re := blk.Encode(nil)
+		if len(re) != len(data) {
+			t.Fatalf("re-encode length %d != %d", len(re), len(data))
+		}
+	})
+}
+
+func FuzzDecodeEBVBlock(f *testing.F) {
+	blk, _ := AssembleEBV(hashx.ZeroHash, 0, 0, []*txmodel.EBVTx{ebvCoinbase(0)})
+	if blk != nil {
+		f.Add(blk.Encode(nil))
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		blk, err := DecodeEBVBlock(data)
+		if err != nil {
+			return
+		}
+		re := blk.Encode(nil)
+		if len(re) != len(data) {
+			t.Fatalf("re-encode length %d != %d", len(re), len(data))
+		}
+	})
+}

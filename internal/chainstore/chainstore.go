@@ -1,0 +1,222 @@
+// Package chainstore provides flat-file block storage with an
+// in-memory header index, the ledger layer under both node types.
+//
+// Blocks are appended to blocks.dat; a parallel index.dat records each
+// block's header, offset, and length so reopening a store needs no
+// scan. Headers stay in memory — both the baseline and the EBV node
+// keep all headers resident (EBV's Existence Validation does a header
+// lookup per input, paper §IV-D1).
+package chainstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"ebv/internal/blockmodel"
+	"ebv/internal/hashx"
+)
+
+// ErrUnknownHeight is returned for heights not in the store.
+var ErrUnknownHeight = errors.New("chainstore: unknown height")
+
+// indexRecordSize: header (96 bytes) + offset (8) + length (8).
+const indexRecordSize = 96 + 16
+
+// Store is an append-only chain of blocks. Safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	data    *os.File
+	index   *os.File
+	headers []blockmodel.Header
+	offsets []int64
+	lengths []int64
+	dataEnd int64
+}
+
+// Open creates or reopens a store in dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("chainstore: %w", err)
+	}
+	data, err := os.OpenFile(filepath.Join(dir, "blocks.dat"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("chainstore: %w", err)
+	}
+	index, err := os.OpenFile(filepath.Join(dir, "index.dat"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		data.Close()
+		return nil, fmt.Errorf("chainstore: %w", err)
+	}
+	s := &Store{data: data, index: index}
+	if err := s.loadIndex(); err != nil {
+		data.Close()
+		index.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) loadIndex() error {
+	st, err := s.index.Stat()
+	if err != nil {
+		return fmt.Errorf("chainstore: %w", err)
+	}
+	n := st.Size() / indexRecordSize
+	if st.Size()%indexRecordSize != 0 {
+		return fmt.Errorf("chainstore: index size %d not a record multiple", st.Size())
+	}
+	buf := make([]byte, indexRecordSize)
+	for i := int64(0); i < n; i++ {
+		if _, err := s.index.ReadAt(buf, i*indexRecordSize); err != nil {
+			return fmt.Errorf("chainstore: read index %d: %w", i, err)
+		}
+		h, err := blockmodel.DecodeHeader(buf[:96])
+		if err != nil {
+			return fmt.Errorf("chainstore: index %d: %w", i, err)
+		}
+		if h.Height != uint64(i) {
+			return fmt.Errorf("chainstore: index %d holds height %d", i, h.Height)
+		}
+		s.headers = append(s.headers, h)
+		s.offsets = append(s.offsets, int64(binary.LittleEndian.Uint64(buf[96:])))
+		s.lengths = append(s.lengths, int64(binary.LittleEndian.Uint64(buf[104:])))
+	}
+	if n > 0 {
+		s.dataEnd = s.offsets[n-1] + s.lengths[n-1]
+	}
+	return nil
+}
+
+// Append stores a block's serialized bytes under the next height. The
+// header's height must equal Count().
+func (s *Store) Append(header blockmodel.Header, blockBytes []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if header.Height != uint64(len(s.headers)) {
+		return fmt.Errorf("chainstore: append height %d, want %d", header.Height, len(s.headers))
+	}
+	if len(s.headers) > 0 {
+		prev := s.headers[len(s.headers)-1]
+		if header.PrevBlock != prev.Hash() {
+			return fmt.Errorf("chainstore: block %d does not link to tip", header.Height)
+		}
+	}
+	off := s.dataEnd
+	if _, err := s.data.WriteAt(blockBytes, off); err != nil {
+		return fmt.Errorf("chainstore: %w", err)
+	}
+	var rec [indexRecordSize]byte
+	header.Encode(rec[:0])
+	binary.LittleEndian.PutUint64(rec[96:], uint64(off))
+	binary.LittleEndian.PutUint64(rec[104:], uint64(len(blockBytes)))
+	if _, err := s.index.WriteAt(rec[:], int64(len(s.headers))*indexRecordSize); err != nil {
+		return fmt.Errorf("chainstore: %w", err)
+	}
+	s.headers = append(s.headers, header)
+	s.offsets = append(s.offsets, off)
+	s.lengths = append(s.lengths, int64(len(blockBytes)))
+	s.dataEnd = off + int64(len(blockBytes))
+	return nil
+}
+
+// BlockBytes returns the serialized block at height.
+func (s *Store) BlockBytes(height uint64) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if height >= uint64(len(s.headers)) {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownHeight, height)
+	}
+	buf := make([]byte, s.lengths[height])
+	if _, err := s.data.ReadAt(buf, s.offsets[height]); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("chainstore: %w", err)
+	}
+	return buf, nil
+}
+
+// Header returns the header at height.
+func (s *Store) Header(height uint64) (blockmodel.Header, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if height >= uint64(len(s.headers)) {
+		return blockmodel.Header{}, false
+	}
+	return s.headers[height], true
+}
+
+// TipHeight returns the height of the last block; ok is false when the
+// store is empty.
+func (s *Store) TipHeight() (uint64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.headers) == 0 {
+		return 0, false
+	}
+	return uint64(len(s.headers) - 1), true
+}
+
+// TipHash returns the hash of the last block's header (zero hash for
+// an empty store — the genesis prev).
+func (s *Store) TipHash() hashx.Hash {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.headers) == 0 {
+		return hashx.ZeroHash
+	}
+	return s.headers[len(s.headers)-1].Hash()
+}
+
+// Count returns the number of stored blocks.
+func (s *Store) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.headers)
+}
+
+// HeaderMemUsage approximates the resident size of the header index.
+func (s *Store) HeaderMemUsage() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return int64(len(s.headers)) * indexRecordSize
+}
+
+// Close releases the underlying files.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err1 := s.data.Close()
+	err2 := s.index.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Truncate drops blocks so that count blocks remain (reorg support).
+// The data file keeps any orphaned bytes; they are overwritten by the
+// next Append.
+func (s *Store) Truncate(count int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if count < 0 || count > len(s.headers) {
+		return fmt.Errorf("chainstore: truncate to %d of %d", count, len(s.headers))
+	}
+	if count == len(s.headers) {
+		return nil
+	}
+	if err := s.index.Truncate(int64(count) * indexRecordSize); err != nil {
+		return fmt.Errorf("chainstore: %w", err)
+	}
+	s.headers = s.headers[:count]
+	s.offsets = s.offsets[:count]
+	s.lengths = s.lengths[:count]
+	s.dataEnd = 0
+	if count > 0 {
+		s.dataEnd = s.offsets[count-1] + s.lengths[count-1]
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package chainstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"ebv/internal/blockmodel"
+	"ebv/internal/hashx"
+)
+
+func makeChain(t *testing.T, s *Store, n int) [][]byte {
+	t.Helper()
+	var blocks [][]byte
+	prev := hashx.ZeroHash
+	for i := 0; i < n; i++ {
+		h := blockmodel.Header{
+			Version: 1, Height: uint64(i), PrevBlock: prev,
+			MerkleRoot: hashx.Sum([]byte(fmt.Sprintf("root-%d", i))),
+			TimeStamp:  uint64(1000 + i),
+		}
+		body := bytes.Repeat([]byte{byte(i)}, 10+i)
+		if err := s.Append(h, body); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		blocks = append(blocks, body)
+		prev = h.Hash()
+	}
+	return blocks
+}
+
+func TestAppendAndRead(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	blocks := makeChain(t, s, 10)
+	for i, want := range blocks {
+		got, err := s.BlockBytes(uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("block %d mismatch", i)
+		}
+	}
+	if s.Count() != 10 {
+		t.Fatalf("Count=%d", s.Count())
+	}
+	tip, ok := s.TipHeight()
+	if !ok || tip != 9 {
+		t.Fatalf("TipHeight=%d,%v", tip, ok)
+	}
+	h, ok := s.Header(5)
+	if !ok || h.Height != 5 {
+		t.Fatalf("Header(5)=%+v,%v", h, ok)
+	}
+	if _, err := s.BlockBytes(10); !errors.Is(err, ErrUnknownHeight) {
+		t.Fatalf("out of range: %v", err)
+	}
+	if _, ok := s.Header(10); ok {
+		t.Fatal("header out of range must be absent")
+	}
+}
+
+func TestAppendRejectsBadLink(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	makeChain(t, s, 3)
+	// Wrong height.
+	h := blockmodel.Header{Height: 5, PrevBlock: s.TipHash()}
+	if err := s.Append(h, []byte("x")); err == nil {
+		t.Fatal("wrong height must fail")
+	}
+	// Wrong prev hash.
+	h = blockmodel.Header{Height: 3, PrevBlock: hashx.Sum([]byte("bogus"))}
+	if err := s.Append(h, []byte("x")); err == nil {
+		t.Fatal("bad link must fail")
+	}
+}
+
+func TestReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := makeChain(t, s, 20)
+	tipHash := s.TipHash()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Count() != 20 {
+		t.Fatalf("reopened Count=%d", s2.Count())
+	}
+	if s2.TipHash() != tipHash {
+		t.Fatal("tip hash lost")
+	}
+	got, err := s2.BlockBytes(13)
+	if err != nil || !bytes.Equal(got, blocks[13]) {
+		t.Fatalf("block 13 lost: %v", err)
+	}
+	// Appending continues from the right height.
+	h := blockmodel.Header{Height: 20, PrevBlock: tipHash, Version: 1}
+	if err := s2.Append(h, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, ok := s.TipHeight(); ok {
+		t.Fatal("empty store must have no tip")
+	}
+	if s.TipHash() != hashx.ZeroHash {
+		t.Fatal("empty tip hash must be zero (genesis prev)")
+	}
+	if s.HeaderMemUsage() != 0 {
+		t.Fatal("empty store must report zero header memory")
+	}
+}
+
+func BenchmarkHeaderLookup(b *testing.B) {
+	s, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	prev := hashx.ZeroHash
+	for i := 0; i < 1000; i++ {
+		h := blockmodel.Header{Height: uint64(i), PrevBlock: prev}
+		s.Append(h, []byte("b"))
+		prev = h.Hash()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Header(uint64(i % 1000))
+	}
+}
+
+func TestOpenRejectsCorruptIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	makeChain(t, s, 5)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Index not a record multiple.
+	idx := dir + "/index.dat"
+	st, err := os.Stat(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(idx, st.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("corrupt index size must fail open")
+	}
+}
+
+func TestOpenRejectsIndexHeightMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	makeChain(t, s, 3)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite record 1's height field (little-endian at offset
+	// recordSize*1 + 4).
+	f, err := os.OpenFile(dir+"/index.dat", os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{9}, indexRecordSize+4); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Open(dir); err == nil {
+		t.Fatal("height mismatch must fail open")
+	}
+}

@@ -1,0 +1,703 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"ebv/internal/merkle"
+
+	"ebv/internal/blockmodel"
+	"ebv/internal/chainstore"
+	"ebv/internal/kvstore"
+	"ebv/internal/proof"
+	"ebv/internal/script"
+	"ebv/internal/statusdb"
+	"ebv/internal/txmodel"
+	"ebv/internal/utxoset"
+	"ebv/internal/workload"
+)
+
+// fixture builds a full dual-chain environment: a generated classic
+// chain, its EBV reconstruction, and both validators with their state
+// stores, having connected everything except the last block of each
+// chain — which tests then mutate or connect.
+type fixture struct {
+	gen       *workload.Generator
+	classic   []*blockmodel.ClassicBlock
+	ebv       []*blockmodel.EBVBlock
+	btcChain  *chainstore.Store
+	ebvChain  *chainstore.Store
+	btcVal    *BitcoinValidator
+	ebvVal    *EBVValidator
+	utxo      *utxoset.Set
+	status    *statusdb.DB
+	lastBtc   *blockmodel.ClassicBlock
+	lastEBV   *blockmodel.EBVBlock
+	btcEngine *script.Engine
+}
+
+func newFixture(t *testing.T, blocks int) *fixture {
+	t.Helper()
+	f := &fixture{}
+	f.gen = workload.NewGenerator(workload.TestParams(blocks))
+	im, err := proof.NewIntermediary(t.TempDir(), f.gen.Resign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { im.Close() })
+	for !f.gen.Done() {
+		cb, err := f.gen.NextBlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb, err := im.ProcessBlock(cb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.classic = append(f.classic, cb)
+		f.ebv = append(f.ebv, eb)
+	}
+
+	db, err := kvstore.Open(t.TempDir(), kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	f.utxo, err = utxoset.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.btcChain, err = chainstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.btcChain.Close() })
+	f.ebvChain, err = chainstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.ebvChain.Close() })
+
+	f.btcEngine = script.NewEngine(f.gen.Scheme())
+	f.btcVal = NewBitcoinValidator(f.utxo, f.btcEngine, f.btcChain)
+	f.status = statusdb.New(true)
+	f.ebvVal = NewEBVValidator(f.status, script.NewEngine(f.gen.Scheme()), f.ebvChain)
+
+	for i := 0; i < blocks-1; i++ {
+		if _, err := f.btcVal.ConnectBlock(f.classic[i]); err != nil {
+			t.Fatalf("baseline connect %d: %v", i, err)
+		}
+		if err := f.btcChain.Append(f.classic[i].Header, f.classic[i].Encode(nil)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.ebvVal.ConnectBlock(f.ebv[i]); err != nil {
+			t.Fatalf("EBV connect %d: %v", i, err)
+		}
+		if err := f.ebvChain.Append(f.ebv[i].Header, f.ebv[i].Encode(nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.lastBtc = f.classic[blocks-1]
+	f.lastEBV = f.ebv[blocks-1]
+	return f
+}
+
+// reencode deep-copies an EBV block through its serialization so tests
+// can mutate it without corrupting the fixture.
+func reencode(t *testing.T, b *blockmodel.EBVBlock) *blockmodel.EBVBlock {
+	t.Helper()
+	cp, err := blockmodel.DecodeEBVBlock(b.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+func reencodeClassic(t *testing.T, b *blockmodel.ClassicBlock) *blockmodel.ClassicBlock {
+	t.Helper()
+	cp, err := blockmodel.DecodeClassicBlock(b.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+func TestBothValidatorsAgreeOnFullChain(t *testing.T) {
+	f := newFixture(t, 160)
+	bdB, err := f.btcVal.ConnectBlock(f.lastBtc)
+	if err != nil {
+		t.Fatalf("baseline last block: %v", err)
+	}
+	bdE, err := f.ebvVal.ConnectBlock(f.lastEBV)
+	if err != nil {
+		t.Fatalf("EBV last block: %v", err)
+	}
+	// Same logical history → identical input/output/tx counts.
+	if bdB.Inputs != bdE.Inputs || bdB.Outputs != bdE.Outputs || bdB.Txs != bdE.Txs {
+		t.Fatalf("breakdown shape mismatch: %+v vs %+v", bdB, bdE)
+	}
+	// Final state agreement: UTXO count == unspent bit count ==
+	// generator ground truth.
+	if f.utxo.Count() != f.status.UnspentCount() {
+		t.Fatalf("UTXO count %d != unspent bits %d", f.utxo.Count(), f.status.UnspentCount())
+	}
+	if int(f.utxo.Count()) != f.gen.UTXOCount() {
+		t.Fatalf("UTXO count %d != generator %d", f.utxo.Count(), f.gen.UTXOCount())
+	}
+	// Phase accounting sanity.
+	if bdB.DBO <= 0 || bdB.SV <= 0 {
+		t.Fatalf("baseline breakdown: %+v", bdB)
+	}
+	if bdE.EV <= 0 || bdE.UV <= 0 || bdE.SV <= 0 || bdE.DBO != 0 {
+		t.Fatalf("EBV breakdown: %+v", bdE)
+	}
+}
+
+func TestEBVMemoryFarSmaller(t *testing.T) {
+	f := newFixture(t, 200)
+	if _, err := f.btcVal.ConnectBlock(f.lastBtc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ebvVal.ConnectBlock(f.lastEBV); err != nil {
+		t.Fatal(err)
+	}
+	utxoBytes := f.utxo.SizeBytes()
+	bitvecBytes := f.status.MemUsage()
+	// At toy scale the fixed per-vector overhead keeps the ratio well
+	// below the paper's 93%; full-scale runs (EXPERIMENTS.md) show it.
+	if bitvecBytes*3 > utxoBytes {
+		t.Fatalf("bit-vector set %d must be far below UTXO set %d", bitvecBytes, utxoBytes)
+	}
+}
+
+// --- adversarial: EBV ---
+
+func TestEBVRejectsDoubleSpend(t *testing.T) {
+	f := newFixture(t, 150)
+	blk := reencode(t, f.lastEBV)
+	// Find a tx with a body and duplicate its spend into another tx.
+	var donor *txmodel.InputBody
+	for _, tx := range blk.Txs {
+		if len(tx.Bodies) > 0 {
+			donor = &tx.Bodies[0]
+			break
+		}
+	}
+	if donor == nil {
+		t.Skip("no spends in last block")
+	}
+	for _, tx := range blk.Txs[1:] {
+		if len(tx.Bodies) > 0 && &tx.Bodies[0] != donor {
+			tx.Bodies[0] = *donor
+			tx.SealInputHashes()
+		}
+	}
+	rebuild(t, blk)
+	_, err := f.ebvVal.ConnectBlock(blk)
+	if !errors.Is(err, ErrDuplicateSpend) && !errors.Is(err, ErrScriptFailed) {
+		t.Fatalf("want duplicate-spend (or script failure from mismatched sig), got %v", err)
+	}
+}
+
+func TestEBVRejectsSpendingSpentOutput(t *testing.T) {
+	f := newFixture(t, 150)
+	// Re-connecting an older block re-spends outputs the chain already
+	// consumed. Take block N-2's spends and graft one onto the last
+	// block.
+	older := f.ebv[len(f.ebv)-2]
+	var spent *txmodel.InputBody
+	for _, tx := range older.Txs {
+		if len(tx.Bodies) > 0 {
+			spent = &tx.Bodies[0]
+			break
+		}
+	}
+	if spent == nil {
+		t.Skip("no spends in donor block")
+	}
+	blk := reencode(t, f.lastEBV)
+	for _, tx := range blk.Txs {
+		if len(tx.Bodies) > 0 {
+			tx.Bodies[0] = *spent
+			tx.SealInputHashes()
+			break
+		}
+	}
+	rebuild(t, blk)
+	_, err := f.ebvVal.ConnectBlock(blk)
+	if !errors.Is(err, ErrSpentOutput) && !errors.Is(err, ErrScriptFailed) {
+		t.Fatalf("want spent-output, got %v", err)
+	}
+}
+
+func TestEBVRejectsFakePosition(t *testing.T) {
+	f := newFixture(t, 150)
+	blk := reencode(t, f.lastEBV)
+	mutated := false
+	for _, tx := range blk.Txs {
+		if len(tx.Bodies) > 0 {
+			// The attacker claims a different stake position to probe
+			// another output's bit. The tampered ELs no longer hashes
+			// to the Merkle leaf, so EV must fail.
+			tx.Bodies[0].PrevTx.StakePos += 3
+			tx.SealInputHashes()
+			mutated = true
+			break
+		}
+	}
+	if !mutated {
+		t.Skip("no spends in last block")
+	}
+	rebuild(t, blk)
+	_, err := f.ebvVal.ConnectBlock(blk)
+	if !errors.Is(err, ErrMissingOutput) {
+		t.Fatalf("fake stake position must fail EV, got %v", err)
+	}
+}
+
+func TestEBVRejectsTamperedBranch(t *testing.T) {
+	f := newFixture(t, 150)
+	blk := reencode(t, f.lastEBV)
+	mutated := false
+	for _, tx := range blk.Txs {
+		if len(tx.Bodies) > 0 && len(tx.Bodies[0].Branch.Siblings) > 0 {
+			tx.Bodies[0].Branch.Siblings[0][0] ^= 1
+			tx.SealInputHashes()
+			mutated = true
+			break
+		}
+	}
+	if !mutated {
+		t.Skip("no usable spends in last block")
+	}
+	rebuild(t, blk)
+	_, err := f.ebvVal.ConnectBlock(blk)
+	if !errors.Is(err, ErrMissingOutput) {
+		t.Fatalf("tampered branch must fail EV, got %v", err)
+	}
+}
+
+func TestEBVRejectsBodyHashMismatch(t *testing.T) {
+	f := newFixture(t, 150)
+	blk := reencode(t, f.lastEBV)
+	mutated := false
+	for _, tx := range blk.Txs {
+		if len(tx.Bodies) > 0 {
+			tx.Bodies[0].Height++ // bodies no longer match committed hashes
+			mutated = true
+			break
+		}
+	}
+	if !mutated {
+		t.Skip("no spends in last block")
+	}
+	_, err := f.ebvVal.ConnectBlock(blk)
+	if !errors.Is(err, ErrBadProof) {
+		t.Fatalf("body/hash mismatch must fail, got %v", err)
+	}
+}
+
+func TestEBVRejectsBadSignature(t *testing.T) {
+	f := newFixture(t, 150)
+	blk := reencode(t, f.lastEBV)
+	mutated := false
+	for _, tx := range blk.Txs {
+		if len(tx.Bodies) > 0 {
+			us := tx.Bodies[0].UnlockScript
+			if len(us) > 10 {
+				us[5] ^= 0x01
+				tx.SealInputHashes()
+				mutated = true
+			}
+			break
+		}
+	}
+	if !mutated {
+		t.Skip("no spends in last block")
+	}
+	rebuild(t, blk)
+	_, err := f.ebvVal.ConnectBlock(blk)
+	if !errors.Is(err, ErrScriptFailed) {
+		t.Fatalf("bad signature must fail SV, got %v", err)
+	}
+}
+
+func TestEBVRejectsWrongStakePositions(t *testing.T) {
+	f := newFixture(t, 150)
+	blk := reencode(t, f.lastEBV)
+	if len(blk.Txs) < 2 {
+		t.Skip("single-tx block")
+	}
+	blk.Txs[1].Tidy.StakePos += 2
+	// Refresh only the root: AssembleEBV would reassign the stake
+	// positions and undo the mutation.
+	blk.Header.MerkleRoot = merkle.Root(blk.TxLeaves())
+	_, err := f.ebvVal.ConnectBlock(blk)
+	if !errors.Is(err, ErrBadStakePos) {
+		t.Fatalf("wrong stake position must fail, got %v", err)
+	}
+}
+
+func TestEBVRejectsWrongMerkleRoot(t *testing.T) {
+	f := newFixture(t, 150)
+	blk := reencode(t, f.lastEBV)
+	blk.Header.MerkleRoot[0] ^= 1
+	_, err := f.ebvVal.ConnectBlock(blk)
+	if !errors.Is(err, ErrBadMerkleRoot) {
+		t.Fatalf("want merkle-root error, got %v", err)
+	}
+}
+
+func TestEBVRejectsBadLink(t *testing.T) {
+	f := newFixture(t, 150)
+	blk := reencode(t, f.lastEBV)
+	blk.Header.PrevBlock[0] ^= 1
+	if _, err := f.ebvVal.ConnectBlock(blk); !errors.Is(err, ErrBadLink) {
+		t.Fatalf("want bad-link, got %v", err)
+	}
+	blk2 := reencode(t, f.lastEBV)
+	blk2.Header.Height += 5
+	if _, err := f.ebvVal.ConnectBlock(blk2); !errors.Is(err, ErrBadLink) {
+		t.Fatalf("want bad-link on height skip, got %v", err)
+	}
+}
+
+func TestEBVRejectsInflatedCoinbase(t *testing.T) {
+	f := newFixture(t, 150)
+	blk := reencode(t, f.lastEBV)
+	blk.Txs[0].Tidy.Outputs[0].Value += 1
+	rebuild(t, blk)
+	_, err := f.ebvVal.ConnectBlock(blk)
+	if !errors.Is(err, ErrBadSubsidy) {
+		t.Fatalf("inflated coinbase must fail, got %v", err)
+	}
+}
+
+func TestEBVValidateTx(t *testing.T) {
+	f := newFixture(t, 150)
+	var candidate *txmodel.EBVTx
+	for _, tx := range f.lastEBV.Txs[1:] {
+		if len(tx.Bodies) > 0 {
+			candidate = tx
+			break
+		}
+	}
+	if candidate == nil {
+		t.Skip("no spends in last block")
+	}
+	if err := f.ebvVal.ValidateTx(candidate); err != nil {
+		t.Fatalf("valid tx rejected: %v", err)
+	}
+	// State must be unchanged: validating again succeeds.
+	if err := f.ebvVal.ValidateTx(candidate); err != nil {
+		t.Fatalf("ValidateTx mutated state: %v", err)
+	}
+	// Coinbase is not admissible standalone.
+	if err := f.ebvVal.ValidateTx(f.lastEBV.Txs[0]); err == nil {
+		t.Fatal("standalone coinbase must fail")
+	}
+}
+
+// rebuild recomputes a mutated block's stake positions are preserved
+// but the merkle root refreshed so structural checks pass and the
+// deeper check under test is reached.
+func rebuild(t *testing.T, blk *blockmodel.EBVBlock) {
+	t.Helper()
+	rebuilt, err := blockmodel.AssembleEBV(blk.Header.PrevBlock, blk.Header.Height, blk.Header.TimeStamp, blk.Txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk.Header = rebuilt.Header
+}
+
+// --- adversarial: baseline ---
+
+func TestBitcoinRejectsMissingOutput(t *testing.T) {
+	f := newFixture(t, 150)
+	blk := reencodeClassic(t, f.lastBtc)
+	mutated := false
+	for _, tx := range blk.Txs[1:] {
+		if len(tx.Inputs) > 0 {
+			tx.Inputs[0].PrevOut.TxID[0] ^= 1
+			mutated = true
+			break
+		}
+	}
+	if !mutated {
+		t.Skip("no spends")
+	}
+	rebuildClassic(t, blk)
+	_, err := f.btcVal.ConnectBlock(blk)
+	if !errors.Is(err, ErrMissingOutput) {
+		t.Fatalf("want missing-output, got %v", err)
+	}
+}
+
+func TestBitcoinRejectsDoubleSpendInBlock(t *testing.T) {
+	f := newFixture(t, 150)
+	blk := reencodeClassic(t, f.lastBtc)
+	var donor txmodel.OutPoint
+	found := false
+	for _, tx := range blk.Txs[1:] {
+		for _, in := range tx.Inputs {
+			if !found {
+				donor = in.PrevOut
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Skip("no spends")
+	}
+	grafts := 0
+	for _, tx := range blk.Txs[1:] {
+		for i := range tx.Inputs {
+			if tx.Inputs[i].PrevOut != donor {
+				tx.Inputs[i].PrevOut = donor
+				grafts++
+				break
+			}
+		}
+		if grafts > 0 {
+			break
+		}
+	}
+	if grafts == 0 {
+		t.Skip("could not graft duplicate")
+	}
+	rebuildClassic(t, blk)
+	_, err := f.btcVal.ConnectBlock(blk)
+	if !errors.Is(err, ErrDuplicateSpend) && !errors.Is(err, ErrScriptFailed) {
+		t.Fatalf("want duplicate-spend, got %v", err)
+	}
+}
+
+func TestBitcoinRejectsBadSignature(t *testing.T) {
+	f := newFixture(t, 150)
+	blk := reencodeClassic(t, f.lastBtc)
+	mutated := false
+	for _, tx := range blk.Txs[1:] {
+		if len(tx.Inputs) > 0 && len(tx.Inputs[0].UnlockScript) > 10 {
+			tx.Inputs[0].UnlockScript[5] ^= 1
+			mutated = true
+			break
+		}
+	}
+	if !mutated {
+		t.Skip("no spends")
+	}
+	rebuildClassic(t, blk)
+	_, err := f.btcVal.ConnectBlock(blk)
+	if !errors.Is(err, ErrScriptFailed) {
+		t.Fatalf("want script failure, got %v", err)
+	}
+}
+
+func TestBitcoinRejectsWrongMerkleRoot(t *testing.T) {
+	f := newFixture(t, 150)
+	blk := reencodeClassic(t, f.lastBtc)
+	blk.Header.MerkleRoot[0] ^= 1
+	if _, err := f.btcVal.ConnectBlock(blk); !errors.Is(err, ErrBadMerkleRoot) {
+		t.Fatalf("want merkle-root error, got %v", err)
+	}
+}
+
+func TestBitcoinRejectsInflatedCoinbase(t *testing.T) {
+	f := newFixture(t, 150)
+	blk := reencodeClassic(t, f.lastBtc)
+	blk.Txs[0].Outputs[0].Value += 1
+	rebuildClassic(t, blk)
+	_, err := f.btcVal.ConnectBlock(blk)
+	if !errors.Is(err, ErrBadSubsidy) {
+		t.Fatalf("inflated coinbase must fail, got %v", err)
+	}
+}
+
+func TestFailedConnectLeavesStateClean(t *testing.T) {
+	f := newFixture(t, 150)
+	countBefore := f.utxo.Count()
+	unspentBefore := f.status.UnspentCount()
+
+	bad := reencodeClassic(t, f.lastBtc)
+	bad.Txs[0].Outputs[0].Value += 1
+	rebuildClassic(t, bad)
+	if _, err := f.btcVal.ConnectBlock(bad); err == nil {
+		t.Fatal("bad block accepted")
+	}
+	badE := reencode(t, f.lastEBV)
+	badE.Txs[0].Tidy.Outputs[0].Value += 1
+	rebuild(t, badE)
+	if _, err := f.ebvVal.ConnectBlock(badE); err == nil {
+		t.Fatal("bad EBV block accepted")
+	}
+
+	if f.utxo.Count() != countBefore || f.status.UnspentCount() != unspentBefore {
+		t.Fatal("failed connects must not change state")
+	}
+	// The honest blocks still connect.
+	if _, err := f.btcVal.ConnectBlock(f.lastBtc); err != nil {
+		t.Fatalf("honest block after failure: %v", err)
+	}
+	if _, err := f.ebvVal.ConnectBlock(f.lastEBV); err != nil {
+		t.Fatalf("honest EBV block after failure: %v", err)
+	}
+}
+
+func rebuildClassic(t *testing.T, blk *blockmodel.ClassicBlock) {
+	t.Helper()
+	rebuilt, err := blockmodel.AssembleClassic(blk.Header.PrevBlock, blk.Header.Height, blk.Header.TimeStamp, blk.Txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk.Header = rebuilt.Header
+}
+
+// parallelFixture syncs a second, parallel-SV validator with its own
+// chain store over the fixture's blocks (all but the last).
+func parallelFixture(t *testing.T, f *fixture, workers int) (*EBVValidator, *statusdb.DB) {
+	t.Helper()
+	chain2, err := chainstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { chain2.Close() })
+	status2 := statusdb.New(true)
+	par := NewEBVValidator(status2, script.NewEngine(f.gen.Scheme()), chain2, WithParallelSV(workers))
+	for i := 0; i < len(f.ebv)-1; i++ {
+		if _, err := par.ConnectBlock(f.ebv[i]); err != nil {
+			t.Fatalf("parallel connect %d: %v", i, err)
+		}
+		if err := chain2.Append(f.ebv[i].Header, f.ebv[i].Encode(nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return par, status2
+}
+
+func TestParallelSVMatchesSequential(t *testing.T) {
+	f := newFixture(t, 150)
+	par, status2 := parallelFixture(t, f, 4)
+	bdSeq, err := f.ebvVal.ConnectBlock(f.lastEBV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdPar, err := par.ConnectBlock(f.lastEBV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bdSeq.Inputs != bdPar.Inputs {
+		t.Fatalf("input counts differ: %d vs %d", bdSeq.Inputs, bdPar.Inputs)
+	}
+	if f.status.UnspentCount() != status2.UnspentCount() {
+		t.Fatalf("state divergence: %d vs %d", f.status.UnspentCount(), status2.UnspentCount())
+	}
+	if bdPar.SV == 0 {
+		t.Fatal("parallel SV time must be recorded")
+	}
+}
+
+func TestParallelSVRejectsBadSignature(t *testing.T) {
+	f := newFixture(t, 150)
+	par, _ := parallelFixture(t, f, 4)
+	blk := reencode(t, f.lastEBV)
+	mutated := false
+	for _, tx := range blk.Txs {
+		if len(tx.Bodies) > 0 && len(tx.Bodies[0].UnlockScript) > 10 {
+			tx.Bodies[0].UnlockScript[5] ^= 1
+			tx.SealInputHashes()
+			mutated = true
+			break
+		}
+	}
+	if !mutated {
+		t.Skip("no spends in last block")
+	}
+	rebuild(t, blk)
+	if _, err := par.ConnectBlock(blk); !errors.Is(err, ErrScriptFailed) {
+		t.Fatalf("parallel SV must reject bad signature, got %v", err)
+	}
+	// State untouched; honest block still connects.
+	if _, err := par.ConnectBlock(f.lastEBV); err != nil {
+		t.Fatalf("honest block after parallel failure: %v", err)
+	}
+}
+
+func TestEBVDisconnectChecksTip(t *testing.T) {
+	f := newFixture(t, 150)
+	// Not the tip block.
+	if err := f.ebvVal.DisconnectBlock(f.ebv[5]); !errors.Is(err, ErrBadLink) {
+		t.Fatalf("disconnecting a non-tip block: %v", err)
+	}
+	// A block at tip height but with a different identity.
+	forged := reencode(t, f.ebv[len(f.ebv)-2])
+	forged.Header.Nonce++
+	if err := f.ebvVal.DisconnectBlock(forged); !errors.Is(err, ErrBadLink) {
+		t.Fatalf("disconnecting a forged tip: %v", err)
+	}
+}
+
+func TestBitcoinDisconnectChecksTip(t *testing.T) {
+	f := newFixture(t, 150)
+	if err := f.btcVal.DisconnectBlock(f.classic[3], nil); !errors.Is(err, ErrBadLink) {
+		t.Fatalf("disconnecting a non-tip block: %v", err)
+	}
+}
+
+func TestValidateInputErrors(t *testing.T) {
+	f := newFixture(t, 150)
+	var donor *txmodel.InputBody
+	for _, tx := range f.lastEBV.Txs {
+		if len(tx.Bodies) > 0 {
+			donor = &tx.Bodies[0]
+			break
+		}
+	}
+	if donor == nil {
+		t.Skip("no spends")
+	}
+	var bd Breakdown
+	sigHash := f.lastEBV.Txs[1].SigHash()
+
+	// Unknown header height.
+	bad := *donor
+	bad.Height = 999_999
+	if err := f.ebvVal.ValidateInput(&bad, sigHash, &bd); !errors.Is(err, ErrMissingOutput) {
+		t.Fatalf("future height: %v", err)
+	}
+	// Relative index out of range.
+	bad2 := *donor
+	bad2.RelIndex = 60000
+	if err := f.ebvVal.ValidateInput(&bad2, sigHash, &bd); !errors.Is(err, ErrBadProof) && !errors.Is(err, ErrMissingOutput) {
+		t.Fatalf("rel index: %v", err)
+	}
+}
+
+func TestBreakdownAddAndTotal(t *testing.T) {
+	a := Breakdown{DBO: 1, EV: 2, UV: 3, SV: 4, Other: 5, Inputs: 6, Outputs: 7, Txs: 8}
+	b := a
+	a.Add(&b)
+	if a.Total() != 2*(1+2+3+4+5) {
+		t.Fatalf("Total=%d", a.Total())
+	}
+	if a.Inputs != 12 || a.Outputs != 14 || a.Txs != 16 {
+		t.Fatalf("counts: %+v", a)
+	}
+}
+
+func TestEBVRejectsGenesisAtWrongHeight(t *testing.T) {
+	f := newFixture(t, 150)
+	// A fresh validator (empty chain) must only accept height 0.
+	status := statusdb.New(true)
+	chain2, err := chainstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { chain2.Close() })
+	v := NewEBVValidator(status, script.NewEngine(f.gen.Scheme()), chain2)
+	if _, err := v.ConnectBlock(f.ebv[5]); !errors.Is(err, ErrBadLink) {
+		t.Fatalf("non-genesis first block: %v", err)
+	}
+	if _, err := v.ConnectBlock(f.ebv[0]); err != nil {
+		t.Fatalf("genesis: %v", err)
+	}
+}

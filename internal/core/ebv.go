@@ -1,0 +1,424 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ebv/internal/blockmodel"
+	"ebv/internal/hashx"
+	"ebv/internal/merkle"
+	"ebv/internal/script"
+	"ebv/internal/statusdb"
+	"ebv/internal/txmodel"
+)
+
+// EBVValidator validates EBV blocks with the efficient mechanism:
+// header-backed Existence Validation, bit-vector Unspent Validation,
+// and proof-carried Script Validation. Its only state is the header
+// chain and the in-memory bit-vector set — nothing on the validation
+// path touches disk.
+type EBVValidator struct {
+	status         *statusdb.DB
+	engine         *script.Engine
+	headers        HeaderSource
+	parallel       int
+	blockOutputsFn BlockOutputsFunc
+}
+
+// EBVOption configures an EBVValidator.
+type EBVOption func(*EBVValidator)
+
+// WithParallelSV runs Script Validation for a block's inputs on up to
+// workers goroutines. The paper closes by noting that SV dominates
+// EBV's remaining validation time and names its optimization as future
+// work (§VI-D); unlike the baseline — whose hot path serializes on the
+// status database — EBV's SV inputs are mutually independent, so they
+// parallelize trivially. workers <= 1 keeps the sequential path.
+func WithParallelSV(workers int) EBVOption {
+	return func(v *EBVValidator) { v.parallel = workers }
+}
+
+// NewEBVValidator wires the EBV validator to its status database,
+// script engine, and header chain.
+func NewEBVValidator(status *statusdb.DB, engine *script.Engine, headers HeaderSource, opts ...EBVOption) *EBVValidator {
+	v := &EBVValidator{status: status, engine: engine, headers: headers}
+	for _, o := range opts {
+		o(v)
+	}
+	return v
+}
+
+// Status exposes the underlying bit-vector set (memory reporting).
+func (v *EBVValidator) Status() *statusdb.DB { return v.status }
+
+// ValidateInput checks one input body against the chain state: EV via
+// the Merkle branch, UV via the bit vector, SV via the script engine.
+// It is the unit the paper's transaction validation (§IV-D1) builds
+// on; ConnectBlock calls it for every input with shared bookkeeping.
+func (v *EBVValidator) ValidateInput(body *txmodel.InputBody, sigHash hashx.Hash, bd *Breakdown) error {
+	out, err := v.validateInputEVUV(body, bd)
+	if err != nil {
+		return err
+	}
+	w := newStopwatch()
+	// SV: unlocking script against the ELs-carried locking script.
+	if err := v.engine.Execute(body.UnlockScript, out.LockScript, sigHash); err != nil {
+		w.lap(&bd.SV)
+		return fmt.Errorf("%w: %v", ErrScriptFailed, err)
+	}
+	w.lap(&bd.SV)
+	return nil
+}
+
+// validateInputEVUV performs Existence and Unspent Validation for one
+// input and returns the spent output for the Script Validation step.
+func (v *EBVValidator) validateInputEVUV(body *txmodel.InputBody, bd *Breakdown) (*txmodel.TxOut, error) {
+	w := newStopwatch()
+
+	// EV: fold the branch from the ELs leaf and compare against the
+	// stored header of the named height.
+	hdr, ok := v.headers.Header(body.Height)
+	if !ok {
+		w.lap(&bd.EV)
+		return nil, fmt.Errorf("%w: no header at height %d", ErrMissingOutput, body.Height)
+	}
+	leaf := body.PrevTx.LeafHash()
+	if !merkle.Verify(leaf, body.Branch, hdr.MerkleRoot) {
+		w.lap(&bd.EV)
+		return nil, fmt.Errorf("%w: merkle branch does not reach root at height %d", ErrMissingOutput, body.Height)
+	}
+	out, ok := body.SpentOutput()
+	if !ok {
+		w.lap(&bd.EV)
+		return nil, fmt.Errorf("%w: relative index %d out of range", ErrBadProof, body.RelIndex)
+	}
+	w.lap(&bd.EV)
+
+	// UV: probe the bit at the derived absolute position.
+	unspent, err := v.status.IsUnspent(body.Height, body.AbsPosition())
+	if err != nil {
+		w.lap(&bd.UV)
+		return nil, fmt.Errorf("%w: %v", ErrBadProof, err)
+	}
+	if !unspent {
+		w.lap(&bd.UV)
+		return nil, fmt.Errorf("%w: height %d position %d", ErrSpentOutput, body.Height, body.AbsPosition())
+	}
+	w.lap(&bd.UV)
+	return out, nil
+}
+
+// svTask is one deferred script validation.
+type svTask struct {
+	unlock, lock []byte
+	sigHash      hashx.Hash
+	tx, input    int
+}
+
+// runParallelSV executes the deferred script validations on
+// v.parallel workers and returns the first failure (by task order).
+func (v *EBVValidator) runParallelSV(tasks []svTask) error {
+	workers := v.parallel
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+	)
+	firstErr := struct {
+		idx int
+		err error
+	}{idx: len(tasks)}
+	wg.Add(workers)
+	for wkr := 0; wkr < workers; wkr++ {
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				t := &tasks[i]
+				if err := v.engine.Execute(t.unlock, t.lock, t.sigHash); err != nil {
+					mu.Lock()
+					if i < firstErr.idx {
+						firstErr.idx = i
+						firstErr.err = fmt.Errorf("tx %d input %d: %w: %v", t.tx, t.input, ErrScriptFailed, err)
+					}
+					mu.Unlock()
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr.err
+}
+
+// ConnectBlock fully validates b as the next block and applies its
+// effect to the bit-vector set. On failure the set is untouched.
+func (v *EBVValidator) ConnectBlock(b *blockmodel.EBVBlock) (*Breakdown, error) {
+	bd := &Breakdown{Txs: len(b.Txs), Inputs: b.TotalInputs(), Outputs: b.TotalOutputs()}
+	w := newStopwatch()
+
+	if err := v.checkStructure(b); err != nil {
+		w.lap(&bd.Other)
+		return bd, err
+	}
+	w.lap(&bd.Other)
+
+	spends := make([]statusdb.Spend, 0, bd.Inputs)
+	seen := make(map[statusdb.Spend]struct{}, bd.Inputs)
+	var totalFees uint64
+	var deferred []svTask // parallel-SV mode: scripts checked after the scan
+
+	for ti, tx := range b.Txs {
+		if ti == 0 {
+			w.lap(&bd.Other)
+			continue // coinbase checked in structure + subsidy rule
+		}
+		if tx.Tidy.IsCoinbase() {
+			w.lap(&bd.Other)
+			return bd, fmt.Errorf("%w: tx %d", ErrExtraCoinbase, ti)
+		}
+		// Bind the transported bodies to the Merkle-committed tidy tx.
+		if err := tx.Consistent(); err != nil {
+			w.lap(&bd.Other)
+			return bd, fmt.Errorf("%w: tx %d: %v", ErrBadProof, ti, err)
+		}
+		sigHash := tx.SigHash()
+		w.lap(&bd.Other)
+
+		var inSum uint64
+		for bi := range tx.Bodies {
+			body := &tx.Bodies[bi]
+			sp := statusdb.Spend{Height: body.Height, Pos: body.AbsPosition()}
+			if _, dup := seen[sp]; dup {
+				w.lap(&bd.UV)
+				return bd, fmt.Errorf("%w: height %d position %d", ErrDuplicateSpend, sp.Height, sp.Pos)
+			}
+			seen[sp] = struct{}{}
+			w.lap(&bd.UV)
+
+			out, err := v.validateInputEVUV(body, bd)
+			if err != nil {
+				return bd, fmt.Errorf("tx %d input %d: %w", ti, bi, err)
+			}
+			if v.parallel > 1 {
+				deferred = append(deferred, svTask{
+					unlock: body.UnlockScript, lock: out.LockScript,
+					sigHash: sigHash, tx: ti, input: bi,
+				})
+			} else {
+				sw := newStopwatch()
+				if err := v.engine.Execute(body.UnlockScript, out.LockScript, sigHash); err != nil {
+					sw.lap(&bd.SV)
+					return bd, fmt.Errorf("tx %d input %d: %w: %v", ti, bi, ErrScriptFailed, err)
+				}
+				sw.lap(&bd.SV)
+			}
+			// The EV/UV/SV work above was timed by its own stopwatches;
+			// restart the outer clock so Other does not count it again.
+			w = newStopwatch()
+
+			// Maturity: the ELs reveals whether the spent output came
+			// from a coinbase (a tidy tx with no inputs).
+			if body.PrevTx.IsCoinbase() && b.Header.Height-body.Height < txmodel.CoinbaseMaturity {
+				w.lap(&bd.Other)
+				return bd, fmt.Errorf("%w: tx %d input %d", ErrImmature, ti, bi)
+			}
+			if inSum+out.Value < inSum {
+				w.lap(&bd.Other)
+				return bd, fmt.Errorf("%w: tx %d", ErrOverflow, ti)
+			}
+			inSum += out.Value
+			spends = append(spends, sp)
+			w.lap(&bd.Other)
+		}
+
+		outSum, ok := tx.OutputSum()
+		if !ok {
+			w.lap(&bd.Other)
+			return bd, fmt.Errorf("%w: tx %d", ErrOverflow, ti)
+		}
+		if outSum > inSum {
+			w.lap(&bd.Other)
+			return bd, fmt.Errorf("%w: tx %d spends %d, creates %d", ErrValueImbalance, ti, inSum, outSum)
+		}
+		fee := inSum - outSum
+		if totalFees+fee < totalFees {
+			w.lap(&bd.Other)
+			return bd, fmt.Errorf("%w: fees", ErrOverflow)
+		}
+		totalFees += fee
+		w.lap(&bd.Other)
+	}
+
+	cbSum, ok := b.Txs[0].OutputSum()
+	if !ok {
+		w.lap(&bd.Other)
+		return bd, fmt.Errorf("%w: coinbase", ErrOverflow)
+	}
+	if cbSum > blockmodel.Subsidy(b.Header.Height)+totalFees {
+		w.lap(&bd.Other)
+		return bd, fmt.Errorf("%w: claims %d, allowed %d", ErrBadSubsidy, cbSum, blockmodel.Subsidy(b.Header.Height)+totalFees)
+	}
+	w.lap(&bd.Other)
+
+	// Parallel-SV mode: run the deferred script checks now, charging
+	// the wall-clock time of the parallel phase to SV.
+	if len(deferred) > 0 {
+		sw := newStopwatch()
+		err := v.runParallelSV(deferred)
+		sw.lap(&bd.SV)
+		if err != nil {
+			return bd, err
+		}
+		w = newStopwatch()
+	}
+
+	// Status update: insert the block's all-ones vector, clear the
+	// spent bits (paper §IV-E1). Counted under Other — it is block
+	// storage work, not input checking.
+	if err := v.status.Connect(b.Header.Height, bd.Outputs, spends); err != nil {
+		w.lap(&bd.Other)
+		return bd, fmt.Errorf("%w: %v", ErrInvalidBlock, err)
+	}
+	w.lap(&bd.Other)
+	return bd, nil
+}
+
+func (v *EBVValidator) checkStructure(b *blockmodel.EBVBlock) error {
+	tip, hasTip := v.headers.TipHeight()
+	switch {
+	case !hasTip:
+		if b.Header.Height != 0 {
+			return fmt.Errorf("%w: genesis must have height 0", ErrBadLink)
+		}
+	case b.Header.Height != tip+1:
+		return fmt.Errorf("%w: height %d after tip %d", ErrBadLink, b.Header.Height, tip)
+	default:
+		prev, _ := v.headers.Header(tip)
+		if b.Header.PrevBlock != prev.Hash() {
+			return fmt.Errorf("%w: prev hash mismatch", ErrBadLink)
+		}
+	}
+	if len(b.Txs) == 0 || !b.Txs[0].Tidy.IsCoinbase() {
+		return ErrNoCoinbase
+	}
+	if b.TotalOutputs() > blockmodel.MaxBlockOutputs {
+		return fmt.Errorf("%w: too many outputs", ErrInvalidBlock)
+	}
+	if !b.Header.MeetsTarget() {
+		return fmt.Errorf("%w: proof of work", ErrInvalidBlock)
+	}
+	if err := b.CheckStakePositions(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadStakePos, err)
+	}
+	if merkle.Root(b.TxLeaves()) != b.Header.MerkleRoot {
+		return ErrBadMerkleRoot
+	}
+	return nil
+}
+
+// ValidateTx checks a standalone EBV transaction against the current
+// chain state (mempool admission): proof consistency plus EV/UV/SV for
+// every input and value conservation. It does not mutate the status
+// database.
+func (v *EBVValidator) ValidateTx(tx *txmodel.EBVTx) error {
+	if tx.Tidy.IsCoinbase() {
+		return fmt.Errorf("%w: standalone coinbase", ErrInvalidBlock)
+	}
+	if err := tx.Consistent(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadProof, err)
+	}
+	var bd Breakdown
+	sigHash := tx.SigHash()
+	seen := make(map[statusdb.Spend]struct{}, len(tx.Bodies))
+	nextHeight := uint64(0)
+	if tip, ok := v.headers.TipHeight(); ok {
+		nextHeight = tip + 1
+	}
+	var inSum uint64
+	for i := range tx.Bodies {
+		body := &tx.Bodies[i]
+		sp := statusdb.Spend{Height: body.Height, Pos: body.AbsPosition()}
+		if _, dup := seen[sp]; dup {
+			return fmt.Errorf("%w: input %d", ErrDuplicateSpend, i)
+		}
+		seen[sp] = struct{}{}
+		if err := v.ValidateInput(body, sigHash, &bd); err != nil {
+			return fmt.Errorf("input %d: %w", i, err)
+		}
+		// Maturity at the earliest height this transaction could be
+		// mined — the same rule ConnectBlock enforces.
+		if body.PrevTx.IsCoinbase() && nextHeight-body.Height < txmodel.CoinbaseMaturity {
+			return fmt.Errorf("%w: input %d", ErrImmature, i)
+		}
+		out, _ := body.SpentOutput()
+		inSum += out.Value
+	}
+	outSum, ok := tx.OutputSum()
+	if !ok {
+		return fmt.Errorf("%w: outputs", ErrOverflow)
+	}
+	if outSum > inSum {
+		return fmt.Errorf("%w: spends %d, creates %d", ErrValueImbalance, inSum, outSum)
+	}
+	return nil
+}
+
+// DisconnectBlock reverses the tip block during a reorg: the block's
+// outputs leave the status database and the bits its inputs cleared
+// are restored. b must be the block at the validator's tip (the caller
+// truncates its chain store afterwards). EBV needs no undo data — the
+// block's own input bodies carry everything required to restore the
+// spent bits, one more payoff of proof-carrying inputs.
+func (v *EBVValidator) DisconnectBlock(b *blockmodel.EBVBlock) error {
+	tip, ok := v.headers.TipHeight()
+	if !ok || b.Header.Height != tip {
+		return fmt.Errorf("%w: disconnect height %d at tip %d", ErrBadLink, b.Header.Height, tip)
+	}
+	hdr, _ := v.headers.Header(tip)
+	if hdr.Hash() != b.Header.Hash() {
+		return fmt.Errorf("%w: block is not the stored tip", ErrBadLink)
+	}
+	restores := make([]statusdb.Restore, 0, b.TotalInputs())
+	for _, tx := range b.Txs {
+		for i := range tx.Bodies {
+			body := &tx.Bodies[i]
+			// NOutputs recreates vectors that were deleted as fully
+			// spent; it comes from the stored block via the node's
+			// resolver (SetBlockOutputsFunc).
+			restores = append(restores, statusdb.Restore{
+				Height:   body.Height,
+				Pos:      body.AbsPosition(),
+				NOutputs: v.blockOutputs(body.Height),
+			})
+		}
+	}
+	return v.status.Disconnect(b.Header.Height, restores)
+}
+
+// BlockOutputsFunc resolves the total output count of a stored block,
+// needed to recreate fully spent vectors during disconnects.
+type BlockOutputsFunc func(height uint64) int
+
+// SetBlockOutputsFunc installs the resolver (nodes wire it to their
+// chain store).
+func (v *EBVValidator) SetBlockOutputsFunc(f BlockOutputsFunc) { v.blockOutputsFn = f }
+
+func (v *EBVValidator) blockOutputs(height uint64) int {
+	if v.blockOutputsFn == nil {
+		return 0
+	}
+	return v.blockOutputsFn(height)
+}

@@ -1,0 +1,111 @@
+// Package hashx provides the fixed-size hash type and the hashing
+// primitives used throughout the EBV implementation: SHA-256,
+// double-SHA-256 (the block/transaction digest of Bitcoin-style
+// chains), and a 20-byte address digest.
+//
+// The 20-byte digest stands in for Bitcoin's HASH160
+// (RIPEMD-160(SHA-256(x))): the Go standard library has no RIPEMD-160,
+// and address hashing only requires a short collision-resistant
+// digest, so we truncate a double SHA-256 instead. See DESIGN.md,
+// substitution 6.
+package hashx
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// Size is the byte length of a Hash.
+const Size = 32
+
+// AddrSize is the byte length of an address digest (Hash160 substitute).
+const AddrSize = 20
+
+// Hash is a 32-byte digest. The zero value is the all-zero hash,
+// which the codebase treats as "no hash" (e.g. a coinbase prevout).
+type Hash [Size]byte
+
+// ZeroHash is the all-zero hash.
+var ZeroHash Hash
+
+// String returns the hash in hexadecimal, in data order (not the
+// byte-reversed display order Bitcoin uses; this codebase never
+// reverses).
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// Short returns an 8-hex-character prefix, for logs.
+func (h Hash) Short() string { return hex.EncodeToString(h[:4]) }
+
+// IsZero reports whether h is the all-zero hash.
+func (h Hash) IsZero() bool { return h == ZeroHash }
+
+// Uint64 returns the first eight bytes as a little-endian integer.
+// It is used to derive deterministic pseudo-random streams from
+// digests (e.g. workload generation), never for consensus.
+func (h Hash) Uint64() uint64 { return binary.LittleEndian.Uint64(h[:8]) }
+
+// FromString parses a 64-character hex string into a Hash.
+func FromString(s string) (Hash, error) {
+	var h Hash
+	if len(s) != Size*2 {
+		return h, fmt.Errorf("hashx: bad hash length %d, want %d", len(s), Size*2)
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return h, fmt.Errorf("hashx: %w", err)
+	}
+	copy(h[:], b)
+	return h, nil
+}
+
+// FromBytes copies b into a Hash. It panics if len(b) != Size;
+// callers pass digests they produced themselves.
+func FromBytes(b []byte) Hash {
+	if len(b) != Size {
+		panic(fmt.Sprintf("hashx: FromBytes with %d bytes", len(b)))
+	}
+	var h Hash
+	copy(h[:], b)
+	return h
+}
+
+// Sum computes SHA-256(data).
+func Sum(data []byte) Hash { return Hash(sha256.Sum256(data)) }
+
+// DoubleSum computes SHA-256(SHA-256(data)), the transaction and block
+// digest.
+func DoubleSum(data []byte) Hash {
+	first := sha256.Sum256(data)
+	return Hash(sha256.Sum256(first[:]))
+}
+
+// SumPair computes SHA-256(left || right), the Merkle interior-node
+// combiner.
+func SumPair(left, right Hash) Hash {
+	var buf [2 * Size]byte
+	copy(buf[:Size], left[:])
+	copy(buf[Size:], right[:])
+	return Sum(buf[:])
+}
+
+// Addr computes the 20-byte address digest of data (HASH160
+// substitute: the first 20 bytes of a double SHA-256).
+func Addr(data []byte) [AddrSize]byte {
+	h := DoubleSum(data)
+	var a [AddrSize]byte
+	copy(a[:], h[:AddrSize])
+	return a
+}
+
+// Concat hashes the concatenation of the given byte slices.
+func Concat(parts ...[]byte) Hash {
+	d := sha256.New()
+	for _, p := range parts {
+		d.Write(p)
+	}
+	var h Hash
+	d.Sum(h[:0])
+	return h
+}

@@ -1,0 +1,136 @@
+package hashx
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumMatchesStdlib(t *testing.T) {
+	data := []byte("ebv block validation")
+	want := sha256.Sum256(data)
+	if got := Sum(data); got != Hash(want) {
+		t.Fatalf("Sum mismatch: got %s", got)
+	}
+}
+
+func TestDoubleSum(t *testing.T) {
+	data := []byte("tx")
+	first := sha256.Sum256(data)
+	want := sha256.Sum256(first[:])
+	if got := DoubleSum(data); got != Hash(want) {
+		t.Fatalf("DoubleSum mismatch: got %s", got)
+	}
+}
+
+func TestSumPairEquivalentToConcat(t *testing.T) {
+	l := Sum([]byte("left"))
+	r := Sum([]byte("right"))
+	manual := Sum(append(append([]byte{}, l[:]...), r[:]...))
+	if got := SumPair(l, r); got != manual {
+		t.Fatalf("SumPair mismatch")
+	}
+	if SumPair(l, r) == SumPair(r, l) {
+		t.Fatalf("SumPair must be order sensitive")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	h := Sum([]byte("round trip"))
+	back, err := FromString(h.String())
+	if err != nil {
+		t.Fatalf("FromString: %v", err)
+	}
+	if back != h {
+		t.Fatalf("round trip mismatch: %s vs %s", back, h)
+	}
+}
+
+func TestFromStringErrors(t *testing.T) {
+	if _, err := FromString("abcd"); err == nil {
+		t.Fatal("short string must fail")
+	}
+	bad := string(make([]byte, 64)) // NUL bytes are not hex
+	if _, err := FromString(bad); err == nil {
+		t.Fatal("non-hex string must fail")
+	}
+}
+
+func TestZeroHash(t *testing.T) {
+	var h Hash
+	if !h.IsZero() {
+		t.Fatal("zero value must be zero")
+	}
+	if Sum(nil).IsZero() {
+		t.Fatal("sha256(nil) must not be zero")
+	}
+}
+
+func TestFromBytesPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromBytes([]byte{1, 2, 3})
+}
+
+func TestAddrDeterministicAndShort(t *testing.T) {
+	a := Addr([]byte("pubkey"))
+	b := Addr([]byte("pubkey"))
+	if a != b {
+		t.Fatal("Addr must be deterministic")
+	}
+	full := DoubleSum([]byte("pubkey"))
+	if !bytes.Equal(a[:], full[:AddrSize]) {
+		t.Fatal("Addr must be the truncated double SHA-256")
+	}
+}
+
+func TestConcatEquivalence(t *testing.T) {
+	parts := [][]byte{[]byte("a"), []byte("bc"), nil, []byte("def")}
+	joined := bytes.Join(parts, nil)
+	if Concat(parts...) != Sum(joined) {
+		t.Fatal("Concat must equal Sum of the concatenation")
+	}
+}
+
+func TestPropertyRoundTripHex(t *testing.T) {
+	f := func(raw [32]byte) bool {
+		h := Hash(raw)
+		back, err := FromString(h.String())
+		return err == nil && back == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySumPairInjectiveOnOrder(t *testing.T) {
+	f := func(a, b [32]byte) bool {
+		if a == b {
+			return true
+		}
+		return SumPair(Hash(a), Hash(b)) != SumPair(Hash(b), Hash(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDoubleSum(b *testing.B) {
+	data := make([]byte, 256)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		DoubleSum(data)
+	}
+}
+
+func BenchmarkSumPair(b *testing.B) {
+	l := Sum([]byte("l"))
+	r := Sum([]byte("r"))
+	for i := 0; i < b.N; i++ {
+		SumPair(l, r)
+	}
+}

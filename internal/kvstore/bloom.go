@@ -1,0 +1,84 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// bloomFilter is a classic Bloom filter over keys, built per SSTable
+// so that point reads can skip tables that cannot contain the key.
+// The double-hashing scheme (Kirsch–Mitzenmacher) derives the k probe
+// positions from two 32-bit halves of one 64-bit FNV-style hash.
+type bloomFilter struct {
+	bits []byte
+	k    int
+}
+
+// bloomHash is a 64-bit FNV-1a.
+func bloomHash(key []byte) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// newBloom builds a filter for n keys at bitsPerKey.
+func newBloom(n, bitsPerKey int) *bloomFilter {
+	if n < 1 {
+		n = 1
+	}
+	nBits := n * bitsPerKey
+	if nBits < 64 {
+		nBits = 64
+	}
+	k := int(float64(bitsPerKey) * math.Ln2)
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	return &bloomFilter{bits: make([]byte, (nBits+7)/8), k: k}
+}
+
+func (f *bloomFilter) add(key []byte) {
+	h := bloomHash(key)
+	h1, h2 := uint32(h), uint32(h>>32)
+	nBits := uint32(len(f.bits) * 8)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint32(i)*h2) % nBits
+		f.bits[pos/8] |= 1 << (pos % 8)
+	}
+}
+
+func (f *bloomFilter) mayContain(key []byte) bool {
+	h := bloomHash(key)
+	h1, h2 := uint32(h), uint32(h>>32)
+	nBits := uint32(len(f.bits) * 8)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint32(i)*h2) % nBits
+		if f.bits[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// encode serializes the filter: varint k, then the bit array.
+func (f *bloomFilter) encode(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(f.k))
+	return append(dst, f.bits...)
+}
+
+// decodeBloom parses an encoded filter.
+func decodeBloom(data []byte) (*bloomFilter, bool) {
+	k, n := binary.Uvarint(data)
+	if n <= 0 || k == 0 || k > 30 || len(data) == n {
+		return nil, false
+	}
+	return &bloomFilter{bits: data[n:], k: int(k)}, true
+}

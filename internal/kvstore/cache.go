@@ -1,0 +1,85 @@
+package kvstore
+
+import "container/list"
+
+// cacheKey identifies a data block: table ids are never reused, so no
+// invalidation is needed when tables are compacted away — stale blocks
+// simply age out.
+type cacheKey struct {
+	table uint64
+	off   uint64
+}
+
+// blockCache is a byte-bounded LRU cache of data blocks. It is called
+// under the DB's locks plus its own mutex-free discipline: all callers
+// already serialize through ssTable.readBlock, which may run
+// concurrently, so the cache carries its own lock.
+type blockCache struct {
+	capacity int
+	used     int
+	ll       *list.List // front = most recent
+	items    map[cacheKey]*list.Element
+	mu       chMutex
+}
+
+// chMutex is a tiny channel-based mutex; it keeps the cache
+// self-contained and contention visible in profiles under its own
+// symbol.
+type chMutex chan struct{}
+
+func (m chMutex) lock()   { m <- struct{}{} }
+func (m chMutex) unlock() { <-m }
+
+type cacheItem struct {
+	key   cacheKey
+	block []byte
+}
+
+func newBlockCache(capacity int) *blockCache {
+	return &blockCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[cacheKey]*list.Element),
+		mu:       make(chMutex, 1),
+	}
+}
+
+func (c *blockCache) get(k cacheKey) ([]byte, bool) {
+	c.mu.lock()
+	defer c.mu.unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).block, true
+}
+
+func (c *blockCache) put(k cacheKey, block []byte) {
+	c.mu.lock()
+	defer c.mu.unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		item := el.Value.(*cacheItem)
+		c.used += len(block) - len(item.block)
+		item.block = block
+	} else {
+		el := c.ll.PushFront(&cacheItem{key: k, block: block})
+		c.items[k] = el
+		c.used += len(block)
+	}
+	for c.used > c.capacity && c.ll.Len() > 0 {
+		oldest := c.ll.Back()
+		item := oldest.Value.(*cacheItem)
+		c.ll.Remove(oldest)
+		delete(c.items, item.key)
+		c.used -= len(item.block)
+	}
+}
+
+// len returns the number of cached blocks (tests only).
+func (c *blockCache) len() int {
+	c.mu.lock()
+	defer c.mu.unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,168 @@
+package kvstore
+
+import (
+	"container/heap"
+	"os"
+	"time"
+)
+
+// mergeSource pairs a table iterator with its priority: lower prio
+// (newer table) wins when keys collide.
+type mergeSource struct {
+	it   *tableIter
+	prio int
+}
+
+// mergeHeap orders sources by (current key, priority).
+type mergeHeap []*mergeSource
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].it.cur.key != h[j].it.cur.key {
+		return h[i].it.cur.key < h[j].it.cur.key
+	}
+	return h[i].prio < h[j].prio
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(*mergeSource)) }
+func (h *mergeHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// mergeTables streams the union of the given tables in key order,
+// keeping only the newest version of each key, and calls emit for it.
+// Tables must be ordered newest first.
+func mergeTables(tables []*ssTable, emit func(kvEntry) error) error {
+	h := make(mergeHeap, 0, len(tables))
+	for prio, t := range tables {
+		it := t.iterate()
+		if it.next() {
+			h = append(h, &mergeSource{it: it, prio: prio})
+		}
+		if it.err != nil {
+			return it.err
+		}
+	}
+	heap.Init(&h)
+	lastKey := ""
+	haveLast := false
+	for h.Len() > 0 {
+		src := h[0]
+		e := src.it.cur
+		if src.it.next() {
+			heap.Fix(&h, 0)
+		} else {
+			if src.it.err != nil {
+				return src.it.err
+			}
+			heap.Pop(&h)
+		}
+		if haveLast && e.key == lastKey {
+			continue // older version of a key already emitted
+		}
+		lastKey, haveLast = e.key, true
+		if err := emit(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compactLocked merges every SSTable into a single new table, dropping
+// shadowed versions and — because the result is the bottom of the
+// store — tombstones. Caller holds db.mu.
+func (db *DB) compactLocked() error {
+	if len(db.tables) <= 1 {
+		return nil
+	}
+	start := time.Now()
+	old := db.tables
+	id := db.nextID
+	db.nextID++
+
+	// Stream-merge into a sorted slice of live entries, then write.
+	// Entries are collected rather than streamed to the writer so a
+	// mid-compaction failure leaves the store untouched.
+	var live []kvEntry
+	err := mergeTables(old, func(e kvEntry) error {
+		if !e.del {
+			live = append(live, e)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	n, err := writeTable(db.tablePath(id), live, db.opts)
+	if err != nil {
+		return err
+	}
+	t, err := openTable(db.tablePath(id), id, db)
+	if err != nil {
+		return err
+	}
+	db.tables = []*ssTable{t}
+	for _, o := range old {
+		o.close()
+		os.Remove(db.tablePath(o.id))
+	}
+	db.addStat(func(s *Stats) {
+		s.Compactions++
+		s.BytesCompacted += uint64(n)
+		s.IOTime += time.Since(start)
+	})
+	return nil
+}
+
+// ForEach visits every live key-value pair in ascending key order.
+// It sees a consistent snapshot of the tables plus the memtable as of
+// the call.
+func (db *DB) ForEach(f func(key, value []byte) error) error {
+	db.mu.RLock()
+	if db.closed {
+		db.mu.RUnlock()
+		return ErrClosed
+	}
+	memEntries := db.mem.sorted()
+	tables := append([]*ssTable{}, db.tables...)
+	db.mu.RUnlock()
+
+	// Merge the memtable (priority -1: newest) with the tables by
+	// treating the memtable as a pre-sorted stream.
+	mi := 0
+	emit := func(e kvEntry) error {
+		// Drain memtable entries with keys before (or equal to) e.
+		for mi < len(memEntries) && memEntries[mi].key <= e.key {
+			me := memEntries[mi]
+			mi++
+			if me.key == e.key {
+				// Memtable shadows the table version.
+				if !me.del {
+					if err := f([]byte(me.key), me.value); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if !me.del {
+				if err := f([]byte(me.key), me.value); err != nil {
+					return err
+				}
+			}
+		}
+		if !e.del {
+			return f([]byte(e.key), e.value)
+		}
+		return nil
+	}
+	if err := mergeTables(tables, emit); err != nil {
+		return err
+	}
+	for ; mi < len(memEntries); mi++ {
+		me := memEntries[mi]
+		if !me.del {
+			if err := f([]byte(me.key), me.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

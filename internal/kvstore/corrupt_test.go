@@ -1,0 +1,90 @@
+package kvstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Corruption-handling coverage: a store must refuse to open damaged
+// tables rather than serve wrong data.
+
+func writeTestTable(t *testing.T, dir string) string {
+	t.Helper()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte("value"))
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no table written: %v", err)
+	}
+	return filepath.Join(dir, entries[0].Name())
+}
+
+func corruptAt(t *testing.T, path string, off int64, b byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt([]byte{b}, off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRejectsBadMagic(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestTable(t, dir)
+	st, _ := os.Stat(path)
+	corruptAt(t, path, st.Size()-1, 0xFF) // last byte of the magic
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("bad magic must fail open")
+	}
+}
+
+func TestOpenRejectsTruncatedTable(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestTable(t, dir)
+	if err := os.Truncate(path, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("truncated table must fail open")
+	}
+}
+
+func TestOpenRejectsCorruptFooterOffsets(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestTable(t, dir)
+	st, _ := os.Stat(path)
+	// Blow up the index offset in the footer.
+	corruptAt(t, path, st.Size()-footerSize+7, 0xFF)
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("corrupt footer must fail open")
+	}
+}
+
+func TestUnrelatedFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	writeTestTable(t, dir)
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("unrelated files must be ignored: %v", err)
+	}
+	defer db.Close()
+	if _, err := db.Get([]byte("key-0100")); err != nil {
+		t.Fatal("data lost")
+	}
+}

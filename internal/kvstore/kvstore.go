@@ -1,0 +1,398 @@
+// Package kvstore implements a log-structured merge-tree key-value
+// store — the storage substrate standing in for LevelDB, which
+// Bitcoin-style nodes use for the UTXO set (DESIGN.md, substitution 3).
+//
+// Writes land in an in-memory memtable; when it exceeds its budget it
+// is flushed to an immutable sorted-string table (SSTable) on disk.
+// Reads consult the memtable, then SSTables newest-first, each guarded
+// by a bloom filter and a sparse index, with data blocks served
+// through a bounded LRU block cache. When the number of tables grows
+// past a threshold they are merged (size-tiered full compaction),
+// dropping shadowed versions and tombstones.
+//
+// Two knobs make the store a faithful experimental stand-in:
+//
+//   - A memory budget (memtable + block cache) mirrors the node memory
+//     limits of the paper's experiments (btcd's hundreds of MB).
+//   - Optional per-I/O latency injection models the paper's HDD: test
+//     machines have NVMe, which would hide the DBO-dominates regime of
+//     Figs. 4 and 5 (DESIGN.md, substitution 4).
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrNotFound is returned by Get when the key is absent (or deleted).
+var ErrNotFound = errors.New("kvstore: not found")
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("kvstore: closed")
+
+// Options configures a DB. The zero value uses the defaults below.
+type Options struct {
+	// MemTableBytes is the flush threshold of the memtable.
+	// Default 4 MiB.
+	MemTableBytes int
+	// BlockCacheBytes bounds the data-block cache. Default 8 MiB.
+	BlockCacheBytes int
+	// BloomBitsPerKey sizes SSTable bloom filters. Default 10.
+	BloomBitsPerKey int
+	// CompactAt triggers a full merge when the table count reaches
+	// this value. Default 8.
+	CompactAt int
+	// ReadLatency is injected before every data-block read that
+	// misses the cache, modeling a slow disk. Zero disables it. It can
+	// be changed at runtime with SetReadLatency (experiments sync fast
+	// and then measure under the disk model).
+	ReadLatency time.Duration
+	// SyncWrites fsyncs SSTables on flush. Default false (experiments
+	// measure validation, not crash durability).
+	SyncWrites bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MemTableBytes <= 0 {
+		o.MemTableBytes = 4 << 20
+	}
+	if o.BlockCacheBytes <= 0 {
+		o.BlockCacheBytes = 8 << 20
+	}
+	if o.BloomBitsPerKey <= 0 {
+		o.BloomBitsPerKey = 10
+	}
+	if o.CompactAt <= 0 {
+		o.CompactAt = 8
+	}
+	return o
+}
+
+// Stats counts database work. The paper's DBO measurements aggregate
+// the time spent in Get/Put/Delete ("Fetch", "Insert", "Delete"); the
+// counters here let experiments report cache behaviour alongside.
+type Stats struct {
+	Gets, Puts, Deletes uint64
+	// MemHits are Gets answered by the memtable; TableHits by an
+	// SSTable; Misses found nothing.
+	MemHits, TableHits, Misses uint64
+	// BloomSkips counts SSTable probes short-circuited by a bloom
+	// filter; CacheHits/CacheMisses count data-block cache behaviour.
+	BloomSkips, CacheHits, CacheMisses uint64
+	Flushes, Compactions               uint64
+	BytesFlushed, BytesCompacted       uint64
+	// IOTime accumulates time spent reading blocks from disk
+	// (including injected latency) and writing tables.
+	IOTime time.Duration
+}
+
+// DB is the LSM store. All methods are safe for concurrent use.
+type DB struct {
+	opts    Options
+	dir     string
+	latency atomic.Int64 // current injected read latency, nanoseconds
+
+	mu     sync.RWMutex
+	mem    *memtable
+	tables []*ssTable // newest first
+	cache  *blockCache
+	nextID uint64
+	closed bool
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// Open creates or reopens a store in dir.
+func Open(dir string, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("kvstore: %w", err)
+	}
+	db := &DB{
+		opts:  opts,
+		dir:   dir,
+		mem:   newMemtable(),
+		cache: newBlockCache(opts.BlockCacheBytes),
+	}
+	db.latency.Store(int64(opts.ReadLatency))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: %w", err)
+	}
+	var ids []uint64
+	for _, e := range entries {
+		var id uint64
+		if _, err := fmt.Sscanf(e.Name(), "table-%016d.sst", &id); err == nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] > ids[j] }) // newest first
+	for _, id := range ids {
+		t, err := openTable(db.tablePath(id), id, db)
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: reopen table %d: %w", id, err)
+		}
+		db.tables = append(db.tables, t)
+		if id >= db.nextID {
+			db.nextID = id + 1
+		}
+	}
+	return db, nil
+}
+
+func (db *DB) tablePath(id uint64) string {
+	return filepath.Join(db.dir, fmt.Sprintf("table-%016d.sst", id))
+}
+
+// SetReadLatency changes the injected per-miss read latency at
+// runtime.
+func (db *DB) SetReadLatency(d time.Duration) { db.latency.Store(int64(d)) }
+
+// ReadLatency returns the current injected per-miss read latency.
+func (db *DB) ReadLatency() time.Duration { return time.Duration(db.latency.Load()) }
+
+// Stats returns a snapshot of the counters.
+func (db *DB) Stats() Stats {
+	db.statsMu.Lock()
+	defer db.statsMu.Unlock()
+	return db.stats
+}
+
+func (db *DB) addStat(f func(*Stats)) {
+	db.statsMu.Lock()
+	f(&db.stats)
+	db.statsMu.Unlock()
+}
+
+// Get returns the value stored under key, or ErrNotFound.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	db.mu.RLock()
+	if db.closed {
+		db.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	mem := db.mem
+	tables := db.tables
+	db.mu.RUnlock()
+
+	db.addStat(func(s *Stats) { s.Gets++ })
+	if v, state := mem.get(key); state != absent {
+		db.addStat(func(s *Stats) { s.MemHits++ })
+		if state == deleted {
+			return nil, ErrNotFound
+		}
+		return v, nil
+	}
+	for _, t := range tables {
+		v, state, err := t.get(key)
+		if err != nil {
+			return nil, err
+		}
+		if state == absent {
+			continue
+		}
+		db.addStat(func(s *Stats) { s.TableHits++ })
+		if state == deleted {
+			return nil, ErrNotFound
+		}
+		return v, nil
+	}
+	db.addStat(func(s *Stats) { s.Misses++ })
+	return nil, ErrNotFound
+}
+
+// Has reports whether key is present.
+func (db *DB) Has(key []byte) (bool, error) {
+	_, err := db.Get(key)
+	if errors.Is(err, ErrNotFound) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Put stores value under key.
+func (db *DB) Put(key, value []byte) error {
+	db.addStat(func(s *Stats) { s.Puts++ })
+	return db.apply(func(m *memtable) { m.put(key, value) })
+}
+
+// Delete removes key (writes a tombstone).
+func (db *DB) Delete(key []byte) error {
+	db.addStat(func(s *Stats) { s.Deletes++ })
+	return db.apply(func(m *memtable) { m.del(key) })
+}
+
+// Batch is a set of writes applied together atomically with respect
+// to the memtable.
+type Batch struct {
+	ops []batchOp
+}
+
+type batchOp struct {
+	key, value []byte
+	del        bool
+}
+
+// Put adds a write to the batch.
+func (b *Batch) Put(key, value []byte) {
+	b.ops = append(b.ops, batchOp{key: append([]byte{}, key...), value: append([]byte{}, value...)})
+}
+
+// Delete adds a deletion to the batch.
+func (b *Batch) Delete(key []byte) {
+	b.ops = append(b.ops, batchOp{key: append([]byte{}, key...), del: true})
+}
+
+// Len returns the number of operations in the batch.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Apply applies all operations in the batch.
+func (db *DB) Apply(b *Batch) error {
+	for i := range b.ops {
+		op := &b.ops[i]
+		if op.del {
+			db.addStat(func(s *Stats) { s.Deletes++ })
+		} else {
+			db.addStat(func(s *Stats) { s.Puts++ })
+		}
+	}
+	return db.apply(func(m *memtable) {
+		for i := range b.ops {
+			op := &b.ops[i]
+			if op.del {
+				m.del(op.key)
+			} else {
+				m.put(op.key, op.value)
+			}
+		}
+	})
+}
+
+func (db *DB) apply(f func(*memtable)) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	f(db.mem)
+	if db.mem.size >= db.opts.MemTableBytes {
+		if err := db.flushLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush writes the memtable to a new SSTable.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.flushLocked()
+}
+
+func (db *DB) flushLocked() error {
+	if db.mem.len() == 0 {
+		return nil
+	}
+	start := time.Now()
+	id := db.nextID
+	db.nextID++
+	entries := db.mem.sorted()
+	n, err := writeTable(db.tablePath(id), entries, db.opts)
+	if err != nil {
+		return err
+	}
+	t, err := openTable(db.tablePath(id), id, db)
+	if err != nil {
+		return err
+	}
+	db.tables = append([]*ssTable{t}, db.tables...)
+	db.mem = newMemtable()
+	db.addStat(func(s *Stats) {
+		s.Flushes++
+		s.BytesFlushed += uint64(n)
+		s.IOTime += time.Since(start)
+	})
+	if len(db.tables) >= db.opts.CompactAt {
+		return db.compactLocked()
+	}
+	return nil
+}
+
+// Compact merges all SSTables into one, dropping shadowed versions and
+// tombstones.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.flushLocked(); err != nil {
+		return err
+	}
+	return db.compactLocked()
+}
+
+// MemUsage reports the approximate bytes held in memory: memtable plus
+// block cache plus table metadata (indexes and bloom filters).
+func (db *DB) MemUsage() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := db.mem.size + db.cache.used
+	for _, t := range db.tables {
+		n += t.metaBytes()
+	}
+	return n
+}
+
+// DiskUsage reports the total bytes of SSTables on disk.
+func (db *DB) DiskUsage() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var n int64
+	for _, t := range db.tables {
+		n += t.fileSize
+	}
+	return n
+}
+
+// TableCount returns the number of live SSTables.
+func (db *DB) TableCount() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.tables)
+}
+
+// Close flushes the memtable and releases resources.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	if err := db.flushLocked(); err != nil {
+		return err
+	}
+	db.closed = true
+	var first error
+	for _, t := range db.tables {
+		if err := t.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	db.tables = nil
+	return first
+}

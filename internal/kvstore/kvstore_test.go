@@ -1,0 +1,551 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func openTest(t testing.TB, opts Options) *DB {
+	t.Helper()
+	db, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestPutGetDelete(t *testing.T) {
+	db := openTest(t, Options{})
+	if err := db.Put([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Get([]byte("k1"))
+	if err != nil || string(v) != "v1" {
+		t.Fatalf("Get=%q,%v", v, err)
+	}
+	if _, err := db.Get([]byte("nope")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key: %v", err)
+	}
+	if err := db.Delete([]byte("k1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("k1")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted key: %v", err)
+	}
+	ok, err := db.Has([]byte("k1"))
+	if err != nil || ok {
+		t.Fatalf("Has=%v,%v", ok, err)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	db := openTest(t, Options{})
+	db.Put([]byte("k"), []byte("old"))
+	db.Put([]byte("k"), []byte("new"))
+	v, err := db.Get([]byte("k"))
+	if err != nil || string(v) != "new" {
+		t.Fatalf("Get=%q,%v", v, err)
+	}
+}
+
+func TestFlushAndReadBack(t *testing.T) {
+	db := openTest(t, Options{})
+	for i := 0; i < 1000; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte(fmt.Sprintf("val-%d", i)))
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if db.TableCount() != 1 {
+		t.Fatalf("TableCount=%d", db.TableCount())
+	}
+	for i := 0; i < 1000; i += 37 {
+		v, err := db.Get([]byte(fmt.Sprintf("key-%04d", i)))
+		if err != nil || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("key %d: %q %v", i, v, err)
+		}
+	}
+	st := db.Stats()
+	if st.Flushes != 1 || st.TableHits == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestTombstoneShadowsOlderTable(t *testing.T) {
+	db := openTest(t, Options{})
+	db.Put([]byte("k"), []byte("v"))
+	db.Flush()
+	db.Delete([]byte("k"))
+	db.Flush()
+	if _, err := db.Get([]byte("k")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("tombstone must shadow older table: %v", err)
+	}
+	// After full compaction the tombstone is dropped entirely.
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if db.TableCount() != 1 {
+		t.Fatalf("TableCount=%d after compact", db.TableCount())
+	}
+	if _, err := db.Get([]byte("k")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after compaction: %v", err)
+	}
+}
+
+func TestNewerTableWins(t *testing.T) {
+	db := openTest(t, Options{})
+	db.Put([]byte("k"), []byte("old"))
+	db.Flush()
+	db.Put([]byte("k"), []byte("new"))
+	db.Flush()
+	v, err := db.Get([]byte("k"))
+	if err != nil || string(v) != "new" {
+		t.Fatalf("Get=%q,%v", v, err)
+	}
+	db.Compact()
+	v, err = db.Get([]byte("k"))
+	if err != nil || string(v) != "new" {
+		t.Fatalf("after compact Get=%q,%v", v, err)
+	}
+}
+
+func TestAutoFlushOnMemBudget(t *testing.T) {
+	db := openTest(t, Options{MemTableBytes: 4 << 10})
+	val := make([]byte, 128)
+	for i := 0; i < 200; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%06d", i)), val)
+	}
+	if db.TableCount() == 0 {
+		t.Fatal("memtable budget must trigger flushes")
+	}
+	for i := 0; i < 200; i += 17 {
+		if _, err := db.Get([]byte(fmt.Sprintf("key-%06d", i))); err != nil {
+			t.Fatalf("key %d lost: %v", i, err)
+		}
+	}
+}
+
+func TestAutoCompaction(t *testing.T) {
+	db := openTest(t, Options{CompactAt: 3})
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 50; i++ {
+			db.Put([]byte(fmt.Sprintf("r%d-k%d", round, i)), []byte("v"))
+		}
+		db.Flush()
+	}
+	if db.TableCount() >= 3 {
+		t.Fatalf("TableCount=%d, compaction must keep it below CompactAt", db.TableCount())
+	}
+	if db.Stats().Compactions == 0 {
+		t.Fatal("compactions must have run")
+	}
+	for round := 0; round < 5; round++ {
+		if _, err := db.Get([]byte(fmt.Sprintf("r%d-k%d", round, 25))); err != nil {
+			t.Fatalf("round %d lost: %v", round, err)
+		}
+	}
+}
+
+func TestReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	db.Delete([]byte("key-0100"))
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	v, err := db2.Get([]byte("key-0250"))
+	if err != nil || string(v) != "v250" {
+		t.Fatalf("reopened Get=%q,%v", v, err)
+	}
+	if _, err := db2.Get([]byte("key-0100")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deletion must survive reopen: %v", err)
+	}
+	// Writes after reopen must shadow the old tables.
+	db2.Put([]byte("key-0250"), []byte("changed"))
+	v, _ = db2.Get([]byte("key-0250"))
+	if string(v) != "changed" {
+		t.Fatalf("post-reopen write lost: %q", v)
+	}
+}
+
+func TestBatch(t *testing.T) {
+	db := openTest(t, Options{})
+	db.Put([]byte("gone"), []byte("x"))
+	var b Batch
+	b.Put([]byte("a"), []byte("1"))
+	b.Put([]byte("b"), []byte("2"))
+	b.Delete([]byte("gone"))
+	if b.Len() != 3 {
+		t.Fatalf("Len=%d", b.Len())
+	}
+	if err := db.Apply(&b); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := db.Get([]byte("a")); string(v) != "1" {
+		t.Fatal("batch put lost")
+	}
+	if _, err := db.Get([]byte("gone")); !errors.Is(err, ErrNotFound) {
+		t.Fatal("batch delete lost")
+	}
+}
+
+func TestClosedErrors(t *testing.T) {
+	db := openTest(t, Options{})
+	db.Put([]byte("k"), []byte("v"))
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("k")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after close: %v", err)
+	}
+	if err := db.Put([]byte("k"), []byte("v")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after close: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal("double close must be fine")
+	}
+}
+
+func TestForEachOrderedAndComplete(t *testing.T) {
+	db := openTest(t, Options{})
+	want := map[string]string{}
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("key-%04d", i)
+		want[k] = fmt.Sprintf("v%d", i)
+		db.Put([]byte(k), []byte(want[k]))
+		if i%100 == 99 {
+			db.Flush()
+		}
+	}
+	// Delete some, overwrite some (half still in memtable).
+	for i := 0; i < 300; i += 5 {
+		k := fmt.Sprintf("key-%04d", i)
+		db.Delete([]byte(k))
+		delete(want, k)
+	}
+	for i := 1; i < 300; i += 50 {
+		k := fmt.Sprintf("key-%04d", i)
+		want[k] = "updated"
+		db.Put([]byte(k), []byte("updated"))
+	}
+	got := map[string]string{}
+	var lastKey string
+	err := db.ForEach(func(k, v []byte) error {
+		if lastKey != "" && string(k) <= lastKey {
+			t.Fatalf("out of order: %q after %q", k, lastKey)
+		}
+		lastKey = string(k)
+		got[string(k)] = string(v)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach saw %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %q: got %q want %q", k, got[k], v)
+		}
+	}
+}
+
+func TestBloomFilter(t *testing.T) {
+	f := newBloom(1000, 10)
+	for i := 0; i < 1000; i++ {
+		f.add([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.mayContain([]byte(fmt.Sprintf("key-%d", i))) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+	fp := 0
+	for i := 0; i < 10000; i++ {
+		if f.mayContain([]byte(fmt.Sprintf("absent-%d", i))) {
+			fp++
+		}
+	}
+	if fp > 300 { // ~1% expected at 10 bits/key; allow 3%
+		t.Fatalf("false positive rate too high: %d/10000", fp)
+	}
+	enc := f.encode(nil)
+	back, ok := decodeBloom(enc)
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	if !back.mayContain([]byte("key-0")) {
+		t.Fatal("decoded filter lost keys")
+	}
+	if _, ok := decodeBloom(nil); ok {
+		t.Fatal("empty bloom must fail")
+	}
+}
+
+func TestBloomSkipsCounted(t *testing.T) {
+	db := openTest(t, Options{})
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%d", i)), []byte("v"))
+	}
+	db.Flush()
+	for i := 0; i < 100; i++ {
+		db.Get([]byte(fmt.Sprintf("absent-%d", i)))
+	}
+	if db.Stats().BloomSkips == 0 {
+		t.Fatal("bloom filters must skip absent keys")
+	}
+}
+
+func TestCacheBounded(t *testing.T) {
+	c := newBlockCache(10 << 10)
+	for i := 0; i < 100; i++ {
+		c.put(cacheKey{table: 1, off: uint64(i)}, make([]byte, 1<<10))
+	}
+	if c.used > 10<<10 {
+		t.Fatalf("cache used %d exceeds capacity", c.used)
+	}
+	if c.len() > 10 {
+		t.Fatalf("cache holds %d blocks", c.len())
+	}
+	// Most recent entries must still be present.
+	if _, ok := c.get(cacheKey{table: 1, off: 99}); !ok {
+		t.Fatal("most recent block evicted")
+	}
+	if _, ok := c.get(cacheKey{table: 1, off: 0}); ok {
+		t.Fatal("oldest block must be evicted")
+	}
+}
+
+func TestReadLatencyInjection(t *testing.T) {
+	db := openTest(t, Options{ReadLatency: 2 * time.Millisecond, BlockCacheBytes: 1})
+	for i := 0; i < 50; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%04d", i)), bytes.Repeat([]byte("x"), 100))
+	}
+	db.Flush()
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		db.Get([]byte(fmt.Sprintf("key-%04d", i*3)))
+	}
+	elapsed := time.Since(start)
+	if elapsed < 10*2*time.Millisecond/2 {
+		t.Fatalf("latency injection too weak: %v", elapsed)
+	}
+	if db.Stats().IOTime < 10*time.Millisecond {
+		t.Fatalf("IOTime %v must include injected latency", db.Stats().IOTime)
+	}
+}
+
+func TestMemUsageTracksBudget(t *testing.T) {
+	db := openTest(t, Options{MemTableBytes: 1 << 20, BlockCacheBytes: 1 << 20})
+	for i := 0; i < 2000; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%06d", i)), make([]byte, 100))
+	}
+	if db.MemUsage() <= 0 {
+		t.Fatal("MemUsage must be positive")
+	}
+	db.Flush()
+	if db.DiskUsage() <= 0 {
+		t.Fatal("DiskUsage must be positive after flush")
+	}
+}
+
+// TestModelEquivalence drives the store and a map with the same random
+// operations, checking full agreement, including across flushes,
+// compactions, and reopens.
+func TestModelEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{MemTableBytes: 2 << 10, CompactAt: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := map[string]string{}
+	rng := rand.New(rand.NewSource(42))
+	key := func() []byte { return []byte(fmt.Sprintf("key-%03d", rng.Intn(500))) }
+
+	for step := 0; step < 5000; step++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4: // put
+			k, v := key(), fmt.Sprintf("val-%d", step)
+			model[string(k)] = v
+			if err := db.Put(k, []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+		case 5, 6: // delete
+			k := key()
+			delete(model, string(k))
+			if err := db.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+		case 7, 8: // get
+			k := key()
+			v, err := db.Get(k)
+			want, ok := model[string(k)]
+			if ok {
+				if err != nil || string(v) != want {
+					t.Fatalf("step %d: Get(%s)=%q,%v want %q", step, k, v, err, want)
+				}
+			} else if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("step %d: Get(%s)=%q,%v want not-found", step, k, v, err)
+			}
+		case 9:
+			switch rng.Intn(4) {
+			case 0:
+				if err := db.Flush(); err != nil {
+					t.Fatal(err)
+				}
+			case 1:
+				if err := db.Compact(); err != nil {
+					t.Fatal(err)
+				}
+			case 2: // reopen
+				if err := db.Close(); err != nil {
+					t.Fatal(err)
+				}
+				db, err = Open(dir, Options{MemTableBytes: 2 << 10, CompactAt: 3})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	// Final full sweep.
+	seen := 0
+	err = db.ForEach(func(k, v []byte) error {
+		want, ok := model[string(k)]
+		if !ok || want != string(v) {
+			t.Fatalf("ForEach: key %q = %q, model %q (present=%v)", k, v, want, ok)
+		}
+		seen++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(model) {
+		t.Fatalf("ForEach saw %d keys, model has %d", seen, len(model))
+	}
+	db.Close()
+}
+
+func TestConcurrentReadersAndWriter(t *testing.T) {
+	db := openTest(t, Options{MemTableBytes: 8 << 10})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			db.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte(fmt.Sprintf("v%d", i)))
+		}
+	}()
+	for j := 0; j < 4; j++ {
+		go func(seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				k := []byte(fmt.Sprintf("key-%05d", rng.Intn(2000)))
+				if v, err := db.Get(k); err == nil {
+					if !bytes.HasPrefix(v, []byte("v")) {
+						t.Errorf("corrupt value %q", v)
+						return
+					}
+				}
+			}
+		}(int64(j))
+	}
+	<-done
+	for i := 0; i < 2000; i += 111 {
+		if _, err := db.Get([]byte(fmt.Sprintf("key-%05d", i))); err != nil {
+			t.Fatalf("key %d lost: %v", i, err)
+		}
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	db := openTest(b, Options{MemTableBytes: 64 << 20})
+	val := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%09d", i)), val)
+	}
+}
+
+func BenchmarkGetHot(b *testing.B) {
+	db := openTest(b, Options{})
+	for i := 0; i < 10000; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%06d", i)), make([]byte, 64))
+	}
+	db.Flush()
+	// Warm the cache.
+	for i := 0; i < 10000; i++ {
+		db.Get([]byte(fmt.Sprintf("key-%06d", i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Get([]byte(fmt.Sprintf("key-%06d", i%10000))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetColdCache(b *testing.B) {
+	db := openTest(b, Options{BlockCacheBytes: 1})
+	for i := 0; i < 10000; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%06d", i)), make([]byte, 64))
+	}
+	db.Flush()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Get([]byte(fmt.Sprintf("key-%06d", (i*7919)%10000))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestHasAndLatencyAccessors(t *testing.T) {
+	db := openTest(t, Options{})
+	db.Put([]byte("k"), []byte("v"))
+	ok, err := db.Has([]byte("k"))
+	if err != nil || !ok {
+		t.Fatalf("Has=%v,%v", ok, err)
+	}
+	ok, err = db.Has([]byte("absent"))
+	if err != nil || ok {
+		t.Fatalf("Has absent=%v,%v", ok, err)
+	}
+	if db.ReadLatency() != 0 {
+		t.Fatal("default latency must be zero")
+	}
+	db.SetReadLatency(5 * time.Millisecond)
+	if db.ReadLatency() != 5*time.Millisecond {
+		t.Fatal("SetReadLatency must take effect")
+	}
+}
+
+func TestEmptyBatchAndFlush(t *testing.T) {
+	db := openTest(t, Options{})
+	var b Batch
+	if err := db.Apply(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil { // empty memtable: no-op
+		t.Fatal(err)
+	}
+	if db.TableCount() != 0 {
+		t.Fatal("empty flush must not create tables")
+	}
+}

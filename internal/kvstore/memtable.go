@@ -1,0 +1,88 @@
+package kvstore
+
+import "sort"
+
+// state describes the result of a point lookup.
+type state int
+
+const (
+	absent  state = iota // key unknown at this level
+	present              // key has a live value
+	deleted              // key has a tombstone
+)
+
+// memEntry is one version of a key in the memtable.
+type memEntry struct {
+	value []byte
+	del   bool
+}
+
+// memtable buffers writes in memory. Point lookups are O(1); ordering
+// is only needed at flush time, where the keys are sorted once. This
+// matches the store's access pattern — the UTXO workload never range
+// scans the hot path.
+type memtable struct {
+	m    map[string]memEntry
+	size int // approximate bytes: keys + values + fixed overhead
+}
+
+// memEntryOverhead approximates the per-entry bookkeeping cost.
+const memEntryOverhead = 48
+
+func newMemtable() *memtable {
+	return &memtable{m: make(map[string]memEntry)}
+}
+
+func (t *memtable) len() int { return len(t.m) }
+
+func (t *memtable) get(key []byte) ([]byte, state) {
+	e, ok := t.m[string(key)]
+	if !ok {
+		return nil, absent
+	}
+	if e.del {
+		return nil, deleted
+	}
+	return e.value, present
+}
+
+func (t *memtable) put(key, value []byte) {
+	k := string(key)
+	if old, ok := t.m[k]; ok {
+		t.size -= len(old.value)
+	} else {
+		t.size += len(k) + memEntryOverhead
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	t.m[k] = memEntry{value: v}
+	t.size += len(v)
+}
+
+func (t *memtable) del(key []byte) {
+	k := string(key)
+	if old, ok := t.m[k]; ok {
+		t.size -= len(old.value)
+	} else {
+		t.size += len(k) + memEntryOverhead
+	}
+	t.m[k] = memEntry{del: true}
+}
+
+// kvEntry is a sorted (key, value, tombstone) triple handed to the
+// SSTable writer.
+type kvEntry struct {
+	key   string
+	value []byte
+	del   bool
+}
+
+// sorted returns all entries in ascending key order.
+func (t *memtable) sorted() []kvEntry {
+	out := make([]kvEntry, 0, len(t.m))
+	for k, e := range t.m {
+		out = append(out, kvEntry{key: k, value: e.value, del: e.del})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}

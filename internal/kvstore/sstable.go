@@ -1,0 +1,356 @@
+package kvstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// SSTable layout:
+//
+//	[data block]* [index] [bloom] [footer]
+//
+// A data block is a run of entries — varint keyLen, key, flag byte
+// (0 value / 1 tombstone), and for values a varint valueLen plus the
+// bytes — cut at ~4 KiB boundaries. The index holds each block's first
+// key, offset and length; the bloom filter covers every key in the
+// table. Index and bloom are small and pinned in memory; data blocks
+// are read on demand through the DB's block cache.
+const (
+	blockTarget  = 4 << 10
+	footerSize   = 40
+	tableMagic   = 0x4542565f53535431 // "EBV_SST1"
+	flagValue    = 0
+	flagTombtone = 1
+)
+
+// writeTable writes sorted entries to path and returns the file size.
+func writeTable(path string, entries []kvEntry, opts Options) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, fmt.Errorf("kvstore: %w", err)
+	}
+	defer f.Close()
+
+	bloom := newBloom(len(entries), opts.BloomBitsPerKey)
+	var buf bytes.Buffer  // current data block
+	var index []byte      // index under construction
+	var blockFirst string // first key of the current block
+	var fileOff uint64    // bytes written so far
+	flushBlock := func() error {
+		if buf.Len() == 0 {
+			return nil
+		}
+		index = binary.AppendUvarint(index, uint64(len(blockFirst)))
+		index = append(index, blockFirst...)
+		index = binary.AppendUvarint(index, fileOff)
+		index = binary.AppendUvarint(index, uint64(buf.Len()))
+		n, err := f.Write(buf.Bytes())
+		if err != nil {
+			return fmt.Errorf("kvstore: %w", err)
+		}
+		fileOff += uint64(n)
+		buf.Reset()
+		return nil
+	}
+
+	for i := range entries {
+		e := &entries[i]
+		if buf.Len() == 0 {
+			blockFirst = e.key
+		}
+		bloom.add([]byte(e.key))
+		var tmp [binary.MaxVarintLen64]byte
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(e.key)))])
+		buf.WriteString(e.key)
+		if e.del {
+			buf.WriteByte(flagTombtone)
+		} else {
+			buf.WriteByte(flagValue)
+			buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(e.value)))])
+			buf.Write(e.value)
+		}
+		if buf.Len() >= blockTarget {
+			if err := flushBlock(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if err := flushBlock(); err != nil {
+		return 0, err
+	}
+
+	indexOff := fileOff
+	if _, err := f.Write(index); err != nil {
+		return 0, fmt.Errorf("kvstore: %w", err)
+	}
+	fileOff += uint64(len(index))
+	bloomBytes := bloom.encode(nil)
+	bloomOff := fileOff
+	if _, err := f.Write(bloomBytes); err != nil {
+		return 0, fmt.Errorf("kvstore: %w", err)
+	}
+	fileOff += uint64(len(bloomBytes))
+
+	var footer [footerSize]byte
+	binary.LittleEndian.PutUint64(footer[0:], indexOff)
+	binary.LittleEndian.PutUint64(footer[8:], uint64(len(index)))
+	binary.LittleEndian.PutUint64(footer[16:], bloomOff)
+	binary.LittleEndian.PutUint64(footer[24:], uint64(len(bloomBytes)))
+	binary.LittleEndian.PutUint64(footer[32:], tableMagic)
+	if _, err := f.Write(footer[:]); err != nil {
+		return 0, fmt.Errorf("kvstore: %w", err)
+	}
+	if opts.SyncWrites {
+		if err := f.Sync(); err != nil {
+			return 0, fmt.Errorf("kvstore: %w", err)
+		}
+	}
+	return int64(fileOff) + footerSize, nil
+}
+
+// indexEntry locates one data block.
+type indexEntry struct {
+	firstKey string
+	off      uint64
+	len      uint64
+}
+
+// ssTable is an open, immutable on-disk table.
+type ssTable struct {
+	id       uint64
+	f        *os.File
+	fileSize int64
+	index    []indexEntry
+	bloom    *bloomFilter
+	db       *DB // for cache, stats, latency injection
+	rawMeta  int // bytes of index + bloom pinned in memory
+}
+
+// openTable opens path, loading the index and bloom filter.
+func openTable(path string, id uint64, db *DB) (*ssTable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("kvstore: %w", err)
+	}
+	size := st.Size()
+	if size < footerSize {
+		f.Close()
+		return nil, fmt.Errorf("kvstore: table %s too small", path)
+	}
+	var footer [footerSize]byte
+	if _, err := f.ReadAt(footer[:], size-footerSize); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("kvstore: %w", err)
+	}
+	if binary.LittleEndian.Uint64(footer[32:]) != tableMagic {
+		f.Close()
+		return nil, fmt.Errorf("kvstore: table %s bad magic", path)
+	}
+	indexOff := binary.LittleEndian.Uint64(footer[0:])
+	indexLen := binary.LittleEndian.Uint64(footer[8:])
+	bloomOff := binary.LittleEndian.Uint64(footer[16:])
+	bloomLen := binary.LittleEndian.Uint64(footer[24:])
+	if indexOff+indexLen > uint64(size) || bloomOff+bloomLen > uint64(size) {
+		f.Close()
+		return nil, fmt.Errorf("kvstore: table %s corrupt footer", path)
+	}
+	raw := make([]byte, indexLen)
+	if _, err := f.ReadAt(raw, int64(indexOff)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("kvstore: %w", err)
+	}
+	t := &ssTable{id: id, f: f, fileSize: size, db: db, rawMeta: int(indexLen + bloomLen)}
+	for off := 0; off < len(raw); {
+		kl, n := binary.Uvarint(raw[off:])
+		if n <= 0 || off+n+int(kl) > len(raw) {
+			f.Close()
+			return nil, fmt.Errorf("kvstore: table %s corrupt index", path)
+		}
+		off += n
+		key := string(raw[off : off+int(kl)])
+		off += int(kl)
+		bOff, n1 := binary.Uvarint(raw[off:])
+		if n1 <= 0 {
+			f.Close()
+			return nil, fmt.Errorf("kvstore: table %s corrupt index", path)
+		}
+		off += n1
+		bLen, n2 := binary.Uvarint(raw[off:])
+		if n2 <= 0 {
+			f.Close()
+			return nil, fmt.Errorf("kvstore: table %s corrupt index", path)
+		}
+		off += n2
+		t.index = append(t.index, indexEntry{firstKey: key, off: bOff, len: bLen})
+	}
+	bl := make([]byte, bloomLen)
+	if _, err := f.ReadAt(bl, int64(bloomOff)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("kvstore: %w", err)
+	}
+	bloom, ok := decodeBloom(bl)
+	if !ok {
+		f.Close()
+		return nil, fmt.Errorf("kvstore: table %s corrupt bloom", path)
+	}
+	t.bloom = bloom
+	return t, nil
+}
+
+func (t *ssTable) metaBytes() int { return t.rawMeta }
+
+func (t *ssTable) close() error { return t.f.Close() }
+
+// readBlock fetches a data block, consulting the DB block cache and
+// charging disk reads (plus injected latency) to stats.
+func (t *ssTable) readBlock(ie indexEntry) ([]byte, error) {
+	ck := cacheKey{table: t.id, off: ie.off}
+	if b, ok := t.db.cache.get(ck); ok {
+		t.db.addStat(func(s *Stats) { s.CacheHits++ })
+		return b, nil
+	}
+	start := time.Now()
+	if lat := t.db.ReadLatency(); lat > 0 {
+		time.Sleep(lat)
+	}
+	b := make([]byte, ie.len)
+	if _, err := t.f.ReadAt(b, int64(ie.off)); err != nil {
+		return nil, fmt.Errorf("kvstore: read block: %w", err)
+	}
+	t.db.addStat(func(s *Stats) {
+		s.CacheMisses++
+		s.IOTime += time.Since(start)
+	})
+	t.db.cache.put(ck, b)
+	return b, nil
+}
+
+// get looks up key in this table.
+func (t *ssTable) get(key []byte) ([]byte, state, error) {
+	if !t.bloom.mayContain(key) {
+		t.db.addStat(func(s *Stats) { s.BloomSkips++ })
+		return nil, absent, nil
+	}
+	// Find the last block whose first key <= key.
+	i := sort.Search(len(t.index), func(i int) bool {
+		return t.index[i].firstKey > string(key)
+	}) - 1
+	if i < 0 {
+		return nil, absent, nil
+	}
+	block, err := t.readBlock(t.index[i])
+	if err != nil {
+		return nil, absent, err
+	}
+	for off := 0; off < len(block); {
+		kl, n := binary.Uvarint(block[off:])
+		if n <= 0 || off+n+int(kl) > len(block) {
+			return nil, absent, fmt.Errorf("kvstore: corrupt block in table %d", t.id)
+		}
+		off += n
+		k := block[off : off+int(kl)]
+		off += int(kl)
+		if off >= len(block) {
+			return nil, absent, fmt.Errorf("kvstore: corrupt block in table %d", t.id)
+		}
+		flag := block[off]
+		off++
+		var v []byte
+		if flag == flagValue {
+			vl, n := binary.Uvarint(block[off:])
+			if n <= 0 || off+n+int(vl) > len(block) {
+				return nil, absent, fmt.Errorf("kvstore: corrupt block in table %d", t.id)
+			}
+			off += n
+			v = block[off : off+int(vl)]
+			off += int(vl)
+		}
+		switch bytes.Compare(k, key) {
+		case 0:
+			if flag == flagTombtone {
+				return nil, deleted, nil
+			}
+			out := make([]byte, len(v))
+			copy(out, v)
+			return out, present, nil
+		case 1: // past the key; blocks are sorted
+			return nil, absent, nil
+		}
+	}
+	return nil, absent, nil
+}
+
+// iter walks all entries of the table in key order, including
+// tombstones, reading blocks sequentially and bypassing the cache.
+// Used by compaction and ForEach.
+type tableIter struct {
+	t     *ssTable
+	block []byte
+	bi    int // next index entry
+	off   int // offset within block
+	cur   kvEntry
+	err   error
+	done  bool
+}
+
+func (t *ssTable) iterate() *tableIter { return &tableIter{t: t} }
+
+// next advances to the next entry, returning false at the end.
+func (it *tableIter) next() bool {
+	if it.err != nil || it.done {
+		return false
+	}
+	for it.block == nil || it.off >= len(it.block) {
+		if it.bi >= len(it.t.index) {
+			it.done = true
+			return false
+		}
+		ie := it.t.index[it.bi]
+		it.bi++
+		b := make([]byte, ie.len)
+		if _, err := it.t.f.ReadAt(b, int64(ie.off)); err != nil {
+			it.err = fmt.Errorf("kvstore: iterate: %w", err)
+			return false
+		}
+		it.block = b
+		it.off = 0
+	}
+	block := it.block
+	kl, n := binary.Uvarint(block[it.off:])
+	if n <= 0 || it.off+n+int(kl) > len(block) {
+		it.err = fmt.Errorf("kvstore: corrupt block in table %d", it.t.id)
+		return false
+	}
+	it.off += n
+	key := string(block[it.off : it.off+int(kl)])
+	it.off += int(kl)
+	if it.off >= len(block) {
+		it.err = fmt.Errorf("kvstore: corrupt block in table %d", it.t.id)
+		return false
+	}
+	flag := block[it.off]
+	it.off++
+	var val []byte
+	if flag == flagValue {
+		vl, n := binary.Uvarint(block[it.off:])
+		if n <= 0 || it.off+n+int(vl) > len(block) {
+			it.err = fmt.Errorf("kvstore: corrupt block in table %d", it.t.id)
+			return false
+		}
+		it.off += n
+		val = make([]byte, vl)
+		copy(val, block[it.off:it.off+int(vl)])
+		it.off += int(vl)
+	}
+	it.cur = kvEntry{key: key, value: val, del: flag == flagTombtone}
+	return true
+}

@@ -1,0 +1,254 @@
+// Package mempool holds validated, not-yet-mined EBV transactions and
+// builds block templates from them.
+//
+// Admission runs the paper's transaction validation (§IV-D): proof
+// consistency, EV against stored headers, UV against the bit-vector
+// set, SV through the script engine — all without the UTXO database.
+// The pool also enforces what block validation cannot see yet:
+// transactions already in the pool must not spend the same output
+// (conflict tracking by (height, position)).
+//
+// BuildTemplate selects transactions by fee rate and hands them to the
+// miner, which assigns stake positions at packaging time
+// (blockmodel.AssembleEBV).
+package mempool
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ebv/internal/blockmodel"
+	"ebv/internal/core"
+	"ebv/internal/hashx"
+	"ebv/internal/statusdb"
+	"ebv/internal/txmodel"
+)
+
+// Errors returned by Add.
+var (
+	ErrDuplicate = errors.New("mempool: transaction already present")
+	ErrConflict  = errors.New("mempool: conflicts with a pooled transaction")
+	ErrPoolFull  = errors.New("mempool: pool is full")
+)
+
+// Config bounds the pool.
+type Config struct {
+	// MaxTxs caps the number of pooled transactions. Default 10000.
+	MaxTxs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxTxs <= 0 {
+		c.MaxTxs = 10_000
+	}
+	return c
+}
+
+// entry is one pooled transaction with its cached admission data.
+type entry struct {
+	tx      *txmodel.EBVTx
+	id      hashx.Hash
+	fee     uint64
+	size    int
+	feeRate float64 // fee per encoded byte
+	spends  []statusdb.Spend
+}
+
+// Pool is the mempool. Safe for concurrent use.
+type Pool struct {
+	cfg       Config
+	validator *core.EBVValidator
+
+	mu      sync.Mutex
+	entries map[hashx.Hash]*entry
+	spent   map[statusdb.Spend]hashx.Hash // output -> pooled spender
+}
+
+// New creates a pool admitting against the given validator's chain
+// state.
+func New(validator *core.EBVValidator, cfg Config) *Pool {
+	return &Pool{
+		cfg:       cfg.withDefaults(),
+		validator: validator,
+		entries:   make(map[hashx.Hash]*entry),
+		spent:     make(map[statusdb.Spend]hashx.Hash),
+	}
+}
+
+// Len returns the number of pooled transactions.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.entries)
+}
+
+// Add validates tx against the chain state and admits it. The
+// transaction id (tidy leaf hash with StakePos zero) is returned.
+func (p *Pool) Add(tx *txmodel.EBVTx) (hashx.Hash, error) {
+	// Chain-state validation happens outside the lock: it is the
+	// expensive part and touches only the validator's own state.
+	if err := p.validator.ValidateTx(tx); err != nil {
+		return hashx.ZeroHash, err
+	}
+	// Pool identity is the pre-packaging form: the miner owns the
+	// stake position, so it is zeroed here.
+	tx.Tidy.StakePos = 0
+	inSum, _ := tx.InputSum()
+	outSum, _ := tx.OutputSum()
+	fee := inSum - outSum
+	size := tx.EncodedSize()
+	e := &entry{
+		tx:      tx,
+		id:      tx.Tidy.LeafHash(),
+		fee:     fee,
+		size:    size,
+		feeRate: float64(fee) / float64(size),
+	}
+	for i := range tx.Bodies {
+		e.spends = append(e.spends, statusdb.Spend{
+			Height: tx.Bodies[i].Height,
+			Pos:    tx.Bodies[i].AbsPosition(),
+		})
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.entries[e.id]; ok {
+		return e.id, ErrDuplicate
+	}
+	if len(p.entries) >= p.cfg.MaxTxs {
+		return hashx.ZeroHash, ErrPoolFull
+	}
+	for _, sp := range e.spends {
+		if other, ok := p.spent[sp]; ok {
+			return hashx.ZeroHash, fmt.Errorf("%w: output %d:%d already spent by %s",
+				ErrConflict, sp.Height, sp.Pos, other.Short())
+		}
+	}
+	p.entries[e.id] = e
+	for _, sp := range e.spends {
+		p.spent[sp] = e.id
+	}
+	return e.id, nil
+}
+
+// Get returns a pooled transaction by id.
+func (p *Pool) Get(id hashx.Hash) (*txmodel.EBVTx, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[id]
+	if !ok {
+		return nil, false
+	}
+	return e.tx, true
+}
+
+// removeLocked drops an entry and its spend claims.
+func (p *Pool) removeLocked(e *entry) {
+	delete(p.entries, e.id)
+	for _, sp := range e.spends {
+		if p.spent[sp] == e.id {
+			delete(p.spent, sp)
+		}
+	}
+}
+
+// BuildTemplate selects transactions for the next block: highest fee
+// rate first, bounded by maxOutputs (the block's bit-vector budget;
+// <=0 means the consensus cap). The coinbase is not included — the
+// miner adds it with the collected fees.
+func (p *Pool) BuildTemplate(maxOutputs int) (txs []*txmodel.EBVTx, totalFees uint64) {
+	if maxOutputs <= 0 || maxOutputs > blockmodel.MaxBlockOutputs {
+		maxOutputs = blockmodel.MaxBlockOutputs
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ordered := make([]*entry, 0, len(p.entries))
+	for _, e := range p.entries {
+		ordered = append(ordered, e)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].feeRate != ordered[j].feeRate {
+			return ordered[i].feeRate > ordered[j].feeRate
+		}
+		return ordered[i].id.String() < ordered[j].id.String() // deterministic tie-break
+	})
+	outputs := 1 // miner's coinbase output
+	for _, e := range ordered {
+		n := len(e.tx.Tidy.Outputs)
+		if outputs+n > maxOutputs {
+			continue
+		}
+		outputs += n
+		// Hand the miner a copy: packaging assigns stake positions in
+		// place and must not mutate the pooled transaction.
+		cp := *e.tx
+		txs = append(txs, &cp)
+		totalFees += e.fee
+	}
+	return txs, totalFees
+}
+
+// BlockConnected removes transactions included in (or conflicting
+// with) a newly connected block and returns how many were dropped.
+func (p *Pool) BlockConnected(b *blockmodel.EBVBlock) int {
+	claimed := make(map[statusdb.Spend]struct{})
+	included := make(map[hashx.Hash]struct{})
+	for i, tx := range b.Txs {
+		if i == 0 {
+			continue
+		}
+		// Identity in the pool uses StakePos 0 (pre-packaging form).
+		tidy := tx.Tidy
+		tidy.StakePos = 0
+		included[tidy.LeafHash()] = struct{}{}
+		for j := range tx.Bodies {
+			claimed[statusdb.Spend{Height: tx.Bodies[j].Height, Pos: tx.Bodies[j].AbsPosition()}] = struct{}{}
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	dropped := 0
+	for _, e := range p.entries {
+		if _, ok := included[e.id]; ok {
+			p.removeLocked(e)
+			dropped++
+			continue
+		}
+		for _, sp := range e.spends {
+			if _, ok := claimed[sp]; ok {
+				p.removeLocked(e)
+				dropped++
+				break
+			}
+		}
+	}
+	return dropped
+}
+
+// Revalidate re-runs chain-state validation on every pooled
+// transaction and evicts failures (used after reorg-like state
+// changes). Returns the number evicted.
+func (p *Pool) Revalidate() int {
+	p.mu.Lock()
+	snapshot := make([]*entry, 0, len(p.entries))
+	for _, e := range p.entries {
+		snapshot = append(snapshot, e)
+	}
+	p.mu.Unlock()
+
+	evicted := 0
+	for _, e := range snapshot {
+		if err := p.validator.ValidateTx(e.tx); err != nil {
+			p.mu.Lock()
+			if _, still := p.entries[e.id]; still {
+				p.removeLocked(e)
+				evicted++
+			}
+			p.mu.Unlock()
+		}
+	}
+	return evicted
+}

@@ -1,0 +1,322 @@
+package mempool
+
+import (
+	"errors"
+	"testing"
+
+	"ebv/internal/blockmodel"
+	"ebv/internal/chainstore"
+	"ebv/internal/core"
+	"ebv/internal/proof"
+	"ebv/internal/script"
+	"ebv/internal/statusdb"
+	"ebv/internal/txmodel"
+	"ebv/internal/workload"
+)
+
+// env is a synced EBV validator with a proof builder and key access.
+type env struct {
+	gen     *workload.Generator
+	chain   *chainstore.Store
+	status  *statusdb.DB
+	val     *core.EBVValidator
+	builder *proof.Builder
+	blocks  int
+}
+
+func newEnv(t *testing.T, blocks int) *env {
+	t.Helper()
+	e := &env{blocks: blocks}
+	e.gen = workload.NewGenerator(workload.TestParams(blocks))
+	im, err := proof.NewIntermediary(t.TempDir(), e.gen.Resign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { im.Close() })
+	// The validator keeps its own chain copy: connect, then append.
+	e.chain, err = chainstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.chain.Close() })
+	e.status = statusdb.New(true)
+	e.val = core.NewEBVValidator(e.status, script.NewEngine(e.gen.Scheme()), e.chain)
+	for !e.gen.Done() {
+		cb, err := e.gen.NextBlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb, err := im.ProcessBlock(cb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.val.ConnectBlock(eb); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.chain.Append(eb.Header, eb.Encode(nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.builder = proof.NewBuilder(e.chain, 16)
+	return e
+}
+
+// spendCoinbase builds a signed transaction spending the coinbase of
+// an unspent block, paying fee.
+func (e *env) spendCoinbase(t *testing.T, skip int, fee uint64) *txmodel.EBVTx {
+	t.Helper()
+	found := 0
+	for h := uint64(0); h+100 < uint64(e.blocks); h++ {
+		ok, err := e.status.IsUnspent(h, 0)
+		if err != nil || !ok {
+			continue
+		}
+		if found < skip {
+			found++
+			continue
+		}
+		body, err := e.builder.Prove(proof.Loc{Height: h, TxIndex: 0}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payee := e.gen.Scheme().KeyFromSeed([]byte{byte(skip)})
+		tx := &txmodel.EBVTx{
+			Tidy: txmodel.TidyTx{Version: 1, Outputs: []txmodel.TxOut{{
+				Value:      body.PrevTx.Outputs[0].Value - fee,
+				LockScript: script.StandardLock(payee),
+			}}},
+			Bodies: []txmodel.InputBody{body},
+		}
+		key := e.gen.Scheme().KeyFromSeed(workload.KeySeed(h, 0, 0))
+		unlock, err := script.StandardUnlock(key, tx.SigHash())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx.Bodies[0].UnlockScript = unlock
+		tx.SealInputHashes()
+		return tx
+	}
+	t.Skip("not enough unspent coinbases at this scale")
+	return nil
+}
+
+func TestAddAndTemplate(t *testing.T) {
+	e := newEnv(t, 250)
+	pool := New(e.val, Config{})
+	txA := e.spendCoinbase(t, 0, 5_000)
+	txB := e.spendCoinbase(t, 1, 500)
+
+	idA, err := pool.Add(txA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Add(txB); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Len() != 2 {
+		t.Fatalf("Len=%d", pool.Len())
+	}
+	if got, ok := pool.Get(idA); !ok || got != txA {
+		t.Fatal("Get must return the pooled tx")
+	}
+
+	txs, fees := pool.BuildTemplate(0)
+	if len(txs) != 2 {
+		t.Fatalf("template has %d txs", len(txs))
+	}
+	if fees != 5_500 {
+		t.Fatalf("fees=%d", fees)
+	}
+	// Fee-rate ordering: the 5000-fee tx first (similar sizes).
+	if in0, _ := txs[0].InputSum(); in0 == 0 {
+		t.Fatal("template tx malformed")
+	}
+	out0, _ := txs[0].OutputSum()
+	in0, _ := txs[0].InputSum()
+	if in0-out0 != 5_000 {
+		t.Fatalf("first template tx fee %d, want the high-fee tx", in0-out0)
+	}
+}
+
+func TestRejectsInvalidAndDuplicatesAndConflicts(t *testing.T) {
+	e := newEnv(t, 250)
+	pool := New(e.val, Config{})
+	tx := e.spendCoinbase(t, 0, 1_000)
+	if _, err := pool.Add(tx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Add(tx); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	// A different tx spending the same output conflicts.
+	conflict := e.spendCoinbase(t, 0, 2_000) // skip=0 finds the same coinbase
+	// It found the same unspent coinbase because the pool does not
+	// mutate chain state.
+	if _, err := pool.Add(conflict); !errors.Is(err, ErrConflict) {
+		t.Fatalf("conflict: %v", err)
+	}
+	// Invalid: corrupt signature.
+	bad := e.spendCoinbase(t, 1, 1_000)
+	bad.Bodies[0].UnlockScript[3] ^= 1
+	bad.SealInputHashes()
+	if _, err := pool.Add(bad); !errors.Is(err, core.ErrInvalidBlock) {
+		t.Fatalf("invalid: %v", err)
+	}
+}
+
+func TestPoolFull(t *testing.T) {
+	e := newEnv(t, 250)
+	pool := New(e.val, Config{MaxTxs: 1})
+	if _, err := pool.Add(e.spendCoinbase(t, 0, 1_000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Add(e.spendCoinbase(t, 1, 1_000)); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("full: %v", err)
+	}
+}
+
+func TestMineFromTemplateAndBlockConnected(t *testing.T) {
+	e := newEnv(t, 250)
+	pool := New(e.val, Config{})
+	pool.Add(e.spendCoinbase(t, 0, 3_000))
+	pool.Add(e.spendCoinbase(t, 1, 1_000))
+
+	txs, fees := pool.BuildTemplate(0)
+	payee := e.gen.Scheme().KeyFromSeed([]byte("miner"))
+	coinbase := &txmodel.EBVTx{Tidy: txmodel.TidyTx{
+		Outputs: []txmodel.TxOut{{
+			Value:      blockmodel.Subsidy(uint64(e.blocks)) + fees,
+			LockScript: script.StandardLock(payee),
+		}},
+		LockTime: uint32(e.blocks),
+	}}
+	blk, err := blockmodel.AssembleEBV(e.chain.TipHash(), uint64(e.blocks), 0,
+		append([]*txmodel.EBVTx{coinbase}, txs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.val.ConnectBlock(blk); err != nil {
+		t.Fatalf("mined block rejected: %v", err)
+	}
+	if err := e.chain.Append(blk.Header, blk.Encode(nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	dropped := pool.BlockConnected(blk)
+	if dropped != 2 {
+		t.Fatalf("dropped %d, want 2", dropped)
+	}
+	if pool.Len() != 0 {
+		t.Fatalf("pool must be empty, has %d", pool.Len())
+	}
+}
+
+func TestBlockConnectedDropsConflicts(t *testing.T) {
+	e := newEnv(t, 250)
+	poolA := New(e.val, Config{})
+	poolB := New(e.val, Config{})
+	// The same output is spent by different txs in two pools (e.g. two
+	// nodes); mining one must evict the other as a conflict.
+	txA := e.spendCoinbase(t, 0, 3_000)
+	txB := e.spendCoinbase(t, 0, 9_000) // same coinbase, different fee
+	if _, err := poolA.Add(txA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := poolB.Add(txB); err != nil {
+		t.Fatal(err)
+	}
+
+	txs, fees := poolA.BuildTemplate(0)
+	payee := e.gen.Scheme().KeyFromSeed([]byte("miner"))
+	coinbase := &txmodel.EBVTx{Tidy: txmodel.TidyTx{
+		Outputs: []txmodel.TxOut{{
+			Value:      blockmodel.Subsidy(uint64(e.blocks)) + fees,
+			LockScript: script.StandardLock(payee),
+		}},
+		LockTime: uint32(e.blocks),
+	}}
+	blk, err := blockmodel.AssembleEBV(e.chain.TipHash(), uint64(e.blocks), 0,
+		append([]*txmodel.EBVTx{coinbase}, txs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.val.ConnectBlock(blk); err != nil {
+		t.Fatal(err)
+	}
+	if dropped := poolB.BlockConnected(blk); dropped != 1 {
+		t.Fatalf("conflict eviction dropped %d, want 1", dropped)
+	}
+}
+
+func TestRevalidateEvictsStale(t *testing.T) {
+	e := newEnv(t, 250)
+	pool := New(e.val, Config{})
+	tx := e.spendCoinbase(t, 0, 3_000)
+	if _, err := pool.Add(tx); err != nil {
+		t.Fatal(err)
+	}
+	// Spend the same output directly on-chain, bypassing the pool.
+	sp := statusdb.Spend{Height: tx.Bodies[0].Height, Pos: tx.Bodies[0].AbsPosition()}
+	tip, _ := e.status.Tip()
+	if err := e.status.Connect(tip+1, 1, []statusdb.Spend{sp}); err != nil {
+		t.Fatal(err)
+	}
+	if evicted := pool.Revalidate(); evicted != 1 {
+		t.Fatalf("evicted %d, want 1", evicted)
+	}
+	if pool.Len() != 0 {
+		t.Fatal("stale tx must be gone")
+	}
+}
+
+func TestTemplateRespectsOutputBudget(t *testing.T) {
+	e := newEnv(t, 250)
+	pool := New(e.val, Config{})
+	pool.Add(e.spendCoinbase(t, 0, 3_000))
+	pool.Add(e.spendCoinbase(t, 1, 1_000))
+	// Budget of 2 outputs: 1 coinbase + 1 tx output fits.
+	txs, _ := pool.BuildTemplate(2)
+	if len(txs) != 1 {
+		t.Fatalf("budgeted template has %d txs, want 1", len(txs))
+	}
+}
+
+func TestRejectsImmatureCoinbaseSpend(t *testing.T) {
+	e := newEnv(t, 250)
+	pool := New(e.val, Config{})
+	// Find a young unspent coinbase (< 100 confirmations deep).
+	found := false
+	for h := uint64(160); h < 250; h++ {
+		ok, err := e.status.IsUnspent(h, 0)
+		if err != nil || !ok {
+			continue
+		}
+		body, err := e.builder.Prove(proof.Loc{Height: h, TxIndex: 0}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payee := e.gen.Scheme().KeyFromSeed([]byte("p"))
+		tx := &txmodel.EBVTx{
+			Tidy: txmodel.TidyTx{Version: 1, Outputs: []txmodel.TxOut{{
+				Value:      body.PrevTx.Outputs[0].Value - 100,
+				LockScript: script.StandardLock(payee),
+			}}},
+			Bodies: []txmodel.InputBody{body},
+		}
+		key := e.gen.Scheme().KeyFromSeed(workload.KeySeed(h, 0, 0))
+		unlock, err := script.StandardUnlock(key, tx.SigHash())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx.Bodies[0].UnlockScript = unlock
+		tx.SealInputHashes()
+		if _, err := pool.Add(tx); !errors.Is(err, core.ErrImmature) {
+			t.Fatalf("immature coinbase spend must be rejected, got %v", err)
+		}
+		found = true
+		break
+	}
+	if !found {
+		t.Skip("no young unspent coinbase at this scale")
+	}
+}

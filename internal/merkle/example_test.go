@@ -1,0 +1,29 @@
+package merkle_test
+
+import (
+	"fmt"
+
+	"ebv/internal/hashx"
+	"ebv/internal/merkle"
+)
+
+// Example shows the EV flow: a proposer extracts a branch for its
+// transaction; a validator folds it against the header root.
+func Example() {
+	leaves := []hashx.Hash{
+		hashx.Sum([]byte("coinbase")),
+		hashx.Sum([]byte("tx-1")),
+		hashx.Sum([]byte("tx-2")),
+	}
+	tree := merkle.Build(leaves)
+	headerRoot := tree.Root() // stored in the block header
+
+	branch := tree.Branch(2) // the MBr carried by an input
+	fmt.Println("proof depth:", branch.Depth())
+	fmt.Println("existent:", merkle.Verify(leaves[2], branch, headerRoot))
+	fmt.Println("forged:", merkle.Verify(hashx.Sum([]byte("fake")), branch, headerRoot))
+	// Output:
+	// proof depth: 2
+	// existent: true
+	// forged: false
+}

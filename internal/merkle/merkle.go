@@ -1,0 +1,179 @@
+// Package merkle implements the Merkle tree over a block's
+// transactions and the Merkle branches (MBr in the paper) that EBV
+// inputs carry as existence proofs.
+//
+// The tree uses the Bitcoin construction: leaves are transaction
+// digests, interior nodes are SHA-256 over the concatenation of the
+// two children, and a level with an odd number of nodes duplicates its
+// last node. A Branch holds the sibling hashes along the path from a
+// leaf to the root plus the leaf index; folding the leaf digest up
+// through the siblings and comparing against the root stored in a
+// block header performs Existence Validation without any database
+// access (paper §IV-D1).
+package merkle
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"ebv/internal/hashx"
+	"ebv/internal/varint"
+)
+
+// MaxBranchLen bounds the number of siblings in a decoded branch. A
+// tree over 2^32 leaves has depth 32; anything deeper is corrupt.
+const MaxBranchLen = 32
+
+// Tree is a fully materialized Merkle tree. It retains every level so
+// branches can be extracted for any leaf; the intermediary node uses
+// this when reconstructing proofs (paper §VI-A).
+type Tree struct {
+	levels [][]hashx.Hash // levels[0] = leaves, last = [root]
+}
+
+// Build constructs a tree over the given leaf digests. It panics on an
+// empty leaf set: a block always contains at least a coinbase
+// transaction.
+func Build(leaves []hashx.Hash) *Tree {
+	if len(leaves) == 0 {
+		panic("merkle: empty leaf set")
+	}
+	t := &Tree{}
+	level := make([]hashx.Hash, len(leaves))
+	copy(level, leaves)
+	t.levels = append(t.levels, level)
+	for len(level) > 1 {
+		next := make([]hashx.Hash, (len(level)+1)/2)
+		for i := range next {
+			l := level[2*i]
+			r := l
+			if 2*i+1 < len(level) {
+				r = level[2*i+1]
+			}
+			next[i] = hashx.SumPair(l, r)
+		}
+		t.levels = append(t.levels, next)
+		level = next
+	}
+	return t
+}
+
+// Root returns the tree root.
+func (t *Tree) Root() hashx.Hash {
+	top := t.levels[len(t.levels)-1]
+	return top[0]
+}
+
+// NumLeaves returns the number of leaves the tree was built over.
+func (t *Tree) NumLeaves() int { return len(t.levels[0]) }
+
+// Root computes the Merkle root of the given leaves without retaining
+// the tree. Miners use this when packaging a block.
+func Root(leaves []hashx.Hash) hashx.Hash {
+	return Build(leaves).Root()
+}
+
+// Branch is the Merkle branch (MBr) for one leaf: the sibling hashes
+// along the path from the leaf to the root, bottom-up, plus the leaf's
+// index, which determines left/right orientation at each level.
+type Branch struct {
+	Index    uint32
+	Siblings []hashx.Hash
+}
+
+// Branch extracts the branch for leaf i.
+func (t *Tree) Branch(i int) Branch {
+	if i < 0 || i >= t.NumLeaves() {
+		panic(fmt.Sprintf("merkle: leaf %d out of range [0,%d)", i, t.NumLeaves()))
+	}
+	b := Branch{Index: uint32(i)}
+	idx := i
+	for _, level := range t.levels[:len(t.levels)-1] {
+		sib := idx ^ 1
+		if sib >= len(level) {
+			sib = idx // odd level: sibling is a duplicate of the node itself
+		}
+		b.Siblings = append(b.Siblings, level[sib])
+		idx /= 2
+	}
+	return b
+}
+
+// Root folds the leaf digest up through the branch and returns the
+// implied root. Comparing the result against a header's Merkle root is
+// EV.
+func (b Branch) Root(leaf hashx.Hash) hashx.Hash {
+	h := leaf
+	idx := b.Index
+	for _, sib := range b.Siblings {
+		if idx&1 == 0 {
+			h = hashx.SumPair(h, sib)
+		} else {
+			h = hashx.SumPair(sib, h)
+		}
+		idx /= 2
+	}
+	return h
+}
+
+// Verify reports whether the branch proves that leaf is a member of
+// the tree with the given root.
+func Verify(leaf hashx.Hash, b Branch, root hashx.Hash) bool {
+	return b.Root(leaf) == root
+}
+
+// Depth returns the number of siblings in the branch.
+func (b Branch) Depth() int { return len(b.Siblings) }
+
+// EncodedSize returns the byte size of Encode's output.
+func (b Branch) EncodedSize() int {
+	var buf [binary.MaxVarintLen64]byte
+	return binary.PutUvarint(buf[:], uint64(b.Index)) +
+		binary.PutUvarint(buf[:], uint64(len(b.Siblings))) +
+		len(b.Siblings)*hashx.Size
+}
+
+// Encode appends the serialized branch to dst: varint index, varint
+// sibling count, then the sibling hashes.
+func (b Branch) Encode(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(b.Index))
+	dst = binary.AppendUvarint(dst, uint64(len(b.Siblings)))
+	for _, s := range b.Siblings {
+		dst = append(dst, s[:]...)
+	}
+	return dst
+}
+
+// DecodeBranch parses a branch from data and returns it together with
+// the number of bytes consumed.
+func DecodeBranch(data []byte) (Branch, int, error) {
+	var b Branch
+	idx, n1 := varint.Uvarint(data)
+	if n1 <= 0 || idx > 1<<32-1 {
+		return b, 0, fmt.Errorf("merkle: bad branch index")
+	}
+	cnt, n2 := varint.Uvarint(data[n1:])
+	if n2 <= 0 || cnt > MaxBranchLen {
+		return b, 0, fmt.Errorf("merkle: bad sibling count")
+	}
+	off := n1 + n2
+	need := int(cnt) * hashx.Size
+	if len(data)-off < need {
+		return b, 0, fmt.Errorf("merkle: truncated branch: have %d bytes, need %d", len(data)-off, need)
+	}
+	b.Index = uint32(idx)
+	b.Siblings = make([]hashx.Hash, cnt)
+	for i := range b.Siblings {
+		copy(b.Siblings[i][:], data[off+i*hashx.Size:])
+	}
+	return b, off + need, nil
+}
+
+// DepthFor returns the branch depth of a tree over n leaves.
+func DepthFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}

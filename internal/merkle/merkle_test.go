@@ -1,0 +1,235 @@
+package merkle
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ebv/internal/hashx"
+)
+
+func leaves(n int) []hashx.Hash {
+	out := make([]hashx.Hash, n)
+	for i := range out {
+		out[i] = hashx.Sum([]byte(fmt.Sprintf("leaf-%d", i)))
+	}
+	return out
+}
+
+func TestSingleLeafRootIsLeaf(t *testing.T) {
+	ls := leaves(1)
+	if Root(ls) != ls[0] {
+		t.Fatal("single-leaf root must be the leaf itself")
+	}
+	b := Build(ls).Branch(0)
+	if b.Depth() != 0 {
+		t.Fatalf("single-leaf branch depth = %d", b.Depth())
+	}
+	if !Verify(ls[0], b, ls[0]) {
+		t.Fatal("single-leaf branch must verify")
+	}
+}
+
+func TestTwoLeafRoot(t *testing.T) {
+	ls := leaves(2)
+	want := hashx.SumPair(ls[0], ls[1])
+	if Root(ls) != want {
+		t.Fatal("two-leaf root mismatch")
+	}
+}
+
+func TestOddLevelDuplicatesLast(t *testing.T) {
+	ls := leaves(3)
+	l01 := hashx.SumPair(ls[0], ls[1])
+	l22 := hashx.SumPair(ls[2], ls[2])
+	if Root(ls) != hashx.SumPair(l01, l22) {
+		t.Fatal("odd-level duplication rule violated")
+	}
+}
+
+func TestBranchesVerifyAllSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 16, 33, 100, 257} {
+		ls := leaves(n)
+		tree := Build(ls)
+		root := tree.Root()
+		for i := 0; i < n; i++ {
+			b := tree.Branch(i)
+			if !Verify(ls[i], b, root) {
+				t.Fatalf("n=%d leaf=%d: branch must verify", n, i)
+			}
+			if b.Depth() != DepthFor(n) {
+				t.Fatalf("n=%d: depth %d want %d", n, b.Depth(), DepthFor(n))
+			}
+		}
+	}
+}
+
+func TestWrongLeafFailsVerify(t *testing.T) {
+	ls := leaves(8)
+	tree := Build(ls)
+	b := tree.Branch(3)
+	if Verify(ls[4], b, tree.Root()) {
+		t.Fatal("wrong leaf must not verify")
+	}
+}
+
+func TestWrongIndexFailsVerify(t *testing.T) {
+	ls := leaves(8)
+	tree := Build(ls)
+	b := tree.Branch(3)
+	b.Index = 5
+	if Verify(ls[3], b, tree.Root()) {
+		t.Fatal("wrong index must not verify")
+	}
+}
+
+func TestTamperedSiblingFailsVerify(t *testing.T) {
+	ls := leaves(16)
+	tree := Build(ls)
+	for lvl := 0; lvl < 4; lvl++ {
+		b := tree.Branch(7)
+		b.Siblings[lvl][0] ^= 1
+		if Verify(ls[7], b, tree.Root()) {
+			t.Fatalf("tampered sibling at level %d must not verify", lvl)
+		}
+	}
+}
+
+func TestBranchOutOfRangePanics(t *testing.T) {
+	tree := Build(leaves(4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tree.Branch(4)
+}
+
+func TestEmptyBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Build(nil)
+}
+
+func TestBranchEncodeDecode(t *testing.T) {
+	tree := Build(leaves(100))
+	for _, i := range []int{0, 1, 50, 99} {
+		b := tree.Branch(i)
+		enc := b.Encode(nil)
+		if len(enc) != b.EncodedSize() {
+			t.Fatalf("EncodedSize %d != len %d", b.EncodedSize(), len(enc))
+		}
+		back, n, err := DecodeBranch(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(enc) {
+			t.Fatalf("consumed %d of %d", n, len(enc))
+		}
+		if back.Index != b.Index || len(back.Siblings) != len(b.Siblings) {
+			t.Fatal("decode mismatch")
+		}
+		for j := range b.Siblings {
+			if back.Siblings[j] != b.Siblings[j] {
+				t.Fatal("sibling mismatch")
+			}
+		}
+	}
+}
+
+func TestDecodeBranchRejectsCorruption(t *testing.T) {
+	tree := Build(leaves(8))
+	enc := tree.Branch(2).Encode(nil)
+	if _, _, err := DecodeBranch(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated branch must fail")
+	}
+	if _, _, err := DecodeBranch(nil); err == nil {
+		t.Fatal("empty branch must fail")
+	}
+	huge := []byte{0, 255} // count varint 255 > MaxBranchLen
+	if _, _, err := DecodeBranch(huge); err == nil {
+		t.Fatal("oversized count must fail")
+	}
+}
+
+func TestDecodeBranchTrailingBytesReported(t *testing.T) {
+	tree := Build(leaves(8))
+	enc := tree.Branch(2).Encode(nil)
+	enc = append(enc, 0xAA, 0xBB)
+	_, n, err := DecodeBranch(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc)-2 {
+		t.Fatalf("consumed %d, want %d", n, len(enc)-2)
+	}
+}
+
+func TestDepthFor(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := DepthFor(n); got != want {
+			t.Fatalf("DepthFor(%d)=%d want %d", n, got, want)
+		}
+	}
+}
+
+func TestPropertyRandomBranchesVerify(t *testing.T) {
+	f := func(seed int64, nSeed uint16) bool {
+		n := int(nSeed)%500 + 1
+		rng := rand.New(rand.NewSource(seed))
+		ls := make([]hashx.Hash, n)
+		for i := range ls {
+			rng.Read(ls[i][:])
+		}
+		tree := Build(ls)
+		i := rng.Intn(n)
+		return Verify(ls[i], tree.Branch(i), tree.Root())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyForeignLeafNeverVerifies(t *testing.T) {
+	f := func(seed int64, nSeed uint16, foreign [32]byte) bool {
+		n := int(nSeed)%200 + 1
+		rng := rand.New(rand.NewSource(seed))
+		ls := make([]hashx.Hash, n)
+		for i := range ls {
+			rng.Read(ls[i][:])
+		}
+		tree := Build(ls)
+		i := rng.Intn(n)
+		leaf := hashx.Hash(foreign)
+		if leaf == ls[i] {
+			return true
+		}
+		return !Verify(leaf, tree.Branch(i), tree.Root())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuild1000(b *testing.B) {
+	ls := leaves(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(ls)
+	}
+}
+
+func BenchmarkBranchFold(b *testing.B) {
+	ls := leaves(2048)
+	tree := Build(ls)
+	br := tree.Branch(1234)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.Root(ls[1234])
+	}
+}

@@ -1,0 +1,385 @@
+// Package node assembles full validator nodes from the substrates:
+// chain storage, status data, script engine, and validator. It also
+// provides the Initial Block Download (IBD) drivers the paper's
+// IBD experiments run (§III-B, §VI-D): a node pulls serialized blocks
+// from a source chain store, decodes them, validates them, and applies
+// them, with per-period time accounting.
+package node
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ebv/internal/blockmodel"
+	"ebv/internal/chainstore"
+	"ebv/internal/core"
+	"ebv/internal/kvstore"
+	"ebv/internal/script"
+	"ebv/internal/sig"
+	"ebv/internal/statusdb"
+	"ebv/internal/utxoset"
+)
+
+// Config configures a node.
+type Config struct {
+	// Dir is the node's data directory.
+	Dir string
+	// MemLimit is the status-data memory budget in bytes — the knob
+	// the paper fixes at 500 MB for both systems (§VI-C). For the
+	// baseline it bounds the UTXO database's memtable plus block
+	// cache; EBV's bit-vector set is not artificially bounded (it
+	// simply stays far below the limit, which is the result).
+	MemLimit int
+	// ReadLatency is injected into the baseline's database reads that
+	// miss the cache, modeling the paper's HDD (DESIGN.md,
+	// substitution 4). Zero disables injection.
+	ReadLatency time.Duration
+	// Scheme verifies signatures. Nil means sig.SimSig{}.
+	Scheme sig.Scheme
+	// Optimize enables EBV's sparse-vector optimization (default via
+	// NewEBVNode is on; the Fig. 14 ablation turns it off).
+	Optimize bool
+	// ParallelSV, when > 1, runs EBV Script Validation on that many
+	// goroutines per block (the paper's future-work direction; see
+	// core.WithParallelSV).
+	ParallelSV int
+}
+
+func (c Config) scheme() sig.Scheme {
+	if c.Scheme == nil {
+		return sig.SimSig{}
+	}
+	return c.Scheme
+}
+
+// BitcoinNode is the baseline validator node.
+type BitcoinNode struct {
+	Chain     *chainstore.Store
+	UTXO      *utxoset.Set
+	Validator *core.BitcoinValidator
+	db        *kvstore.DB
+}
+
+// NewBitcoinNode creates or reopens a baseline node under cfg.Dir.
+func NewBitcoinNode(cfg Config) (*BitcoinNode, error) {
+	memLimit := cfg.MemLimit
+	if memLimit <= 0 {
+		memLimit = 64 << 20
+	}
+	db, err := kvstore.Open(filepath.Join(cfg.Dir, "utxodb"), kvstore.Options{
+		MemTableBytes:   memLimit / 4,
+		BlockCacheBytes: memLimit - memLimit/4,
+		ReadLatency:     cfg.ReadLatency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	set, err := utxoset.Open(db)
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	chain, err := chainstore.Open(filepath.Join(cfg.Dir, "chain"))
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	n := &BitcoinNode{Chain: chain, UTXO: set, db: db}
+	n.Validator = core.NewBitcoinValidator(set, script.NewEngine(cfg.scheme()), chain)
+	return n, nil
+}
+
+// SubmitBlock validates and stores one block, persisting its undo
+// record (the spent entries) for a later DisconnectTip.
+func (n *BitcoinNode) SubmitBlock(b *blockmodel.ClassicBlock) (*core.Breakdown, error) {
+	bd, undo, err := n.Validator.ConnectBlockUndo(b)
+	if err != nil {
+		return bd, err
+	}
+	w := time.Now()
+	if err := n.db.Put(undoKey(b.Header.Height), utxoset.EncodeUndo(undo)); err != nil {
+		return bd, err
+	}
+	if err := n.Chain.Append(b.Header, b.Encode(nil)); err != nil {
+		return bd, err
+	}
+	bd.Other += time.Since(w)
+	return bd, nil
+}
+
+// undoKey namespaces a block's undo record in the UTXO database
+// ("!" keys are reserved; outpoint keys are always 36 raw bytes).
+func undoKey(height uint64) []byte {
+	k := []byte("!undo-")
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], height)
+	return append(k, buf[:]...)
+}
+
+// DisconnectTip reverses the node's tip block during a reorg.
+func (n *BitcoinNode) DisconnectTip() error {
+	tip, ok := n.Chain.TipHeight()
+	if !ok {
+		return fmt.Errorf("node: disconnect on empty chain")
+	}
+	raw, err := n.Chain.BlockBytes(tip)
+	if err != nil {
+		return err
+	}
+	blk, err := blockmodel.DecodeClassicBlock(raw)
+	if err != nil {
+		return err
+	}
+	undoRaw, err := n.db.Get(undoKey(tip))
+	if err != nil {
+		return fmt.Errorf("node: missing undo record for %d: %w", tip, err)
+	}
+	undo, err := utxoset.DecodeUndo(undoRaw)
+	if err != nil {
+		return err
+	}
+	if err := n.Validator.DisconnectBlock(blk, undo); err != nil {
+		return err
+	}
+	if err := n.Chain.Truncate(int(tip)); err != nil {
+		return err
+	}
+	return n.db.Delete(undoKey(tip))
+}
+
+// DBStats exposes the UTXO database's counters.
+func (n *BitcoinNode) DBStats() kvstore.Stats { return n.db.Stats() }
+
+// SetReadLatency changes the simulated disk latency at runtime
+// (experiments sync without it and measure with it).
+func (n *BitcoinNode) SetReadLatency(d time.Duration) { n.db.SetReadLatency(d) }
+
+// StatusMemUsage reports the resident bytes of the node's status data
+// (memtable + block cache + table metadata).
+func (n *BitcoinNode) StatusMemUsage() int64 { return int64(n.db.MemUsage()) }
+
+// Close flushes and closes the node's stores.
+func (n *BitcoinNode) Close() error {
+	err1 := n.db.Close()
+	err2 := n.Chain.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// EBVNode is the efficient-block-validation node.
+type EBVNode struct {
+	Chain     *chainstore.Store
+	Status    *statusdb.DB
+	Validator *core.EBVValidator
+	statusPth string
+}
+
+// NewEBVNode creates or reopens an EBV node under cfg.Dir. A snapshot
+// of the bit-vector set written by Close is reloaded on reopen; it
+// must match the stored chain's tip.
+func NewEBVNode(cfg Config) (*EBVNode, error) {
+	chain, err := chainstore.Open(filepath.Join(cfg.Dir, "chain"))
+	if err != nil {
+		return nil, err
+	}
+	status := statusdb.New(cfg.Optimize)
+	n := &EBVNode{Chain: chain, Status: status, statusPth: filepath.Join(cfg.Dir, "status.snapshot")}
+	if f, err := os.Open(n.statusPth); err == nil {
+		loadErr := status.Load(f)
+		f.Close()
+		if loadErr != nil {
+			chain.Close()
+			return nil, fmt.Errorf("node: corrupt status snapshot: %w", loadErr)
+		}
+	}
+	// The snapshot and chain must describe the same tip.
+	sTip, sOK := status.Tip()
+	cTip, cOK := chain.TipHeight()
+	if sOK != cOK || (sOK && sTip != cTip) {
+		chain.Close()
+		return nil, fmt.Errorf("node: status snapshot (tip %d,%v) does not match chain (tip %d,%v); delete %s to resync",
+			sTip, sOK, cTip, cOK, cfg.Dir)
+	}
+	var opts []core.EBVOption
+	if cfg.ParallelSV > 1 {
+		opts = append(opts, core.WithParallelSV(cfg.ParallelSV))
+	}
+	n.Validator = core.NewEBVValidator(status, script.NewEngine(cfg.scheme()), chain, opts...)
+	// Disconnects recreate fully spent vectors; resolve output counts
+	// from the stored blocks, memoized (reorgs are rare and shallow).
+	counts := make(map[uint64]int)
+	n.Validator.SetBlockOutputsFunc(func(height uint64) int {
+		if c, ok := counts[height]; ok {
+			return c
+		}
+		raw, err := chain.BlockBytes(height)
+		if err != nil {
+			return 0
+		}
+		blk, err := blockmodel.DecodeEBVBlock(raw)
+		if err != nil {
+			return 0
+		}
+		counts[height] = blk.TotalOutputs()
+		return counts[height]
+	})
+	return n, nil
+}
+
+// DisconnectTip reverses the node's tip block during a reorg. EBV
+// needs no stored undo data: the tip block's own input bodies say
+// which bits to restore.
+func (n *EBVNode) DisconnectTip() error {
+	tip, ok := n.Chain.TipHeight()
+	if !ok {
+		return fmt.Errorf("node: disconnect on empty chain")
+	}
+	raw, err := n.Chain.BlockBytes(tip)
+	if err != nil {
+		return err
+	}
+	blk, err := blockmodel.DecodeEBVBlock(raw)
+	if err != nil {
+		return err
+	}
+	if err := n.Validator.DisconnectBlock(blk); err != nil {
+		return err
+	}
+	return n.Chain.Truncate(int(tip))
+}
+
+// SubmitBlock validates and stores one block.
+func (n *EBVNode) SubmitBlock(b *blockmodel.EBVBlock) (*core.Breakdown, error) {
+	bd, err := n.Validator.ConnectBlock(b)
+	if err != nil {
+		return bd, err
+	}
+	w := time.Now()
+	if err := n.Chain.Append(b.Header, b.Encode(nil)); err != nil {
+		return bd, err
+	}
+	bd.Other += time.Since(w)
+	return bd, nil
+}
+
+// StatusMemUsage reports the resident bytes of the bit-vector set.
+func (n *EBVNode) StatusMemUsage() int64 { return n.Status.MemUsage() }
+
+// Close snapshots the bit-vector set next to the chain and closes the
+// node's stores.
+func (n *EBVNode) Close() error {
+	f, err := os.Create(n.statusPth)
+	if err != nil {
+		n.Chain.Close()
+		return err
+	}
+	saveErr := n.Status.Save(f)
+	closeErr := f.Close()
+	chainErr := n.Chain.Close()
+	if saveErr != nil {
+		return saveErr
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	return chainErr
+}
+
+// PeriodStats aggregates IBD work over a run of blocks (the paper
+// reports periods of 50,000 mainnet blocks).
+type PeriodStats struct {
+	StartHeight uint64
+	EndHeight   uint64 // inclusive
+	Breakdown   core.Breakdown
+	Wall        time.Duration // includes decode and storage time
+}
+
+// IBDResult is a full IBD run's per-period records.
+type IBDResult struct {
+	Periods []PeriodStats
+	Total   core.Breakdown
+	Wall    time.Duration
+}
+
+// RunIBDBitcoin replays the classic chain in src into node, recording
+// a PeriodStats every periodLen blocks. progress, if non-nil, is
+// called after each period. A node that already holds a chain prefix
+// resumes from its own tip.
+func RunIBDBitcoin(src *chainstore.Store, node *BitcoinNode, periodLen int, progress func(PeriodStats)) (*IBDResult, error) {
+	return runIBD(src, nextHeight(node.Chain), periodLen, progress, func(raw []byte) (*core.Breakdown, error) {
+		blk, err := blockmodel.DecodeClassicBlock(raw)
+		if err != nil {
+			return nil, err
+		}
+		return node.SubmitBlock(blk)
+	})
+}
+
+// RunIBDEBV replays the EBV chain in src into node, resuming from the
+// node's tip.
+func RunIBDEBV(src *chainstore.Store, node *EBVNode, periodLen int, progress func(PeriodStats)) (*IBDResult, error) {
+	return runIBD(src, nextHeight(node.Chain), periodLen, progress, func(raw []byte) (*core.Breakdown, error) {
+		blk, err := blockmodel.DecodeEBVBlock(raw)
+		if err != nil {
+			return nil, err
+		}
+		return node.SubmitBlock(blk)
+	})
+}
+
+// nextHeight returns the first height a node still needs.
+func nextHeight(chain *chainstore.Store) uint64 {
+	tip, ok := chain.TipHeight()
+	if !ok {
+		return 0
+	}
+	return tip + 1
+}
+
+func runIBD(src *chainstore.Store, startHeight uint64, periodLen int, progress func(PeriodStats), submit func([]byte) (*core.Breakdown, error)) (*IBDResult, error) {
+	if periodLen <= 0 {
+		periodLen = 1 << 62
+	}
+	res := &IBDResult{}
+	tip, ok := src.TipHeight()
+	if !ok || startHeight > tip {
+		return res, nil
+	}
+	cur := PeriodStats{}
+	start := time.Now()
+	periodStart := start
+	periodStartHeight := startHeight
+	for h := startHeight; h <= tip; h++ {
+		raw, err := src.BlockBytes(h)
+		if err != nil {
+			return res, err
+		}
+		bd, err := submit(raw)
+		if bd != nil {
+			cur.Breakdown.Add(bd)
+			res.Total.Add(bd)
+		}
+		if err != nil {
+			return res, fmt.Errorf("ibd at height %d: %w", h, err)
+		}
+		if (h+1)%uint64(periodLen) == 0 || h == tip {
+			cur.StartHeight = periodStartHeight
+			cur.EndHeight = h
+			cur.Wall = time.Since(periodStart)
+			res.Periods = append(res.Periods, cur)
+			if progress != nil {
+				progress(cur)
+			}
+			cur = PeriodStats{}
+			periodStart = time.Now()
+			periodStartHeight = h + 1
+		}
+	}
+	res.Wall = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,79 @@
+package p2p
+
+import (
+	"errors"
+
+	"ebv/internal/blockmodel"
+	"ebv/internal/chainstore"
+	"ebv/internal/hashx"
+	"ebv/internal/node"
+)
+
+// EBVChain adapts an EBV node to the gossip Chain interface.
+type EBVChain struct {
+	Node *node.EBVNode
+}
+
+// TipHeight implements Chain.
+func (c EBVChain) TipHeight() (uint64, bool) { return c.Node.Chain.TipHeight() }
+
+// TipHash implements Chain.
+func (c EBVChain) TipHash() hashx.Hash { return c.Node.Chain.TipHash() }
+
+// BlockBytes implements Chain.
+func (c EBVChain) BlockBytes(h uint64) ([]byte, error) { return c.Node.Chain.BlockBytes(h) }
+
+// SubmitRaw implements Chain: decode, validate, store.
+func (c EBVChain) SubmitRaw(raw []byte) error {
+	blk, err := blockmodel.DecodeEBVBlock(raw)
+	if err != nil {
+		return err
+	}
+	_, err = c.Node.SubmitBlock(blk)
+	return err
+}
+
+// BitcoinChain adapts a baseline node to the gossip Chain interface.
+type BitcoinChain struct {
+	Node *node.BitcoinNode
+}
+
+// TipHeight implements Chain.
+func (c BitcoinChain) TipHeight() (uint64, bool) { return c.Node.Chain.TipHeight() }
+
+// TipHash implements Chain.
+func (c BitcoinChain) TipHash() hashx.Hash { return c.Node.Chain.TipHash() }
+
+// BlockBytes implements Chain.
+func (c BitcoinChain) BlockBytes(h uint64) ([]byte, error) { return c.Node.Chain.BlockBytes(h) }
+
+// SubmitRaw implements Chain.
+func (c BitcoinChain) SubmitRaw(raw []byte) error {
+	blk, err := blockmodel.DecodeClassicBlock(raw)
+	if err != nil {
+		return err
+	}
+	_, err = c.Node.SubmitBlock(blk)
+	return err
+}
+
+// StaticChain serves a pre-built chain store read-only — the role of
+// the paper's source node (the intermediary serving the reconstructed
+// chain, §VI-A). It never accepts blocks.
+type StaticChain struct {
+	Store *chainstore.Store
+}
+
+// TipHeight implements Chain.
+func (c StaticChain) TipHeight() (uint64, bool) { return c.Store.TipHeight() }
+
+// TipHash implements Chain.
+func (c StaticChain) TipHash() hashx.Hash { return c.Store.TipHash() }
+
+// BlockBytes implements Chain.
+func (c StaticChain) BlockBytes(h uint64) ([]byte, error) { return c.Store.BlockBytes(h) }
+
+// SubmitRaw implements Chain; a static chain never extends.
+func (c StaticChain) SubmitRaw([]byte) error {
+	return errors.New("p2p: static chain does not accept blocks")
+}

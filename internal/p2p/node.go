@@ -1,0 +1,314 @@
+package p2p
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ebv/internal/hashx"
+)
+
+// Chain is the ledger a gossip node serves and extends. Both node
+// types satisfy it through thin adapters (see adapters.go).
+type Chain interface {
+	// TipHeight returns the current tip; ok is false for an empty
+	// chain.
+	TipHeight() (uint64, bool)
+	// TipHash returns the current tip's block hash (zero for empty).
+	TipHash() hashx.Hash
+	// BlockBytes returns the serialized block at a height.
+	BlockBytes(height uint64) ([]byte, error)
+	// SubmitRaw decodes, fully validates, and stores the next block.
+	// It must reject anything that does not extend the current tip.
+	SubmitRaw(raw []byte) error
+}
+
+// Config configures a gossip node.
+type Config struct {
+	// ListenAddr is the TCP address to accept peers on ("127.0.0.1:0"
+	// picks a free port).
+	ListenAddr string
+	// MaxPeers bounds accepted connections. Default 16.
+	MaxPeers int
+	// OnBlock, if set, is called after a block is accepted, with the
+	// height and the peer it came from (empty for local submissions).
+	// The propagation experiments hang their arrival clocks here.
+	OnBlock func(height uint64, from string)
+	// Logf, if set, receives debug lines.
+	Logf func(format string, args ...any)
+}
+
+// Node gossips blocks with its peers.
+type Node struct {
+	chain Chain
+	cfg   Config
+
+	ln net.Listener
+
+	mu      sync.Mutex
+	peers   map[string]*peer
+	closing bool
+	syncing bool
+
+	wg sync.WaitGroup
+}
+
+// peer is one live connection.
+type peer struct {
+	id   string
+	conn net.Conn
+	r    *bufio.Reader
+
+	wmu sync.Mutex
+	w   *bufio.Writer
+}
+
+func (p *peer) send(m *message) error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	return writeMessage(p.w, m)
+}
+
+// NewNode creates a gossip node over chain.
+func NewNode(chain Chain, cfg Config) *Node {
+	if cfg.MaxPeers <= 0 {
+		cfg.MaxPeers = 16
+	}
+	return &Node{chain: chain, cfg: cfg, peers: make(map[string]*peer)}
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+// Start begins accepting peers. It returns the bound address.
+func (n *Node) Start() (string, error) {
+	addr := n.cfg.ListenAddr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("p2p: %w", err)
+	}
+	n.ln = ln
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				n.handleConn(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the listening address ("" before Start).
+func (n *Node) Addr() string {
+	if n.ln == nil {
+		return ""
+	}
+	return n.ln.Addr().String()
+}
+
+// Connect dials a peer, performs the handshake, and starts gossiping
+// with it.
+func (n *Node) Connect(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("p2p: %w", err)
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.handleConn(conn)
+	}()
+	return nil
+}
+
+// PeerCount returns the number of live peers.
+func (n *Node) PeerCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.peers)
+}
+
+// Close stops the listener and disconnects all peers.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	n.closing = true
+	if n.ln != nil {
+		n.ln.Close()
+	}
+	for _, p := range n.peers {
+		p.conn.Close()
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+	return nil
+}
+
+// handleConn runs the lifetime of one connection (either direction).
+func (n *Node) handleConn(conn net.Conn) {
+	p := &peer{
+		id:   conn.RemoteAddr().String(),
+		conn: conn,
+		r:    bufio.NewReader(conn),
+		w:    bufio.NewWriter(conn),
+	}
+	defer conn.Close()
+
+	n.mu.Lock()
+	if n.closing || len(n.peers) >= n.cfg.MaxPeers {
+		n.mu.Unlock()
+		return
+	}
+	n.peers[p.id] = p
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.peers, p.id)
+		n.mu.Unlock()
+	}()
+
+	// Handshake: exchange tips.
+	tip, ok := n.chain.TipHeight()
+	hello := &message{kind: msgHello, height: tipField(tip, ok)}
+	if err := p.send(hello); err != nil {
+		return
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	first, err := readMessage(p.r)
+	if err != nil || first.kind != msgHello {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	n.logf("peer %s connected (tip %d, ours %d)", p.id, first.height, hello.height)
+	if first.height > hello.height {
+		n.requestFrom(p, hello.height) // hello.height == next needed height encoding
+	}
+
+	for {
+		m, err := readMessage(p.r)
+		if err != nil {
+			return
+		}
+		if err := n.handleMessage(p, m); err != nil {
+			n.logf("peer %s: %v", p.id, err)
+			return
+		}
+	}
+}
+
+// tipField encodes "next height I need": 0 for an empty chain, else
+// tip+1. Using next-height avoids an ambiguous 0.
+func tipField(tip uint64, ok bool) uint64 {
+	if !ok {
+		return 0
+	}
+	return tip + 1
+}
+
+// requestFrom asks p for the next batch of blocks starting at from.
+func (n *Node) requestFrom(p *peer, from uint64) {
+	_ = p.send(&message{kind: msgGetBlocks, height: from, count: maxBatch})
+}
+
+// handleMessage processes one inbound message.
+func (n *Node) handleMessage(p *peer, m *message) error {
+	switch m.kind {
+	case msgInv:
+		next := tipField(n.chain.TipHeight())
+		switch {
+		case m.height < next:
+			// Already have it.
+		default:
+			n.requestFrom(p, next)
+		}
+		return nil
+
+	case msgGetBlocks:
+		next := tipField(n.chain.TipHeight())
+		for h := m.height; h < m.height+m.count && h < next; h++ {
+			raw, err := n.chain.BlockBytes(h)
+			if err != nil {
+				return fmt.Errorf("serving block %d: %w", h, err)
+			}
+			if err := p.send(&message{kind: msgBlock, height: h, payload: raw}); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case msgBlock:
+		next := tipField(n.chain.TipHeight())
+		if m.height < next {
+			return nil // duplicate
+		}
+		if m.height > next {
+			// Out of order; re-request the gap.
+			n.requestFrom(p, next)
+			return nil
+		}
+		// Validate before storing or forwarding — the property under
+		// study. A validation failure is a protocol offence: drop the
+		// peer.
+		if err := n.chain.SubmitRaw(m.payload); err != nil {
+			return fmt.Errorf("invalid block %d: %w", m.height, err)
+		}
+		if n.cfg.OnBlock != nil {
+			n.cfg.OnBlock(m.height, p.id)
+		}
+		n.announce(m.height, p.id)
+		// If the peer is ahead, keep pulling.
+		n.requestFrom(p, m.height+1)
+		return nil
+
+	case msgHello:
+		return errors.New("unexpected hello")
+	default:
+		return fmt.Errorf("unknown message kind %d", m.kind)
+	}
+}
+
+// announce sends an inv for height to every peer except the source.
+func (n *Node) announce(height uint64, except string) {
+	hash := n.chain.TipHash()
+	n.mu.Lock()
+	targets := make([]*peer, 0, len(n.peers))
+	for id, p := range n.peers {
+		if id != except {
+			targets = append(targets, p)
+		}
+	}
+	n.mu.Unlock()
+	for _, p := range targets {
+		_ = p.send(&message{kind: msgInv, height: height, hash: hash})
+	}
+}
+
+// SubmitLocal injects a locally produced block (a miner) and announces
+// it to all peers.
+func (n *Node) SubmitLocal(raw []byte) error {
+	if err := n.chain.SubmitRaw(raw); err != nil {
+		return err
+	}
+	tip, _ := n.chain.TipHeight()
+	if n.cfg.OnBlock != nil {
+		n.cfg.OnBlock(tip, "")
+	}
+	n.announce(tip, "")
+	return nil
+}

@@ -1,0 +1,473 @@
+package p2p
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ebv/internal/blockmodel"
+	"ebv/internal/chainstore"
+	"ebv/internal/hashx"
+	"ebv/internal/node"
+	"ebv/internal/proof"
+	"ebv/internal/workload"
+)
+
+// buildEBVChain renders a small chain for gossip tests.
+func buildEBVChain(t testing.TB, blocks int) (*workload.Generator, *chainstore.Store) {
+	t.Helper()
+	g := workload.NewGenerator(workload.TestParams(blocks))
+	im, err := proof.NewIntermediary(t.TempDir(), g.Resign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { im.Close() })
+	for !g.Done() {
+		cb, err := g.NextBlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := im.ProcessBlock(cb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g, im.Chain()
+}
+
+// newEBVGossipNode creates a fresh EBV node wrapped for gossip.
+func newEBVGossipNode(t testing.TB, cfg Config) (*Node, *node.EBVNode) {
+	t.Helper()
+	en, err := node.NewEBVNode(node.Config{Dir: t.TempDir(), Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { en.Close() })
+	gn := NewNode(EBVChain{Node: en}, cfg)
+	if _, err := gn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { gn.Close() })
+	return gn, en
+}
+
+// preload fills a node with the chain's blocks directly.
+func preload(t testing.TB, en *node.EBVNode, src *chainstore.Store, upto uint64) {
+	t.Helper()
+	for h := uint64(0); h < upto; h++ {
+		raw, err := src.BlockBytes(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blk, err := blockmodel.DecodeEBVBlock(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := en.SubmitBlock(blk); err != nil {
+			t.Fatalf("preload %d: %v", h, err)
+		}
+	}
+}
+
+// waitFor polls cond up to 10 seconds.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	msgs := []*message{
+		{kind: msgHello, height: 42},
+		{kind: msgInv, height: 7, hash: hashx.Sum([]byte("b"))},
+		{kind: msgGetBlocks, height: 3, count: 128},
+		{kind: msgBlock, height: 9, payload: []byte("raw block bytes")},
+	}
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	for _, m := range msgs {
+		if err := writeMessage(w, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bufio.NewReader(&buf)
+	for _, want := range msgs {
+		got, err := readMessage(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.kind != want.kind || got.height != want.height || got.count != want.count ||
+			got.hash != want.hash || string(got.payload) != string(want.payload) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, want)
+		}
+	}
+}
+
+func TestMessageRejectsMalformed(t *testing.T) {
+	cases := [][]byte{
+		{msgInv, 2, 1, 2},         // inv too short
+		{msgGetBlocks, 1, 0},      // getblocks missing count
+		{msgGetBlocks, 2, 0, 0},   // count 0
+		{0x99, 1, 0},              // unknown kind
+		{msgHello, 3, 0xFF, 0xFF}, // bad varint / length mismatch
+	}
+	for i, c := range cases {
+		if _, err := readMessage(bufio.NewReader(bytes.NewReader(c))); err == nil {
+			t.Fatalf("case %d: malformed message must fail", i)
+		}
+	}
+}
+
+func TestInitialSyncOverTCP(t *testing.T) {
+	g, src := buildEBVChain(t, 80)
+	tip, _ := src.TipHeight()
+
+	seedGossip, seedNode := newEBVGossipNode(t, Config{})
+	preload(t, seedNode, src, tip+1)
+
+	freshGossip, freshNode := newEBVGossipNode(t, Config{})
+	if err := freshGossip.Connect(seedGossip.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "initial sync", func() bool {
+		got, ok := freshNode.Chain.TipHeight()
+		return ok && got == tip
+	})
+	if int(freshNode.Status.UnspentCount()) != g.UTXOCount() {
+		t.Fatalf("synced state %d != ground truth %d", freshNode.Status.UnspentCount(), g.UTXOCount())
+	}
+}
+
+func TestGossipPropagatesThroughLine(t *testing.T) {
+	_, src := buildEBVChain(t, 60)
+	tip, _ := src.TipHeight()
+
+	// A line topology A-B-C: all preloaded to tip-1; A receives the
+	// last block locally and it must reach C through B, each hop
+	// validating first.
+	var arrivals sync.Map
+	mk := func(name string) (*Node, *node.EBVNode) {
+		gn, en := newEBVGossipNode(t, Config{OnBlock: func(h uint64, from string) {
+			arrivals.Store(name, h)
+		}})
+		preload(t, en, src, tip)
+		return gn, en
+	}
+	a, _ := mk("a")
+	b, _ := mk("b")
+	c, cNode := mk("c")
+	if err := b.Connect(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Connect(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "peers", func() bool { return a.PeerCount() == 1 && b.PeerCount() == 2 && c.PeerCount() == 1 })
+
+	raw, err := src.BlockBytes(tip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SubmitLocal(raw); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "propagation to C", func() bool {
+		got, ok := cNode.Chain.TipHeight()
+		return ok && got == tip
+	})
+	if v, ok := arrivals.Load("c"); !ok || v.(uint64) != tip {
+		t.Fatal("OnBlock must fire at C")
+	}
+}
+
+func TestInvalidBlockNotForwarded(t *testing.T) {
+	_, src := buildEBVChain(t, 50)
+	tip, _ := src.TipHeight()
+
+	a, aNode := newEBVGossipNode(t, Config{})
+	b, bNode := newEBVGossipNode(t, Config{})
+	// Preload both to tip-1.
+	preload(t, aNode, src, tip)
+	preload(t, bNode, src, tip)
+	if err := b.Connect(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "peers", func() bool { return a.PeerCount() == 1 && b.PeerCount() == 1 })
+
+	// Corrupt the last block and submit it locally at A: A's own
+	// validator must reject it, so nothing propagates.
+	raw, _ := src.BlockBytes(tip)
+	bad := append([]byte{}, raw...)
+	bad[len(bad)-1] ^= 1
+	if err := a.SubmitLocal(bad); err == nil {
+		t.Fatal("corrupt block must be rejected locally")
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got, _ := bNode.Chain.TipHeight(); got == tip {
+		t.Fatal("corrupt block must not reach B")
+	}
+}
+
+func TestMaliciousPeerDropped(t *testing.T) {
+	_, src := buildEBVChain(t, 50)
+	tip, _ := src.TipHeight()
+
+	honest, honestNode := newEBVGossipNode(t, Config{})
+	preload(t, honestNode, src, tip)
+
+	// A raw TCP client that completes the handshake and then sends a
+	// garbage block at the next height.
+	conn, err := dialRaw(honest.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.close()
+	if err := conn.send(&message{kind: msgHello, height: tip + 5}); err != nil {
+		t.Fatal(err)
+	}
+	// The node believes we are ahead and asks for blocks; feed it junk.
+	if _, err := conn.read(); err != nil { // its hello
+		t.Fatal(err)
+	}
+	if err := conn.send(&message{kind: msgBlock, height: tip, payload: []byte("junk")}); err != nil {
+		t.Fatal(err)
+	}
+	// The node must drop us: the next read fails once it closes.
+	waitFor(t, "disconnect", func() bool {
+		conn.conn.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+		_, err := conn.read()
+		return err != nil && honest.PeerCount() == 0
+	})
+	if got, _ := honestNode.Chain.TipHeight(); got != tip-1 {
+		t.Fatalf("junk must not advance the chain: tip %d", got)
+	}
+}
+
+func TestBitcoinChainAdapter(t *testing.T) {
+	g := workload.NewGenerator(workload.TestParams(40))
+	classicDir := t.TempDir()
+	classic, err := chainstore.Open(classicDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer classic.Close()
+	for !g.Done() {
+		cb, err := g.NextBlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := classic.Append(cb.Header, cb.Encode(nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tip, _ := classic.TipHeight()
+
+	seedBtc, err := node.NewBitcoinNode(node.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seedBtc.Close()
+	if _, err := node.RunIBDBitcoin(classic, seedBtc, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	seed := NewNode(BitcoinChain{Node: seedBtc}, Config{})
+	if _, err := seed.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Close()
+
+	freshBtc, err := node.NewBitcoinNode(node.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer freshBtc.Close()
+	fresh := NewNode(BitcoinChain{Node: freshBtc}, Config{})
+	if _, err := fresh.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if err := fresh.Connect(seed.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "baseline sync", func() bool {
+		got, ok := freshBtc.Chain.TipHeight()
+		return ok && got == tip
+	})
+	if freshBtc.UTXO.Count() != seedBtc.UTXO.Count() {
+		t.Fatal("UTXO sets must agree after sync")
+	}
+}
+
+// rawConn is a minimal protocol client for adversarial tests.
+type rawConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+func dialRaw(addr string) (*rawConn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &rawConn{conn: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}, nil
+}
+
+func (c *rawConn) send(m *message) error { return writeMessage(c.w, m) }
+func (c *rawConn) read() (*message, error) {
+	return readMessage(c.r)
+}
+func (c *rawConn) close() { c.conn.Close() }
+
+func BenchmarkSyncThroughput(b *testing.B) {
+	_, src := buildEBVChain(b, 100)
+	tip, _ := src.TipHeight()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		seedNodeDir := b.TempDir()
+		seedEN, err := node.NewEBVNode(node.Config{Dir: seedNodeDir, Optimize: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for h := uint64(0); h <= tip; h++ {
+			raw, _ := src.BlockBytes(h)
+			blk, _ := blockmodel.DecodeEBVBlock(raw)
+			if _, err := seedEN.SubmitBlock(blk); err != nil {
+				b.Fatal(err)
+			}
+		}
+		seed := NewNode(EBVChain{Node: seedEN}, Config{})
+		if _, err := seed.Start(); err != nil {
+			b.Fatal(err)
+		}
+		freshEN, err := node.NewEBVNode(node.Config{Dir: b.TempDir(), Optimize: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fresh := NewNode(EBVChain{Node: freshEN}, Config{})
+		if _, err := fresh.Start(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := fresh.Connect(seed.Addr()); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			got, ok := freshEN.Chain.TipHeight()
+			if ok && got == tip {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		b.StopTimer()
+		fresh.Close()
+		seed.Close()
+		freshEN.Close()
+		seedEN.Close()
+	}
+}
+
+func TestStaticChainServesButRejects(t *testing.T) {
+	_, src := buildEBVChain(t, 40)
+	tip, _ := src.TipHeight()
+	seed := NewNode(StaticChain{Store: src}, Config{})
+	if _, err := seed.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Close()
+
+	fresh, freshNode := newEBVGossipNode(t, Config{})
+	if err := fresh.Connect(seed.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "sync from static chain", func() bool {
+		got, ok := freshNode.Chain.TipHeight()
+		return ok && got == tip
+	})
+	if err := (StaticChain{Store: src}).SubmitRaw([]byte("x")); err == nil {
+		t.Fatal("static chain must reject submissions")
+	}
+}
+
+func TestOutOfOrderBlockTriggersGapRequest(t *testing.T) {
+	_, src := buildEBVChain(t, 40)
+	tip, _ := src.TipHeight()
+	honest, honestNode := newEBVGossipNode(t, Config{})
+	preload(t, honestNode, src, tip-2) // node is 3 blocks behind
+
+	conn, err := dialRaw(honest.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.close()
+	// Handshake claiming the same height so no initial sync fires.
+	if err := conn.send(&message{kind: msgHello, height: tip - 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.read(); err != nil {
+		t.Fatal(err)
+	}
+	// Send the TIP block (two ahead of what the node needs): the node
+	// must not apply it, and must ask for the gap instead.
+	raw, _ := src.BlockBytes(tip)
+	if err := conn.send(&message{kind: msgBlock, height: tip, payload: raw}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := conn.read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.kind != msgGetBlocks || got.height != tip-2 {
+		t.Fatalf("want gap request from %d, got kind %d height %d", tip-2, got.kind, got.height)
+	}
+	// Serve the gap; the node catches up and keeps pulling.
+	for h := tip - 2; h <= tip; h++ {
+		raw, _ := src.BlockBytes(h)
+		if err := conn.send(&message{kind: msgBlock, height: h, payload: raw}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "catch up", func() bool {
+		got, ok := honestNode.Chain.TipHeight()
+		return ok && got == tip
+	})
+}
+
+func TestDuplicateBlockIgnored(t *testing.T) {
+	_, src := buildEBVChain(t, 30)
+	tip, _ := src.TipHeight()
+	honest, honestNode := newEBVGossipNode(t, Config{})
+	preload(t, honestNode, src, tip+1) // fully synced
+
+	conn, err := dialRaw(honest.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.close()
+	if err := conn.send(&message{kind: msgHello, height: tip + 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.read(); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := src.BlockBytes(tip)
+	if err := conn.send(&message{kind: msgBlock, height: tip, payload: raw}); err != nil {
+		t.Fatal(err)
+	}
+	// The node must stay connected and unchanged.
+	time.Sleep(30 * time.Millisecond)
+	if honest.PeerCount() != 1 {
+		t.Fatal("duplicate block must not drop the peer")
+	}
+	if got, _ := honestNode.Chain.TipHeight(); got != tip {
+		t.Fatal("duplicate block must not change the chain")
+	}
+}

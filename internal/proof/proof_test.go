@@ -1,0 +1,285 @@
+package proof
+
+import (
+	"errors"
+	"testing"
+
+	"ebv/internal/blockmodel"
+	"ebv/internal/hashx"
+	"ebv/internal/merkle"
+	"ebv/internal/txmodel"
+	"ebv/internal/workload"
+)
+
+// buildEBVChain generates a small classic chain and converts it.
+func buildEBVChain(t *testing.T, blocks int) (*workload.Generator, *Intermediary, []*blockmodel.EBVBlock) {
+	t.Helper()
+	g := workload.NewGenerator(workload.TestParams(blocks))
+	im, err := NewIntermediary(t.TempDir(), g.Resign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { im.Close() })
+	var out []*blockmodel.EBVBlock
+	for !g.Done() {
+		cb, err := g.NextBlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb, err := im.ProcessBlock(cb)
+		if err != nil {
+			t.Fatalf("process block %d: %v", cb.Header.Height, err)
+		}
+		out = append(out, eb)
+	}
+	return g, im, out
+}
+
+func TestIntermediaryPreservesStructure(t *testing.T) {
+	_, _, blocks := buildEBVChain(t, 150)
+	if len(blocks) != 150 {
+		t.Fatalf("got %d blocks", len(blocks))
+	}
+	prev := hashx.ZeroHash
+	for i, b := range blocks {
+		if b.Header.Height != uint64(i) || b.Header.PrevBlock != prev {
+			t.Fatalf("block %d linkage broken", i)
+		}
+		if merkle.Root(b.TxLeaves()) != b.Header.MerkleRoot {
+			t.Fatalf("block %d merkle root invalid", i)
+		}
+		if err := b.CheckStakePositions(); err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		for ti, tx := range b.Txs {
+			if err := tx.Consistent(); err != nil {
+				t.Fatalf("block %d tx %d: %v", i, ti, err)
+			}
+		}
+		prev = b.Header.Hash()
+	}
+}
+
+func TestProofsVerifyAgainstHeaders(t *testing.T) {
+	_, im, blocks := buildEBVChain(t, 150)
+	checked := 0
+	for _, b := range blocks {
+		for _, tx := range b.Txs {
+			for bi := range tx.Bodies {
+				body := &tx.Bodies[bi]
+				hdr, ok := im.Chain().Header(body.Height)
+				if !ok {
+					t.Fatalf("no header at height %d", body.Height)
+				}
+				if !merkle.Verify(body.PrevTx.LeafHash(), body.Branch, hdr.MerkleRoot) {
+					t.Fatalf("block %d: proof does not verify", b.Header.Height)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("chain generated no spends")
+	}
+}
+
+func TestBuilderProve(t *testing.T) {
+	_, im, blocks := buildEBVChain(t, 120)
+	b := NewBuilder(im.Chain(), 4)
+	// Prove the coinbase output of block 30.
+	body, err := b.Prove(Loc{Height: 30, TxIndex: 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, _ := im.Chain().Header(30)
+	if !merkle.Verify(body.PrevTx.LeafHash(), body.Branch, hdr.MerkleRoot) {
+		t.Fatal("built proof must verify")
+	}
+	if body.PrevTx.LeafHash() != blocks[30].Txs[0].Tidy.LeafHash() {
+		t.Fatal("ELs mismatch")
+	}
+	if body.AbsPosition() != 0 {
+		t.Fatalf("coinbase output position %d", body.AbsPosition())
+	}
+	// Errors.
+	if _, err := b.Prove(Loc{Height: 999, TxIndex: 0}, 0); err == nil {
+		t.Fatal("unknown height must fail")
+	}
+	if _, err := b.Prove(Loc{Height: 30, TxIndex: 9999}, 0); !errors.Is(err, ErrUnknownTx) {
+		t.Fatalf("bad tx index: %v", err)
+	}
+	if _, err := b.Prove(Loc{Height: 30, TxIndex: 0}, 99); !errors.Is(err, ErrUnknownTx) {
+		t.Fatalf("bad output index: %v", err)
+	}
+}
+
+func TestBuilderCacheEviction(t *testing.T) {
+	_, im, _ := buildEBVChain(t, 60)
+	b := NewBuilder(im.Chain(), 2)
+	for h := uint64(0); h < 50; h++ {
+		if _, err := b.Prove(Loc{Height: h, TxIndex: 0}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(b.cache) > 2 {
+		t.Fatalf("cache holds %d blocks, cap 2", len(b.cache))
+	}
+}
+
+func TestLocate(t *testing.T) {
+	g := workload.NewGenerator(workload.TestParams(30))
+	im, err := NewIntermediary(t.TempDir(), g.Resign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer im.Close()
+	var txid hashx.Hash
+	for !g.Done() {
+		cb, err := g.NextBlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cb.Header.Height == 10 {
+			txid = cb.Txs[0].TxID()
+		}
+		if _, err := im.ProcessBlock(cb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loc, err := im.Locate(txid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Height != 10 || loc.TxIndex != 0 {
+		t.Fatalf("Locate=%+v", loc)
+	}
+	if _, err := im.Locate(hashx.Sum([]byte("bogus"))); !errors.Is(err, ErrUnknownTx) {
+		t.Fatalf("unknown txid: %v", err)
+	}
+}
+
+func TestLocRoundTrip(t *testing.T) {
+	for _, loc := range []Loc{{0, 0}, {590_004, 1234}, {1 << 40, 1<<32 - 1}} {
+		back, err := decodeLoc(locValue(loc))
+		if err != nil || back != loc {
+			t.Fatalf("round trip %+v -> %+v (%v)", loc, back, err)
+		}
+	}
+	if _, err := decodeLoc(nil); err == nil {
+		t.Fatal("empty loc must fail")
+	}
+	if _, err := decodeLoc([]byte{1, 2, 3}); err == nil {
+		t.Fatal("trailing bytes must fail")
+	}
+}
+
+func TestOutputsAreDeepCopied(t *testing.T) {
+	outs := []txmodel.TxOut{{Value: 1, LockScript: []byte{1, 2}}}
+	cloned := cloneOutputs(outs)
+	outs[0].LockScript[0] = 9
+	if cloned[0].LockScript[0] == 9 {
+		t.Fatal("clone must not alias")
+	}
+}
+
+func BenchmarkProcessBlock(b *testing.B) {
+	p := workload.DefaultParams()
+	p.Blocks = 1 << 30
+	g := workload.NewGenerator(p)
+	im, err := NewIntermediary(b.TempDir(), g.Resign)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer im.Close()
+	for i := 0; i < 300; i++ {
+		cb, err := g.NextBlock()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := im.ProcessBlock(cb); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cb, err := g.NextBlock()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := im.ProcessBlock(cb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestIntermediaryRejectsUnknownInput(t *testing.T) {
+	g := workload.NewGenerator(workload.TestParams(150))
+	im, err := NewIntermediary(t.TempDir(), g.Resign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer im.Close()
+	var victim *blockmodel.ClassicBlock
+	for !g.Done() {
+		cb, err := g.NextBlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cb.Header.Height == 140 && len(cb.Txs) > 1 {
+			victim = cb
+			break
+		}
+		if _, err := im.ProcessBlock(cb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if victim == nil {
+		t.Skip("no spend block found")
+	}
+	victim.Txs[1].Inputs[0].PrevOut.TxID[0] ^= 1
+	if _, err := im.ProcessBlock(victim); !errors.Is(err, ErrUnknownTx) {
+		t.Fatalf("unknown input: %v", err)
+	}
+}
+
+func TestIntermediaryReopenContinues(t *testing.T) {
+	dir := t.TempDir()
+	g := workload.NewGenerator(workload.TestParams(120))
+	im, err := NewIntermediary(dir, g.Resign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g.Height() < 60 {
+		cb, err := g.NextBlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := im.ProcessBlock(cb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := im.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	im2, err := NewIntermediary(dir, g.Resign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer im2.Close()
+	if im2.Chain().Count() != 60 {
+		t.Fatalf("reopened chain has %d blocks", im2.Chain().Count())
+	}
+	for !g.Done() {
+		cb, err := g.NextBlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := im2.ProcessBlock(cb); err != nil {
+			t.Fatalf("resume at %d: %v", cb.Header.Height, err)
+		}
+	}
+	if im2.Chain().Count() != 120 {
+		t.Fatalf("final chain has %d blocks", im2.Chain().Count())
+	}
+}

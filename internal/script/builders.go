@@ -1,0 +1,146 @@
+package script
+
+import (
+	"fmt"
+
+	"ebv/internal/hashx"
+	"ebv/internal/sig"
+)
+
+// Push appends a minimal data push of v to dst.
+func Push(dst, v []byte) []byte {
+	switch {
+	case len(v) == 0:
+		return append(dst, OpFalse)
+	case len(v) <= int(opPushMax):
+		dst = append(dst, byte(len(v)))
+		return append(dst, v...)
+	case len(v) <= 0xff:
+		dst = append(dst, OpPushData1, byte(len(v)))
+		return append(dst, v...)
+	case len(v) <= 0xffff:
+		dst = append(dst, OpPushData2, byte(len(v)), byte(len(v)>>8))
+		return append(dst, v...)
+	default:
+		panic(fmt.Sprintf("script: push of %d bytes exceeds format", len(v)))
+	}
+}
+
+// PushNum appends a minimal push of the small number n (0..16 use the
+// dedicated opcodes).
+func PushNum(dst []byte, n int64) []byte {
+	switch {
+	case n == 0:
+		return append(dst, OpFalse)
+	case n == -1:
+		return append(dst, Op1Negate)
+	case n >= 1 && n <= 16:
+		return append(dst, OpTrue+byte(n-1))
+	default:
+		return Push(dst, encodeNum(n))
+	}
+}
+
+// PayToPubKey builds the P2PK locking script: <pub> OP_CHECKSIG.
+func PayToPubKey(pub []byte) []byte {
+	return append(Push(nil, pub), OpCheckSig)
+}
+
+// UnlockPubKey builds the P2PK unlocking script: <sig>.
+func UnlockPubKey(sigBytes []byte) []byte {
+	return Push(nil, sigBytes)
+}
+
+// PayToPubKeyHash builds the P2PKH locking script:
+// OP_DUP OP_HASH160 <addr> OP_EQUALVERIFY OP_CHECKSIG.
+func PayToPubKeyHash(addr [hashx.AddrSize]byte) []byte {
+	s := []byte{OpDup, OpHash160}
+	s = Push(s, addr[:])
+	return append(s, OpEqualVfy, OpCheckSig)
+}
+
+// UnlockPubKeyHash builds the P2PKH unlocking script: <sig> <pub>.
+func UnlockPubKeyHash(sigBytes, pub []byte) []byte {
+	return Push(Push(nil, sigBytes), pub)
+}
+
+// PayToMultisig builds an m-of-n bare multisig locking script:
+// OP_m <pub...> OP_n OP_CHECKMULTISIG.
+func PayToMultisig(m int, pubs [][]byte) []byte {
+	if m < 1 || m > len(pubs) || len(pubs) > MaxMultisigKeys {
+		panic(fmt.Sprintf("script: invalid multisig %d-of-%d", m, len(pubs)))
+	}
+	s := PushNum(nil, int64(m))
+	for _, p := range pubs {
+		s = Push(s, p)
+	}
+	s = PushNum(s, int64(len(pubs)))
+	return append(s, OpCheckMulti)
+}
+
+// UnlockMultisig builds the multisig unlocking script:
+// OP_0 <sig...> (the leading zero feeds CHECKMULTISIG's dummy pop).
+func UnlockMultisig(sigs [][]byte) []byte {
+	s := []byte{OpFalse}
+	for _, sg := range sigs {
+		s = Push(s, sg)
+	}
+	return s
+}
+
+// AddressOf returns the address digest of a public key, the value a
+// P2PKH locking script commits to.
+func AddressOf(pub []byte) [hashx.AddrSize]byte { return hashx.Addr(pub) }
+
+// StandardLock builds the default locking script for a key: P2PKH.
+func StandardLock(key sig.PrivateKey) []byte {
+	return PayToPubKeyHash(AddressOf(key.Public()))
+}
+
+// StandardUnlock signs sigHash with key and builds the matching P2PKH
+// unlocking script.
+func StandardUnlock(key sig.PrivateKey, sigHash hashx.Hash) ([]byte, error) {
+	sigBytes, err := key.Sign(sigHash)
+	if err != nil {
+		return nil, fmt.Errorf("script: sign: %w", err)
+	}
+	return UnlockPubKeyHash(sigBytes, key.Public()), nil
+}
+
+// Disassemble renders a script as space-separated mnemonics with hex
+// data pushes, for debugging and error messages.
+func Disassemble(scr []byte) string {
+	out := make([]byte, 0, len(scr)*3)
+	appendSep := func() {
+		if len(out) > 0 {
+			out = append(out, ' ')
+		}
+	}
+	for pc := 0; pc < len(scr); {
+		op := scr[pc]
+		pc++
+		var n int = -1
+		switch {
+		case op >= 1 && op <= opPushMax:
+			n = int(op)
+		case op == OpPushData1 && pc < len(scr):
+			n = int(scr[pc])
+			pc++
+		case op == OpPushData2 && pc+1 < len(scr):
+			n = int(scr[pc]) | int(scr[pc+1])<<8
+			pc += 2
+		}
+		appendSep()
+		if n >= 0 {
+			if pc+n > len(scr) {
+				out = append(out, "<truncated>"...)
+				return string(out)
+			}
+			out = append(out, fmt.Sprintf("PUSH(%x)", scr[pc:pc+n])...)
+			pc += n
+			continue
+		}
+		out = append(out, Name(op)...)
+	}
+	return string(out)
+}

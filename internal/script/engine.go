@@ -1,0 +1,705 @@
+package script
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"ebv/internal/hashx"
+	"ebv/internal/sig"
+)
+
+// Execution limits, mirroring Bitcoin's consensus limits.
+const (
+	MaxScriptSize   = 10000
+	MaxStackDepth   = 1000
+	MaxOpsPerScript = 201
+	MaxPushSize     = 520
+	MaxMultisigKeys = 20
+)
+
+// Errors returned by script execution. They wrap ErrScript so callers
+// can classify any script failure with errors.Is.
+var (
+	ErrScript         = errors.New("script")
+	ErrEvalFalse      = fmt.Errorf("%w: final stack value is false", ErrScript)
+	ErrEmptyStack     = fmt.Errorf("%w: stack underflow", ErrScript)
+	ErrScriptTooBig   = fmt.Errorf("%w: script exceeds size limit", ErrScript)
+	ErrTooManyOps     = fmt.Errorf("%w: operation limit exceeded", ErrScript)
+	ErrStackOverflow  = fmt.Errorf("%w: stack depth limit exceeded", ErrScript)
+	ErrEarlyReturn    = fmt.Errorf("%w: OP_RETURN executed", ErrScript)
+	ErrUnbalancedIf   = fmt.Errorf("%w: unbalanced conditional", ErrScript)
+	ErrBadOpcode      = fmt.Errorf("%w: unknown or disabled opcode", ErrScript)
+	ErrVerifyFailed   = fmt.Errorf("%w: VERIFY failed", ErrScript)
+	ErrBadSignature   = fmt.Errorf("%w: signature check failed", ErrScript)
+	ErrPushSize       = fmt.Errorf("%w: push exceeds element size limit", ErrScript)
+	ErrTruncatedPush  = fmt.Errorf("%w: push runs past end of script", ErrScript)
+	ErrBadMultisig    = fmt.Errorf("%w: malformed multisig", ErrScript)
+	ErrNumberRange    = fmt.Errorf("%w: numeric value out of range", ErrScript)
+	ErrCleanStack     = fmt.Errorf("%w: stack not clean after execution", ErrScript)
+	ErrUnlockNotPush  = fmt.Errorf("%w: unlocking script must be push-only", ErrScript)
+	ErrDisabledInside = fmt.Errorf("%w: opcode not allowed in unexecuted branch", ErrScript)
+)
+
+// Engine executes unlocking+locking script pairs. The zero value is
+// not usable; construct with NewEngine.
+type Engine struct {
+	scheme sig.Scheme
+	// RequireCleanStack, when set, demands exactly one element remain
+	// after execution (Bitcoin's CLEANSTACK rule). Default true.
+	requireCleanStack bool
+	// RequirePushOnlyUnlock demands the unlocking script contain only
+	// data pushes, as Bitcoin does for standardness. Default true.
+	requirePushOnly bool
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithoutCleanStack disables the clean-stack rule (used by tests
+// exercising raw scripts).
+func WithoutCleanStack() Option { return func(e *Engine) { e.requireCleanStack = false } }
+
+// AllowNonPushUnlock permits opcodes in unlocking scripts.
+func AllowNonPushUnlock() Option { return func(e *Engine) { e.requirePushOnly = false } }
+
+// NewEngine returns an engine verifying signatures with scheme.
+func NewEngine(scheme sig.Scheme, opts ...Option) *Engine {
+	e := &Engine{scheme: scheme, requireCleanStack: true, requirePushOnly: true}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Scheme returns the engine's signature scheme.
+func (e *Engine) Scheme() sig.Scheme { return e.scheme }
+
+// Execute runs the unlocking script and then the locking script on the
+// shared stack, with sigHash as the message for CHECKSIG-family
+// opcodes. It returns nil iff the scripts leave a true value on top of
+// the stack (and, under the clean-stack rule, nothing else).
+func (e *Engine) Execute(unlock, lock []byte, sigHash hashx.Hash) error {
+	if len(unlock) > MaxScriptSize || len(lock) > MaxScriptSize {
+		return ErrScriptTooBig
+	}
+	if e.requirePushOnly && !IsPushOnly(unlock) {
+		return ErrUnlockNotPush
+	}
+	vm := vm{engine: e, sigHash: sigHash}
+	if err := vm.run(unlock); err != nil {
+		return fmt.Errorf("unlocking script: %w", err)
+	}
+	vm.alt = vm.alt[:0] // alt stack does not carry across scripts
+	if err := vm.run(lock); err != nil {
+		return fmt.Errorf("locking script: %w", err)
+	}
+	if len(vm.stack) == 0 {
+		return ErrEmptyStack
+	}
+	if !truthy(vm.stack[len(vm.stack)-1]) {
+		return ErrEvalFalse
+	}
+	if e.requireCleanStack && len(vm.stack) != 1 {
+		return ErrCleanStack
+	}
+	return nil
+}
+
+// IsPushOnly reports whether the script consists solely of data
+// pushes.
+func IsPushOnly(script []byte) bool {
+	for pc := 0; pc < len(script); {
+		op := script[pc]
+		switch {
+		case op <= opPushMax:
+			n := int(op)
+			if pc+1+n > len(script) {
+				return false
+			}
+			pc += 1 + n
+		case op == OpPushData1:
+			if pc+2 > len(script) {
+				return false
+			}
+			n := int(script[pc+1])
+			if pc+2+n > len(script) {
+				return false
+			}
+			pc += 2 + n
+		case op == OpPushData2:
+			if pc+3 > len(script) {
+				return false
+			}
+			n := int(script[pc+1]) | int(script[pc+2])<<8
+			if pc+3+n > len(script) {
+				return false
+			}
+			pc += 3 + n
+		case op == Op1Negate || (op >= OpTrue && op <= Op16):
+			pc++
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// vm is the execution state for one input's script pair.
+type vm struct {
+	engine  *Engine
+	sigHash hashx.Hash
+	stack   [][]byte
+	alt     [][]byte
+}
+
+// condState tracks one nesting level of OP_IF.
+type condState int
+
+const (
+	condTrue condState = iota // branch taken
+	condFalse
+	condSkip // inside an outer untaken branch
+)
+
+func truthy(v []byte) bool {
+	for i, b := range v {
+		if b != 0 {
+			// Negative zero (sign bit only in the last byte) is false.
+			if i == len(v)-1 && b == 0x80 {
+				return false
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func (m *vm) push(v []byte) error {
+	if len(m.stack)+len(m.alt) >= MaxStackDepth {
+		return ErrStackOverflow
+	}
+	m.stack = append(m.stack, v)
+	return nil
+}
+
+func (m *vm) pop() ([]byte, error) {
+	if len(m.stack) == 0 {
+		return nil, ErrEmptyStack
+	}
+	v := m.stack[len(m.stack)-1]
+	m.stack = m.stack[:len(m.stack)-1]
+	return v, nil
+}
+
+func (m *vm) peek(depth int) ([]byte, error) {
+	if depth < 0 || depth >= len(m.stack) {
+		return nil, ErrEmptyStack
+	}
+	return m.stack[len(m.stack)-1-depth], nil
+}
+
+func (m *vm) popNum() (int64, error) {
+	v, err := m.pop()
+	if err != nil {
+		return 0, err
+	}
+	return decodeNum(v)
+}
+
+func (m *vm) pushBool(b bool) error {
+	if b {
+		return m.push([]byte{1})
+	}
+	return m.push(nil)
+}
+
+func (m *vm) pushNum(n int64) error { return m.push(encodeNum(n)) }
+
+// decodeNum parses Bitcoin's little-endian sign-magnitude numbers,
+// limited to 4 bytes as consensus requires.
+func decodeNum(v []byte) (int64, error) {
+	if len(v) > 4 {
+		return 0, ErrNumberRange
+	}
+	if len(v) == 0 {
+		return 0, nil
+	}
+	var n int64
+	for i, b := range v {
+		n |= int64(b) << uint(8*i)
+	}
+	if v[len(v)-1]&0x80 != 0 {
+		n &^= int64(0x80) << uint(8*(len(v)-1))
+		n = -n
+	}
+	return n, nil
+}
+
+// encodeNum renders n in little-endian sign-magnitude minimal form.
+func encodeNum(n int64) []byte {
+	if n == 0 {
+		return nil
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var out []byte
+	for n > 0 {
+		out = append(out, byte(n&0xff))
+		n >>= 8
+	}
+	if out[len(out)-1]&0x80 != 0 {
+		if neg {
+			out = append(out, 0x80)
+		} else {
+			out = append(out, 0)
+		}
+	} else if neg {
+		out[len(out)-1] |= 0x80
+	}
+	return out
+}
+
+// run executes one script on the vm's stacks.
+func (m *vm) run(script []byte) error {
+	var conds []condState
+	ops := 0
+	executing := func() bool {
+		for _, c := range conds {
+			if c != condTrue {
+				return false
+			}
+		}
+		return true
+	}
+	for pc := 0; pc < len(script); {
+		op := script[pc]
+		pc++
+
+		// Data pushes.
+		if op <= opPushMax || op == OpPushData1 || op == OpPushData2 {
+			var n int
+			switch {
+			case op <= opPushMax:
+				n = int(op)
+			case op == OpPushData1:
+				if pc >= len(script) {
+					return ErrTruncatedPush
+				}
+				n = int(script[pc])
+				pc++
+			default:
+				if pc+1 >= len(script) {
+					return ErrTruncatedPush
+				}
+				n = int(script[pc]) | int(script[pc+1])<<8
+				pc += 2
+			}
+			if n > MaxPushSize {
+				return ErrPushSize
+			}
+			if pc+n > len(script) {
+				return ErrTruncatedPush
+			}
+			if executing() {
+				data := make([]byte, n)
+				copy(data, script[pc:pc+n])
+				if err := m.push(data); err != nil {
+					return err
+				}
+			}
+			pc += n
+			continue
+		}
+
+		// Small-number pushes (OP_1NEGATE, OP_1..OP_16) do not count
+		// toward the operation limit, matching Bitcoin.
+		if op > Op16 {
+			ops++
+			if ops > MaxOpsPerScript {
+				return ErrTooManyOps
+			}
+		}
+
+		// Conditionals must be interpreted even when not executing.
+		switch op {
+		case OpIf, OpNotIf:
+			state := condSkip
+			if executing() {
+				v, err := m.pop()
+				if err != nil {
+					return err
+				}
+				taken := truthy(v)
+				if op == OpNotIf {
+					taken = !taken
+				}
+				if taken {
+					state = condTrue
+				} else {
+					state = condFalse
+				}
+			}
+			conds = append(conds, state)
+			continue
+		case OpElse:
+			if len(conds) == 0 {
+				return ErrUnbalancedIf
+			}
+			switch conds[len(conds)-1] {
+			case condTrue:
+				conds[len(conds)-1] = condFalse
+			case condFalse:
+				conds[len(conds)-1] = condTrue
+			}
+			continue
+		case OpEndIf:
+			if len(conds) == 0 {
+				return ErrUnbalancedIf
+			}
+			conds = conds[:len(conds)-1]
+			continue
+		}
+
+		if !executing() {
+			continue
+		}
+		if err := m.step(op); err != nil {
+			return fmt.Errorf("%s: %w", Name(op), err)
+		}
+	}
+	if len(conds) != 0 {
+		return ErrUnbalancedIf
+	}
+	return nil
+}
+
+// step executes a single non-push, non-conditional opcode.
+func (m *vm) step(op byte) error {
+	switch op {
+	case Op1Negate:
+		return m.pushNum(-1)
+	case OpNop:
+		return nil
+	case OpVerify:
+		v, err := m.pop()
+		if err != nil {
+			return err
+		}
+		if !truthy(v) {
+			return ErrVerifyFailed
+		}
+		return nil
+	case OpReturn:
+		return ErrEarlyReturn
+	case OpToAltStack:
+		v, err := m.pop()
+		if err != nil {
+			return err
+		}
+		m.alt = append(m.alt, v)
+		return nil
+	case OpFromAlt:
+		if len(m.alt) == 0 {
+			return ErrEmptyStack
+		}
+		v := m.alt[len(m.alt)-1]
+		m.alt = m.alt[:len(m.alt)-1]
+		return m.push(v)
+	case Op2Drop:
+		if _, err := m.pop(); err != nil {
+			return err
+		}
+		_, err := m.pop()
+		return err
+	case Op2Dup:
+		a, err := m.peek(1)
+		if err != nil {
+			return err
+		}
+		b, err := m.peek(0)
+		if err != nil {
+			return err
+		}
+		if err := m.push(a); err != nil {
+			return err
+		}
+		return m.push(b)
+	case OpDepth:
+		return m.pushNum(int64(len(m.stack)))
+	case OpDrop:
+		_, err := m.pop()
+		return err
+	case OpDup:
+		v, err := m.peek(0)
+		if err != nil {
+			return err
+		}
+		return m.push(v)
+	case OpNip:
+		top, err := m.pop()
+		if err != nil {
+			return err
+		}
+		if _, err := m.pop(); err != nil {
+			return err
+		}
+		return m.push(top)
+	case OpOver:
+		v, err := m.peek(1)
+		if err != nil {
+			return err
+		}
+		return m.push(v)
+	case OpPick, OpRoll:
+		n, err := m.popNum()
+		if err != nil {
+			return err
+		}
+		if n < 0 || int(n) >= len(m.stack) {
+			return ErrEmptyStack
+		}
+		idx := len(m.stack) - 1 - int(n)
+		v := m.stack[idx]
+		if op == OpRoll {
+			m.stack = append(m.stack[:idx], m.stack[idx+1:]...)
+		}
+		return m.push(v)
+	case OpRot:
+		if len(m.stack) < 3 {
+			return ErrEmptyStack
+		}
+		n := len(m.stack)
+		m.stack[n-3], m.stack[n-2], m.stack[n-1] = m.stack[n-2], m.stack[n-1], m.stack[n-3]
+		return nil
+	case OpSwap:
+		if len(m.stack) < 2 {
+			return ErrEmptyStack
+		}
+		n := len(m.stack)
+		m.stack[n-2], m.stack[n-1] = m.stack[n-1], m.stack[n-2]
+		return nil
+	case OpTuck:
+		if len(m.stack) < 2 {
+			return ErrEmptyStack
+		}
+		n := len(m.stack)
+		top := m.stack[n-1]
+		m.stack = append(m.stack, nil)
+		copy(m.stack[n-1:], m.stack[n-2:])
+		m.stack[n-2] = top
+		return nil
+	case OpSize:
+		v, err := m.peek(0)
+		if err != nil {
+			return err
+		}
+		return m.pushNum(int64(len(v)))
+	case OpEqual, OpEqualVfy:
+		a, err := m.pop()
+		if err != nil {
+			return err
+		}
+		b, err := m.pop()
+		if err != nil {
+			return err
+		}
+		eq := bytes.Equal(a, b)
+		if op == OpEqualVfy {
+			if !eq {
+				return ErrVerifyFailed
+			}
+			return nil
+		}
+		return m.pushBool(eq)
+	case Op1Add, Op1Sub, OpNegate, OpAbs, OpNot, Op0NotEqual:
+		n, err := m.popNum()
+		if err != nil {
+			return err
+		}
+		switch op {
+		case Op1Add:
+			n++
+		case Op1Sub:
+			n--
+		case OpNegate:
+			n = -n
+		case OpAbs:
+			if n < 0 {
+				n = -n
+			}
+		case OpNot:
+			if n == 0 {
+				n = 1
+			} else {
+				n = 0
+			}
+		case Op0NotEqual:
+			if n != 0 {
+				n = 1
+			}
+		}
+		return m.pushNum(n)
+	case OpAdd, OpSub, OpBoolAnd, OpBoolOr, OpNumEqual, OpNumEqVfy,
+		OpNumNotEq, OpLessThan, OpGreater, OpLessEq, OpGreaterEq, OpMin, OpMax:
+		b, err := m.popNum()
+		if err != nil {
+			return err
+		}
+		a, err := m.popNum()
+		if err != nil {
+			return err
+		}
+		switch op {
+		case OpAdd:
+			return m.pushNum(a + b)
+		case OpSub:
+			return m.pushNum(a - b)
+		case OpBoolAnd:
+			return m.pushBool(a != 0 && b != 0)
+		case OpBoolOr:
+			return m.pushBool(a != 0 || b != 0)
+		case OpNumEqual:
+			return m.pushBool(a == b)
+		case OpNumEqVfy:
+			if a != b {
+				return ErrVerifyFailed
+			}
+			return nil
+		case OpNumNotEq:
+			return m.pushBool(a != b)
+		case OpLessThan:
+			return m.pushBool(a < b)
+		case OpGreater:
+			return m.pushBool(a > b)
+		case OpLessEq:
+			return m.pushBool(a <= b)
+		case OpGreaterEq:
+			return m.pushBool(a >= b)
+		case OpMin:
+			return m.pushNum(min(a, b))
+		default:
+			return m.pushNum(max(a, b))
+		}
+	case OpWithin:
+		hi, err := m.popNum()
+		if err != nil {
+			return err
+		}
+		lo, err := m.popNum()
+		if err != nil {
+			return err
+		}
+		x, err := m.popNum()
+		if err != nil {
+			return err
+		}
+		return m.pushBool(lo <= x && x < hi)
+	case OpSHA256:
+		v, err := m.pop()
+		if err != nil {
+			return err
+		}
+		h := hashx.Sum(v)
+		return m.push(h[:])
+	case OpHash256:
+		v, err := m.pop()
+		if err != nil {
+			return err
+		}
+		h := hashx.DoubleSum(v)
+		return m.push(h[:])
+	case OpHash160:
+		v, err := m.pop()
+		if err != nil {
+			return err
+		}
+		a := hashx.Addr(v)
+		return m.push(a[:])
+	case OpCheckSig, OpCheckSigV:
+		pub, err := m.pop()
+		if err != nil {
+			return err
+		}
+		sigBytes, err := m.pop()
+		if err != nil {
+			return err
+		}
+		ok := m.engine.scheme.Verify(pub, m.sigHash, sigBytes)
+		if op == OpCheckSigV {
+			if !ok {
+				return ErrBadSignature
+			}
+			return nil
+		}
+		return m.pushBool(ok)
+	case OpCheckMulti, OpCheckMulV:
+		return m.checkMultisig(op == OpCheckMulV)
+	default:
+		if op >= OpTrue && op <= Op16 {
+			return m.pushNum(int64(op-OpTrue) + 1)
+		}
+		return ErrBadOpcode
+	}
+}
+
+// checkMultisig implements OP_CHECKMULTISIG: pops nkeys, the keys,
+// nsigs, the signatures, and the historical extra dummy element;
+// verifies that the signatures match a subset of the keys in order.
+func (m *vm) checkMultisig(verify bool) error {
+	nk, err := m.popNum()
+	if err != nil {
+		return err
+	}
+	if nk < 0 || nk > MaxMultisigKeys {
+		return ErrBadMultisig
+	}
+	keys := make([][]byte, nk)
+	for i := int(nk) - 1; i >= 0; i-- {
+		if keys[i], err = m.pop(); err != nil {
+			return err
+		}
+	}
+	ns, err := m.popNum()
+	if err != nil {
+		return err
+	}
+	if ns < 0 || ns > nk {
+		return ErrBadMultisig
+	}
+	sigs := make([][]byte, ns)
+	for i := int(ns) - 1; i >= 0; i-- {
+		if sigs[i], err = m.pop(); err != nil {
+			return err
+		}
+	}
+	// Historical off-by-one: an extra element is consumed.
+	if _, err := m.pop(); err != nil {
+		return err
+	}
+	ok := true
+	ki := 0
+	for si := 0; si < len(sigs); si++ {
+		found := false
+		for ; ki < len(keys); ki++ {
+			if m.engine.scheme.Verify(keys[ki], m.sigHash, sigs[si]) {
+				ki++
+				found = true
+				break
+			}
+		}
+		if !found {
+			ok = false
+			break
+		}
+	}
+	if verify {
+		if !ok {
+			return ErrBadSignature
+		}
+		return nil
+	}
+	return m.pushBool(ok)
+}

@@ -1,0 +1,240 @@
+package script
+
+import (
+	"errors"
+	"testing"
+)
+
+// Additional opcode and boundary coverage beyond the core semantics in
+// engine_test.go.
+
+func TestCheckSigVerify(t *testing.T) {
+	key := testScheme.KeyFromSeed([]byte("k"))
+	sg, _ := key.Sign(testHash)
+	// <sig> <pub> CHECKSIGVERIFY OP_1 — verify leaves nothing, OP_1 is
+	// the result.
+	lock := Push(nil, key.Public())
+	lock = append(lock, OpCheckSigV, OpTrue)
+	if err := eng().Execute(Push(nil, sg), lock, testHash); err != nil {
+		t.Fatalf("valid CHECKSIGVERIFY: %v", err)
+	}
+	bad := append([]byte{}, sg...)
+	bad[4] ^= 1
+	if err := eng().Execute(Push(nil, bad), lock, testHash); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("want bad-signature, got %v", err)
+	}
+}
+
+func TestCheckMultisigVerify(t *testing.T) {
+	k1 := testScheme.KeyFromSeed([]byte("1"))
+	k2 := testScheme.KeyFromSeed([]byte("2"))
+	s1, _ := k1.Sign(testHash)
+	lock := PushNum(nil, 1)
+	lock = Push(lock, k1.Public())
+	lock = Push(lock, k2.Public())
+	lock = PushNum(lock, 2)
+	lock = append(lock, OpCheckMulV, OpTrue)
+	if err := eng().Execute(UnlockMultisig([][]byte{s1}), lock, testHash); err != nil {
+		t.Fatalf("valid 1-of-2 CHECKMULTISIGVERIFY: %v", err)
+	}
+	stranger := testScheme.KeyFromSeed([]byte("x"))
+	sx, _ := stranger.Sign(testHash)
+	if err := eng().Execute(UnlockMultisig([][]byte{sx}), lock, testHash); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("want bad-signature, got %v", err)
+	}
+}
+
+func TestMultisigOneOfOne(t *testing.T) {
+	key := testScheme.KeyFromSeed([]byte("solo"))
+	sg, _ := key.Sign(testHash)
+	lock := PayToMultisig(1, [][]byte{key.Public()})
+	if err := eng().Execute(UnlockMultisig([][]byte{sg}), lock, testHash); err != nil {
+		t.Fatalf("1-of-1: %v", err)
+	}
+}
+
+func TestMultisigMalformedCounts(t *testing.T) {
+	// nkeys beyond the limit.
+	scr := PushNum(nil, 0) // dummy
+	scr = PushNum(scr, 0)  // nsigs
+	scr = PushNum(scr, 25) // nkeys > MaxMultisigKeys
+	scr = append(scr, OpCheckMulti)
+	if err := raw(t, scr); !errors.Is(err, ErrBadMultisig) && !errors.Is(err, ErrEmptyStack) {
+		t.Fatalf("oversized nkeys: %v", err)
+	}
+	// nsigs > nkeys.
+	key := testScheme.KeyFromSeed([]byte("k"))
+	scr2 := PushNum(nil, 0)
+	scr2 = Push(scr2, []byte("sig1"))
+	scr2 = Push(scr2, []byte("sig2"))
+	scr2 = PushNum(scr2, 2)
+	scr2 = Push(scr2, key.Public())
+	scr2 = PushNum(scr2, 1)
+	scr2 = append(scr2, OpCheckMulti)
+	if err := raw(t, scr2); !errors.Is(err, ErrBadMultisig) {
+		t.Fatalf("nsigs>nkeys: %v", err)
+	}
+}
+
+func TestPayToMultisigPanicsOnBadShape(t *testing.T) {
+	key := testScheme.KeyFromSeed([]byte("k"))
+	for _, f := range []func(){
+		func() { PayToMultisig(0, [][]byte{key.Public()}) },
+		func() { PayToMultisig(2, [][]byte{key.Public()}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPushNumForms(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want []byte
+	}{
+		{0, []byte{OpFalse}},
+		{-1, []byte{Op1Negate}},
+		{1, []byte{OpTrue}},
+		{16, []byte{Op16}},
+		{17, []byte{1, 17}},
+		{-5, []byte{1, 0x85}},
+		{256, []byte{2, 0x00, 0x01}},
+	}
+	for _, c := range cases {
+		got := PushNum(nil, c.n)
+		if len(got) != len(c.want) {
+			t.Fatalf("PushNum(%d) = %x want %x", c.n, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("PushNum(%d) = %x want %x", c.n, got, c.want)
+			}
+		}
+	}
+}
+
+func TestNumericEdges(t *testing.T) {
+	// BOOLAND / BOOLOR truth table via raw scripts.
+	tests := []struct {
+		a, b int64
+		op   byte
+		want bool
+	}{
+		{0, 0, OpBoolAnd, false},
+		{1, 0, OpBoolAnd, false},
+		{3, -2, OpBoolAnd, true},
+		{0, 0, OpBoolOr, false},
+		{0, 7, OpBoolOr, true},
+		{5, 5, OpLessEq, true},
+		{5, 5, OpGreaterEq, true},
+		{4, 5, OpGreater, false},
+	}
+	for _, c := range tests {
+		scr := PushNum(PushNum(nil, c.a), c.b)
+		scr = append(scr, c.op)
+		err := raw(t, scr)
+		if c.want && err != nil {
+			t.Fatalf("%d %s %d: %v", c.a, Name(c.op), c.b, err)
+		}
+		if !c.want && !errors.Is(err, ErrEvalFalse) {
+			t.Fatalf("%d %s %d: want false, got %v", c.a, Name(c.op), c.b, err)
+		}
+	}
+}
+
+func TestPickRollOutOfRange(t *testing.T) {
+	scr := PushNum(PushNum(nil, 1), 5) // only one real element below the index
+	scr = append(scr, OpPick)
+	if err := raw(t, scr); !errors.Is(err, ErrEmptyStack) {
+		t.Fatalf("pick out of range: %v", err)
+	}
+	scr2 := PushNum(PushNum(nil, 1), -1)
+	scr2 = append(scr2, OpRoll)
+	if err := raw(t, scr2); !errors.Is(err, ErrEmptyStack) {
+		t.Fatalf("negative roll: %v", err)
+	}
+}
+
+func TestTuckAndOver(t *testing.T) {
+	// 1 2 TUCK → 2 1 2; sum → 2+1=3, then +2 = 5.
+	scr := PushNum(PushNum(nil, 1), 2)
+	scr = append(scr, OpTuck, OpAdd, OpAdd)
+	scr = PushNum(scr, 5)
+	scr = append(scr, OpNumEqual)
+	if err := raw(t, scr); err != nil {
+		t.Fatal(err)
+	}
+	// 7 9 OVER → 7 9 7.
+	scr2 := PushNum(PushNum(nil, 7), 9)
+	scr2 = append(scr2, OpOver)
+	scr2 = PushNum(scr2, 7)
+	scr2 = append(scr2, OpNumEqual, OpNip, OpNip)
+	if err := raw(t, scr2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoDupTwoDrop(t *testing.T) {
+	scr := PushNum(PushNum(nil, 3), 4)
+	scr = append(scr, Op2Dup, Op2Drop, OpAdd)
+	scr = PushNum(scr, 7)
+	scr = append(scr, OpNumEqual)
+	if err := raw(t, scr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNotIf(t *testing.T) {
+	scr := []byte{OpFalse, OpNotIf}
+	scr = PushNum(scr, 8)
+	scr = append(scr, OpEndIf)
+	scr = PushNum(scr, 8)
+	scr = append(scr, OpNumEqual)
+	if err := raw(t, scr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConditionalSkipsNestedPushes(t *testing.T) {
+	// FALSE IF <65-byte push> ENDIF TRUE — the push inside the untaken
+	// branch must be skipped, not executed or misparsed.
+	big := make([]byte, 65)
+	scr := []byte{OpFalse, OpIf}
+	scr = Push(scr, big)
+	scr = append(scr, OpEndIf, OpTrue)
+	if err := raw(t, scr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPushData2Boundary(t *testing.T) {
+	data := make([]byte, MaxPushSize)
+	scr := Push(nil, data)
+	scr = append(scr, OpSize)
+	scr = PushNum(scr, int64(MaxPushSize))
+	scr = append(scr, OpNumEqual, OpNip)
+	if err := raw(t, scr); err != nil {
+		t.Fatal(err)
+	}
+	// Over the element limit.
+	over := []byte{OpPushData2, byte((MaxPushSize + 1) & 0xff), byte((MaxPushSize + 1) >> 8)}
+	over = append(over, make([]byte, MaxPushSize+1)...)
+	if err := raw(t, over); !errors.Is(err, ErrPushSize) {
+		t.Fatalf("oversized push: %v", err)
+	}
+}
+
+func TestPushPanicsOnHugeData(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Push(nil, make([]byte, 1<<17))
+}

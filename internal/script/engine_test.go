@@ -1,0 +1,478 @@
+package script
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"ebv/internal/hashx"
+	"ebv/internal/sig"
+)
+
+var (
+	testScheme = sig.SimSig{Cost: 1}
+	testHash   = hashx.Sum([]byte("sighash"))
+)
+
+func eng(opts ...Option) *Engine { return NewEngine(testScheme, opts...) }
+
+// raw runs a single script with no unlocking part and relaxed rules.
+func raw(t *testing.T, scr []byte) error {
+	t.Helper()
+	return eng(WithoutCleanStack(), AllowNonPushUnlock()).Execute(nil, scr, testHash)
+}
+
+func TestP2PKRoundTrip(t *testing.T) {
+	key := testScheme.KeyFromSeed([]byte("k"))
+	lock := PayToPubKey(key.Public())
+	sg, _ := key.Sign(testHash)
+	if err := eng().Execute(UnlockPubKey(sg), lock, testHash); err != nil {
+		t.Fatalf("valid P2PK must verify: %v", err)
+	}
+}
+
+func TestP2PKWrongKeyFails(t *testing.T) {
+	k1 := testScheme.KeyFromSeed([]byte("k1"))
+	k2 := testScheme.KeyFromSeed([]byte("k2"))
+	lock := PayToPubKey(k1.Public())
+	sg, _ := k2.Sign(testHash)
+	if err := eng().Execute(UnlockPubKey(sg), lock, testHash); !errors.Is(err, ErrScript) {
+		t.Fatalf("want script error, got %v", err)
+	}
+}
+
+func TestP2PKHRoundTrip(t *testing.T) {
+	key := testScheme.KeyFromSeed([]byte("k"))
+	lock := StandardLock(key)
+	unlock, err := StandardUnlock(key, testHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng().Execute(unlock, lock, testHash); err != nil {
+		t.Fatalf("valid P2PKH must verify: %v", err)
+	}
+}
+
+func TestP2PKHWrongAddressFails(t *testing.T) {
+	k1 := testScheme.KeyFromSeed([]byte("k1"))
+	k2 := testScheme.KeyFromSeed([]byte("k2"))
+	lock := StandardLock(k1)
+	unlock, _ := StandardUnlock(k2, testHash)
+	if err := eng().Execute(unlock, lock, testHash); !errors.Is(err, ErrVerifyFailed) {
+		t.Fatalf("want EQUALVERIFY failure, got %v", err)
+	}
+}
+
+func TestP2PKHWrongSigHashFails(t *testing.T) {
+	key := testScheme.KeyFromSeed([]byte("k"))
+	lock := StandardLock(key)
+	unlock, _ := StandardUnlock(key, hashx.Sum([]byte("different tx")))
+	if err := eng().Execute(unlock, lock, testHash); !errors.Is(err, ErrEvalFalse) {
+		t.Fatalf("want eval-false, got %v", err)
+	}
+}
+
+func TestMultisig2of3(t *testing.T) {
+	keys := make([]sig.PrivateKey, 3)
+	pubs := make([][]byte, 3)
+	for i := range keys {
+		keys[i] = testScheme.KeyFromSeed([]byte{byte(i)})
+		pubs[i] = keys[i].Public()
+	}
+	lock := PayToMultisig(2, pubs)
+
+	sign := func(idx ...int) [][]byte {
+		var out [][]byte
+		for _, i := range idx {
+			sg, _ := keys[i].Sign(testHash)
+			out = append(out, sg)
+		}
+		return out
+	}
+	for _, combo := range [][]int{{0, 1}, {0, 2}, {1, 2}} {
+		if err := eng().Execute(UnlockMultisig(sign(combo...)), lock, testHash); err != nil {
+			t.Fatalf("combo %v must verify: %v", combo, err)
+		}
+	}
+	// Out-of-order signatures fail (Bitcoin semantics).
+	if err := eng().Execute(UnlockMultisig(sign(2, 0)), lock, testHash); err == nil {
+		t.Fatal("out-of-order signatures must fail")
+	}
+	// One signature is insufficient.
+	if err := eng().Execute(UnlockMultisig(sign(0)), lock, testHash); err == nil {
+		t.Fatal("1-of-2 signatures must fail")
+	}
+	// A signature by a stranger fails.
+	stranger := testScheme.KeyFromSeed([]byte("x"))
+	sg0, _ := keys[0].Sign(testHash)
+	sgx, _ := stranger.Sign(testHash)
+	if err := eng().Execute(UnlockMultisig([][]byte{sg0, sgx}), lock, testHash); err == nil {
+		t.Fatal("stranger signature must fail")
+	}
+}
+
+func TestArithmeticOps(t *testing.T) {
+	cases := []struct {
+		name string
+		scr  []byte
+		want int64
+	}{
+		{"add", append(PushNum(PushNum(nil, 3), 4), OpAdd), 7},
+		{"sub", append(PushNum(PushNum(nil, 10), 4), OpSub), 6},
+		{"negate", append(PushNum(nil, 5), OpNegate), -5},
+		{"abs", append(PushNum(nil, -5), OpAbs), 5},
+		{"1add", append(PushNum(nil, -1), Op1Add), 0},
+		{"1sub", append(PushNum(nil, 0), Op1Sub), -1},
+		{"min", append(PushNum(PushNum(nil, 3), -4), OpMin), -4},
+		{"max", append(PushNum(PushNum(nil, 3), -4), OpMax), 3},
+		{"not0", append(PushNum(nil, 0), OpNot), 1},
+		{"not5", append(PushNum(nil, 5), OpNot), 0},
+	}
+	for _, c := range cases {
+		scr := append(append([]byte{}, c.scr...), OpFalse, OpFalse, OpFalse) // pad
+		scr = c.scr
+		scr = append(scr, PushNum(nil, c.want)...)
+		scr = append(scr, OpNumEqual)
+		if err := raw(t, scr); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func TestWithin(t *testing.T) {
+	mk := func(x, lo, hi int64) []byte {
+		s := PushNum(nil, x)
+		s = PushNum(s, lo)
+		s = PushNum(s, hi)
+		return append(s, OpWithin)
+	}
+	if err := raw(t, mk(5, 3, 7)); err != nil {
+		t.Fatalf("5 within [3,7): %v", err)
+	}
+	if err := raw(t, mk(7, 3, 7)); !errors.Is(err, ErrEvalFalse) {
+		t.Fatalf("7 within [3,7) must be false: %v", err)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	// IF push 2 ELSE push 3 ENDIF, with true condition → 2.
+	scr := []byte{OpTrue, OpIf}
+	scr = PushNum(scr, 2)
+	scr = append(scr, OpElse)
+	scr = PushNum(scr, 3)
+	scr = append(scr, OpEndIf)
+	scr = PushNum(scr, 2)
+	scr = append(scr, OpNumEqual)
+	if err := raw(t, scr); err != nil {
+		t.Fatal(err)
+	}
+	// Same with false condition → 3.
+	scr2 := []byte{OpFalse, OpIf}
+	scr2 = PushNum(scr2, 2)
+	scr2 = append(scr2, OpElse)
+	scr2 = PushNum(scr2, 3)
+	scr2 = append(scr2, OpEndIf)
+	scr2 = PushNum(scr2, 3)
+	scr2 = append(scr2, OpNumEqual)
+	if err := raw(t, scr2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedIf(t *testing.T) {
+	// FALSE IF ( TRUE IF push 9 ENDIF ) ELSE push 4 ENDIF → 4
+	scr := []byte{OpFalse, OpIf, OpTrue, OpIf}
+	scr = PushNum(scr, 9)
+	scr = append(scr, OpEndIf, OpElse)
+	scr = PushNum(scr, 4)
+	scr = append(scr, OpEndIf)
+	scr = PushNum(scr, 4)
+	scr = append(scr, OpNumEqual)
+	if err := raw(t, scr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnbalancedIfFails(t *testing.T) {
+	if err := raw(t, []byte{OpTrue, OpIf}); !errors.Is(err, ErrUnbalancedIf) {
+		t.Fatalf("want unbalanced-if, got %v", err)
+	}
+	if err := raw(t, []byte{OpEndIf}); !errors.Is(err, ErrUnbalancedIf) {
+		t.Fatalf("want unbalanced-if, got %v", err)
+	}
+	if err := raw(t, []byte{OpElse}); !errors.Is(err, ErrUnbalancedIf) {
+		t.Fatalf("want unbalanced-if, got %v", err)
+	}
+}
+
+func TestOpReturnFails(t *testing.T) {
+	if err := raw(t, []byte{OpTrue, OpReturn}); !errors.Is(err, ErrEarlyReturn) {
+		t.Fatalf("want early-return, got %v", err)
+	}
+}
+
+func TestStackOps(t *testing.T) {
+	// 1 2 SWAP → top 1; check via NUMEQUAL with 1.
+	scr := PushNum(PushNum(nil, 1), 2)
+	scr = append(scr, OpSwap)
+	scr = PushNum(scr, 1)
+	scr = append(scr, OpNumEqual, OpNip)
+	if err := raw(t, scr); err != nil {
+		t.Fatal(err)
+	}
+	// DEPTH on empty stack is 0 → NOT → true.
+	if err := raw(t, []byte{OpDepth, OpNot}); err != nil {
+		t.Fatal(err)
+	}
+	// 7 DUP NUMEQUAL → true.
+	scr3 := PushNum(nil, 7)
+	scr3 = append(scr3, OpDup, OpNumEqual)
+	if err := raw(t, scr3); err != nil {
+		t.Fatal(err)
+	}
+	// 1 2 3 ROT → stack 2 3 1 (top 1).
+	scr4 := PushNum(PushNum(PushNum(nil, 1), 2), 3)
+	scr4 = append(scr4, OpRot)
+	scr4 = PushNum(scr4, 1)
+	scr4 = append(scr4, OpNumEqual, OpNip, OpNip)
+	if err := raw(t, scr4); err != nil {
+		t.Fatal(err)
+	}
+	// 5 6 PICK(1) → copies 5 to top.
+	scr5 := PushNum(PushNum(nil, 5), 6)
+	scr5 = PushNum(scr5, 1)
+	scr5 = append(scr5, OpPick)
+	scr5 = PushNum(scr5, 5)
+	scr5 = append(scr5, OpNumEqual, OpNip, OpNip)
+	if err := raw(t, scr5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAltStack(t *testing.T) {
+	scr := PushNum(nil, 9)
+	scr = append(scr, OpToAltStack)
+	scr = PushNum(scr, 1)
+	scr = append(scr, OpDrop, OpFromAlt)
+	scr = PushNum(scr, 9)
+	scr = append(scr, OpNumEqual)
+	if err := raw(t, scr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashOpcodes(t *testing.T) {
+	data := []byte("payload")
+	sha := hashx.Sum(data)
+	scr := Push(nil, data)
+	scr = append(scr, OpSHA256)
+	scr = Push(scr, sha[:])
+	scr = append(scr, OpEqual)
+	if err := raw(t, scr); err != nil {
+		t.Fatal(err)
+	}
+	dbl := hashx.DoubleSum(data)
+	scr2 := Push(nil, data)
+	scr2 = append(scr2, OpHash256)
+	scr2 = Push(scr2, dbl[:])
+	scr2 = append(scr2, OpEqual)
+	if err := raw(t, scr2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeOp(t *testing.T) {
+	scr := Push(nil, []byte("abcde"))
+	scr = append(scr, OpSize)
+	scr = PushNum(scr, 5)
+	scr = append(scr, OpNumEqual, OpNip)
+	if err := raw(t, scr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLimits(t *testing.T) {
+	big := make([]byte, MaxScriptSize+1)
+	if err := eng().Execute(nil, big, testHash); !errors.Is(err, ErrScriptTooBig) {
+		t.Fatalf("want too-big, got %v", err)
+	}
+	// Operation count limit.
+	ops := make([]byte, 0, MaxOpsPerScript+2)
+	ops = append(ops, OpTrue)
+	for i := 0; i < MaxOpsPerScript+1; i++ {
+		ops = append(ops, OpNop)
+	}
+	if err := raw(t, ops); !errors.Is(err, ErrTooManyOps) {
+		t.Fatalf("want too-many-ops, got %v", err)
+	}
+	// Stack depth limit: DUP in a loop is capped by ops, so push lots.
+	deep := []byte{}
+	for i := 0; i < MaxStackDepth+1; i++ {
+		deep = append(deep, OpTrue)
+	}
+	if err := raw(t, deep); !errors.Is(err, ErrStackOverflow) {
+		t.Fatalf("want stack-overflow, got %v", err)
+	}
+}
+
+func TestTruncatedPushFails(t *testing.T) {
+	if err := raw(t, []byte{5, 1, 2}); !errors.Is(err, ErrTruncatedPush) {
+		t.Fatalf("want truncated-push, got %v", err)
+	}
+	if err := raw(t, []byte{OpPushData1}); !errors.Is(err, ErrTruncatedPush) {
+		t.Fatalf("want truncated-push, got %v", err)
+	}
+	if err := raw(t, []byte{OpPushData2, 0xff}); !errors.Is(err, ErrTruncatedPush) {
+		t.Fatalf("want truncated-push, got %v", err)
+	}
+}
+
+func TestUnknownOpcodeFails(t *testing.T) {
+	if err := raw(t, []byte{0xff}); !errors.Is(err, ErrBadOpcode) {
+		t.Fatalf("want bad-opcode, got %v", err)
+	}
+}
+
+func TestCleanStackRule(t *testing.T) {
+	key := testScheme.KeyFromSeed([]byte("k"))
+	lock := StandardLock(key)
+	unlock, _ := StandardUnlock(key, testHash)
+	dirty := append(Push(nil, []byte{9}), unlock...) // extra element below
+	if err := eng().Execute(dirty, lock, testHash); !errors.Is(err, ErrCleanStack) {
+		t.Fatalf("want clean-stack, got %v", err)
+	}
+	if err := eng(WithoutCleanStack()).Execute(dirty, lock, testHash); err != nil {
+		t.Fatalf("without clean-stack rule it must pass: %v", err)
+	}
+}
+
+func TestPushOnlyUnlockRule(t *testing.T) {
+	key := testScheme.KeyFromSeed([]byte("k"))
+	lock := StandardLock(key)
+	unlock, _ := StandardUnlock(key, testHash)
+	bad := append(append([]byte{}, unlock...), OpNop)
+	if err := eng().Execute(bad, lock, testHash); !errors.Is(err, ErrUnlockNotPush) {
+		t.Fatalf("want push-only violation, got %v", err)
+	}
+}
+
+func TestNegativeZeroIsFalse(t *testing.T) {
+	scr := Push(nil, []byte{0x80}) // negative zero
+	if err := raw(t, scr); !errors.Is(err, ErrEvalFalse) {
+		t.Fatalf("negative zero must be false, got %v", err)
+	}
+	scr2 := Push(nil, []byte{0x00, 0x00})
+	if err := raw(t, scr2); !errors.Is(err, ErrEvalFalse) {
+		t.Fatalf("multi-byte zero must be false, got %v", err)
+	}
+}
+
+func TestNumEncodingRoundTrip(t *testing.T) {
+	f := func(n int32) bool {
+		got, err := decodeNum(encodeNum(int64(n)))
+		return err == nil && got == int64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeNumRejectsWide(t *testing.T) {
+	if _, err := decodeNum([]byte{1, 2, 3, 4, 5}); !errors.Is(err, ErrNumberRange) {
+		t.Fatalf("want number-range, got %v", err)
+	}
+}
+
+func TestIsPushOnly(t *testing.T) {
+	key := testScheme.KeyFromSeed([]byte("k"))
+	unlock, _ := StandardUnlock(key, testHash)
+	if !IsPushOnly(unlock) {
+		t.Fatal("P2PKH unlock must be push-only")
+	}
+	if IsPushOnly([]byte{OpDup}) {
+		t.Fatal("OP_DUP is not a push")
+	}
+	if IsPushOnly([]byte{3, 1}) {
+		t.Fatal("truncated push is not push-only")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	key := testScheme.KeyFromSeed([]byte("k"))
+	got := Disassemble(StandardLock(key))
+	want := "OP_DUP OP_HASH160 "
+	if len(got) < len(want) || got[:len(want)] != want {
+		t.Fatalf("disassembly %q", got)
+	}
+	if Disassemble([]byte{5, 1}) != "<truncated>" {
+		t.Fatalf("truncated disassembly: %q", Disassemble([]byte{5, 1}))
+	}
+}
+
+func TestPushFormats(t *testing.T) {
+	for _, n := range []int{0, 1, 75, 76, 255, 256, 520} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		scr := Push(nil, data)
+		scr = append(scr, OpSize)
+		scr = PushNum(scr, int64(n))
+		scr = append(scr, OpNumEqual, OpNip)
+		if n == 0 {
+			// empty push → SIZE 0 → NUMEQUAL true; NIP needs 2 elems
+			scr = Push(nil, data)
+			scr = append(scr, OpSize)
+			scr = PushNum(scr, 0)
+			scr = append(scr, OpNumEqual, OpNip)
+		}
+		if err := raw(t, scr); err != nil {
+			t.Fatalf("push of %d bytes: %v", n, err)
+		}
+	}
+}
+
+func TestPropertyRandomScriptsNeverPanic(t *testing.T) {
+	e := eng(WithoutCleanStack(), AllowNonPushUnlock())
+	f := func(unlock, lock []byte) bool {
+		if len(unlock) > MaxScriptSize {
+			unlock = unlock[:MaxScriptSize]
+		}
+		if len(lock) > MaxScriptSize {
+			lock = lock[:MaxScriptSize]
+		}
+		_ = e.Execute(unlock, lock, testHash) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkP2PKHVerify(b *testing.B) {
+	key := testScheme.KeyFromSeed([]byte("bench"))
+	lock := StandardLock(key)
+	unlock, _ := StandardUnlock(key, testHash)
+	e := eng()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Execute(unlock, lock, testHash); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkP2PKHVerifyECDSA(b *testing.B) {
+	scheme := sig.ECDSA{}
+	key := scheme.KeyFromSeed([]byte("bench"))
+	lock := PayToPubKeyHash(AddressOf(key.Public()))
+	sg, _ := key.Sign(testHash)
+	unlock := UnlockPubKeyHash(sg, key.Public())
+	e := NewEngine(scheme)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Execute(unlock, lock, testHash); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package script implements the stack-based scripting system used for
+// Script Validation (SV): locking scripts (Ls) committed in outputs
+// and unlocking scripts (Us) supplied by inputs, executed together on
+// a shared stack (paper §II-A).
+//
+// The opcode set is the standard Bitcoin subset needed by real
+// payment scripts — data pushes, stack manipulation, hashing,
+// equality, flow control, small-number arithmetic, and the CHECKSIG /
+// CHECKMULTISIG family — with signature checking delegated to a
+// sig.Scheme. Script execution in EBV is byte-for-byte identical to
+// the baseline: the paper changes where Ls comes from (the ELs proof
+// field instead of the UTXO set), not how it runs.
+package script
+
+import "fmt"
+
+// Opcode values. Pushes of 1..75 bytes use the byte count itself as
+// the opcode, exactly like Bitcoin; the named opcodes live above that
+// range.
+const (
+	OpFalse byte = 0x00 // push empty array (numeric 0)
+	// 0x01-0x4b: push that many following bytes.
+	opPushMax    byte = 0x4b
+	OpPushData1  byte = 0x4c // next byte is the push length
+	OpPushData2  byte = 0x4d // next two bytes (LE) are the push length
+	Op1Negate    byte = 0x4f
+	OpTrue       byte = 0x51 // OP_1
+	Op2          byte = 0x52
+	Op16         byte = 0x60
+	OpNop        byte = 0x61
+	OpIf         byte = 0x63
+	OpNotIf      byte = 0x64
+	OpElse       byte = 0x67
+	OpEndIf      byte = 0x68
+	OpVerify     byte = 0x69
+	OpReturn     byte = 0x6a
+	OpToAltStack byte = 0x6b
+	OpFromAlt    byte = 0x6c
+	Op2Drop      byte = 0x6d
+	Op2Dup       byte = 0x6e
+	OpDepth      byte = 0x74
+	OpDrop       byte = 0x75
+	OpDup        byte = 0x76
+	OpNip        byte = 0x77
+	OpOver       byte = 0x78
+	OpPick       byte = 0x79
+	OpRoll       byte = 0x7a
+	OpRot        byte = 0x7b
+	OpSwap       byte = 0x7c
+	OpTuck       byte = 0x7d
+	OpSize       byte = 0x82
+	OpEqual      byte = 0x87
+	OpEqualVfy   byte = 0x88
+	Op1Add       byte = 0x8b
+	Op1Sub       byte = 0x8c
+	OpNegate     byte = 0x8f
+	OpAbs        byte = 0x90
+	OpNot        byte = 0x91
+	Op0NotEqual  byte = 0x92
+	OpAdd        byte = 0x93
+	OpSub        byte = 0x94
+	OpBoolAnd    byte = 0x9a
+	OpBoolOr     byte = 0x9b
+	OpNumEqual   byte = 0x9c
+	OpNumEqVfy   byte = 0x9d
+	OpNumNotEq   byte = 0x9e
+	OpLessThan   byte = 0x9f
+	OpGreater    byte = 0xa0
+	OpLessEq     byte = 0xa1
+	OpGreaterEq  byte = 0xa2
+	OpMin        byte = 0xa3
+	OpMax        byte = 0xa4
+	OpWithin     byte = 0xa5
+	OpSHA256     byte = 0xa8
+	OpHash160    byte = 0xa9 // 20-byte address digest (see hashx.Addr)
+	OpHash256    byte = 0xaa // double SHA-256
+	OpCheckSig   byte = 0xac
+	OpCheckSigV  byte = 0xad
+	OpCheckMulti byte = 0xae
+	OpCheckMulV  byte = 0xaf
+)
+
+// opName maps named opcodes to mnemonics for errors and disassembly.
+var opName = map[byte]string{
+	OpFalse: "OP_0", OpPushData1: "OP_PUSHDATA1", OpPushData2: "OP_PUSHDATA2",
+	Op1Negate: "OP_1NEGATE", OpTrue: "OP_1", OpNop: "OP_NOP",
+	OpIf: "OP_IF", OpNotIf: "OP_NOTIF", OpElse: "OP_ELSE", OpEndIf: "OP_ENDIF",
+	OpVerify: "OP_VERIFY", OpReturn: "OP_RETURN",
+	OpToAltStack: "OP_TOALTSTACK", OpFromAlt: "OP_FROMALTSTACK",
+	Op2Drop: "OP_2DROP", Op2Dup: "OP_2DUP", OpDepth: "OP_DEPTH",
+	OpDrop: "OP_DROP", OpDup: "OP_DUP", OpNip: "OP_NIP", OpOver: "OP_OVER",
+	OpPick: "OP_PICK", OpRoll: "OP_ROLL", OpRot: "OP_ROT", OpSwap: "OP_SWAP",
+	OpTuck: "OP_TUCK", OpSize: "OP_SIZE",
+	OpEqual: "OP_EQUAL", OpEqualVfy: "OP_EQUALVERIFY",
+	Op1Add: "OP_1ADD", Op1Sub: "OP_1SUB", OpNegate: "OP_NEGATE", OpAbs: "OP_ABS",
+	OpNot: "OP_NOT", Op0NotEqual: "OP_0NOTEQUAL",
+	OpAdd: "OP_ADD", OpSub: "OP_SUB",
+	OpBoolAnd: "OP_BOOLAND", OpBoolOr: "OP_BOOLOR",
+	OpNumEqual: "OP_NUMEQUAL", OpNumEqVfy: "OP_NUMEQUALVERIFY", OpNumNotEq: "OP_NUMNOTEQUAL",
+	OpLessThan: "OP_LESSTHAN", OpGreater: "OP_GREATERTHAN",
+	OpLessEq: "OP_LESSTHANOREQUAL", OpGreaterEq: "OP_GREATERTHANOREQUAL",
+	OpMin: "OP_MIN", OpMax: "OP_MAX", OpWithin: "OP_WITHIN",
+	OpSHA256: "OP_SHA256", OpHash160: "OP_HASH160", OpHash256: "OP_HASH256",
+	OpCheckSig: "OP_CHECKSIG", OpCheckSigV: "OP_CHECKSIGVERIFY",
+	OpCheckMulti: "OP_CHECKMULTISIG", OpCheckMulV: "OP_CHECKMULTISIGVERIFY",
+}
+
+// Name returns the mnemonic for op, or a hex form for unnamed values.
+func Name(op byte) string {
+	if n, ok := opName[op]; ok {
+		return n
+	}
+	if op >= 1 && op <= opPushMax {
+		return fmt.Sprintf("OP_PUSH%d", op)
+	}
+	if op >= Op2 && op <= Op16 {
+		return fmt.Sprintf("OP_%d", op-OpTrue+1)
+	}
+	return fmt.Sprintf("OP_0x%02x", op)
+}

@@ -1,0 +1,162 @@
+package sig
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"ebv/internal/hashx"
+)
+
+var schemes = []Scheme{ECDSA{}, SimSig{}, SimSig{Cost: 4}}
+
+func TestSignVerifyAllSchemes(t *testing.T) {
+	msg := hashx.Sum([]byte("spend output 3"))
+	for _, s := range schemes {
+		key := s.KeyFromSeed([]byte("seed-1"))
+		sigBytes, err := key.Sign(msg)
+		if err != nil {
+			t.Fatalf("%s: sign: %v", s.Name(), err)
+		}
+		if !s.Verify(key.Public(), msg, sigBytes) {
+			t.Fatalf("%s: valid signature must verify", s.Name())
+		}
+	}
+}
+
+func TestWrongMessageFails(t *testing.T) {
+	msg := hashx.Sum([]byte("msg"))
+	other := hashx.Sum([]byte("other"))
+	for _, s := range schemes {
+		key := s.KeyFromSeed([]byte("seed-2"))
+		sigBytes, _ := key.Sign(msg)
+		if s.Verify(key.Public(), other, sigBytes) {
+			t.Fatalf("%s: signature over msg must not verify other", s.Name())
+		}
+	}
+}
+
+func TestWrongKeyFails(t *testing.T) {
+	msg := hashx.Sum([]byte("msg"))
+	for _, s := range schemes {
+		k1 := s.KeyFromSeed([]byte("k1"))
+		k2 := s.KeyFromSeed([]byte("k2"))
+		sigBytes, _ := k1.Sign(msg)
+		if s.Verify(k2.Public(), msg, sigBytes) {
+			t.Fatalf("%s: signature must not verify under another key", s.Name())
+		}
+	}
+}
+
+func TestDeterministicKeysAndSignatures(t *testing.T) {
+	msg := hashx.Sum([]byte("msg"))
+	for _, s := range schemes {
+		a := s.KeyFromSeed([]byte("same"))
+		b := s.KeyFromSeed([]byte("same"))
+		if !bytes.Equal(a.Public(), b.Public()) {
+			t.Fatalf("%s: key derivation must be deterministic", s.Name())
+		}
+		sa, _ := a.Sign(msg)
+		sb, _ := b.Sign(msg)
+		if !bytes.Equal(sa, sb) {
+			t.Fatalf("%s: signing must be deterministic", s.Name())
+		}
+	}
+}
+
+func TestCorruptedSignatureFails(t *testing.T) {
+	msg := hashx.Sum([]byte("msg"))
+	for _, s := range schemes {
+		key := s.KeyFromSeed([]byte("seed"))
+		sigBytes, _ := key.Sign(msg)
+		for i := 0; i < len(sigBytes); i += 7 {
+			bad := append([]byte{}, sigBytes...)
+			bad[i] ^= 0x40
+			if s.Verify(key.Public(), msg, bad) {
+				t.Fatalf("%s: corrupted byte %d must not verify", s.Name(), i)
+			}
+		}
+		if s.Verify(key.Public(), msg, nil) {
+			t.Fatalf("%s: empty signature must not verify", s.Name())
+		}
+		if s.Verify(key.Public(), msg, sigBytes[:len(sigBytes)-1]) {
+			t.Fatalf("%s: truncated signature must not verify", s.Name())
+		}
+	}
+}
+
+func TestSimSigCostChangesTag(t *testing.T) {
+	msg := hashx.Sum([]byte("msg"))
+	k4, _ := SimSig{Cost: 4}.KeyFromSeed([]byte("s")).Sign(msg)
+	k8, _ := SimSig{Cost: 8}.KeyFromSeed([]byte("s")).Sign(msg)
+	if bytes.Equal(k4, k8) {
+		t.Fatal("different costs must produce different tags")
+	}
+	if (SimSig{Cost: 8}).Verify(SimSig{Cost: 4}.KeyFromSeed([]byte("s")).Public(), msg, k4) {
+		t.Fatal("cost-4 signature must not verify under cost-8 scheme")
+	}
+}
+
+func TestFromName(t *testing.T) {
+	for _, name := range []string{"ecdsa-p256", "simsig", "simsig-100"} {
+		s, err := FromName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if name == "simsig-100" && s.Name() != "simsig-100" {
+			t.Fatalf("got %s", s.Name())
+		}
+	}
+	if _, err := FromName("rsa"); err == nil {
+		t.Fatal("unknown scheme must fail")
+	}
+	if _, err := FromName("simsig--3"); err == nil {
+		t.Fatal("negative cost must fail")
+	}
+}
+
+func TestPropertySimSigSoundness(t *testing.T) {
+	s := SimSig{Cost: 2}
+	f := func(seed []byte, m1, m2 [32]byte) bool {
+		key := s.KeyFromSeed(seed)
+		sg, err := key.Sign(hashx.Hash(m1))
+		if err != nil || !s.Verify(key.Public(), hashx.Hash(m1), sg) {
+			return false
+		}
+		if m1 != m2 && s.Verify(key.Public(), hashx.Hash(m2), sg) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkECDSAVerify(b *testing.B) {
+	s := ECDSA{}
+	key := s.KeyFromSeed([]byte("bench"))
+	msg := hashx.Sum([]byte("msg"))
+	sigBytes, _ := key.Sign(msg)
+	pub := key.Public()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.Verify(pub, msg, sigBytes) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func BenchmarkSimSigVerifyDefault(b *testing.B) {
+	s := SimSig{}
+	key := s.KeyFromSeed([]byte("bench"))
+	msg := hashx.Sum([]byte("msg"))
+	sigBytes, _ := key.Sign(msg)
+	pub := key.Public()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.Verify(pub, msg, sigBytes) {
+			b.Fatal("verify failed")
+		}
+	}
+}

@@ -1,0 +1,397 @@
+// Package statusdb implements EBV's status database: the bit-vector
+// set (paper §IV-B, §IV-E). The key is a block height; the value is
+// the block's bit vector, one bit per output, 1 = unspent. Connecting
+// a block inserts an all-ones vector for it and clears the bits its
+// inputs spend; a vector whose bits are all zero is deleted; vectors
+// are held in their *encoded* form — the paper's sparse-index
+// optimization — so the database's memory footprint is exactly the sum
+// of the optimized encodings.
+//
+// The whole set fits comfortably in memory (that is the point of the
+// paper), so the store is a map guarded by an RWMutex. Save/Load
+// provide persistence across restarts.
+package statusdb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"ebv/internal/bitvec"
+)
+
+// Errors reported by the status database.
+var (
+	// ErrUnknownBlock is returned when a height beyond the tip (or
+	// never connected) is referenced.
+	ErrUnknownBlock = errors.New("statusdb: unknown block height")
+	// ErrDoubleSpend is returned when a spend clears an already-zero
+	// bit — the output was spent before.
+	ErrDoubleSpend = errors.New("statusdb: output already spent")
+	// ErrOutOfRange is returned for positions beyond the block's
+	// output count.
+	ErrOutOfRange = errors.New("statusdb: position out of range")
+)
+
+// vectorOverhead approximates per-vector bookkeeping (map entry, slice
+// header, height key) charged to MemUsage.
+const vectorOverhead = 32
+
+// Spend identifies one output consumed by a new block.
+type Spend struct {
+	Height uint64
+	Pos    uint32
+}
+
+// DB is the bit-vector set. The zero value is not usable; call New.
+type DB struct {
+	mu       sync.RWMutex
+	vectors  map[uint64][]byte // height -> encoded vector (absent = fully spent)
+	optimize bool
+	tip      uint64
+	hasTip   bool
+	memBytes int64 // sum of encoded sizes + overhead
+	dense    int64 // what the footprint would be without optimization
+	ones     int64 // total unspent outputs tracked
+}
+
+// New returns an empty bit-vector set. optimize selects the paper's
+// sparse-vector optimization; pass false to measure the "EBV without
+// optimization" ablation of Fig. 14.
+func New(optimize bool) *DB {
+	return &DB{vectors: make(map[uint64][]byte), optimize: optimize}
+}
+
+func (d *DB) encode(v *bitvec.Vector) []byte {
+	if d.optimize {
+		return v.Encode()
+	}
+	return v.EncodeDense()
+}
+
+// Connect applies one block atomically: it registers the new block's
+// all-ones vector of nOutputs bits, then clears the bit of every
+// spend. It fails without side effects on unknown heights,
+// out-of-range positions, double spends (including duplicates within
+// the same call), and non-monotonic heights.
+func (d *DB) Connect(height uint64, nOutputs int, spends []Spend) error {
+	if nOutputs < 0 || nOutputs > bitvec.MaxLen {
+		return fmt.Errorf("%w: %d outputs at height %d", ErrOutOfRange, nOutputs, height)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.hasTip && height != d.tip+1 {
+		return fmt.Errorf("statusdb: connect height %d after tip %d", height, d.tip)
+	}
+	if !d.hasTip && height != 0 {
+		return fmt.Errorf("statusdb: first block must be height 0, got %d", height)
+	}
+
+	// Group spends by height and apply on decoded copies; commit only
+	// if everything checks out.
+	byHeight := make(map[uint64][]uint32)
+	for _, s := range spends {
+		if s.Height >= height {
+			// A block cannot spend its own or future outputs.
+			return fmt.Errorf("%w: spend references height %d in block %d", ErrUnknownBlock, s.Height, height)
+		}
+		byHeight[s.Height] = append(byHeight[s.Height], s.Pos)
+	}
+	touched := make(map[uint64]*bitvec.Vector, len(byHeight))
+	for h, positions := range byHeight {
+		enc, ok := d.vectors[h]
+		if !ok {
+			// Height below the tip with no vector: fully spent block.
+			return fmt.Errorf("%w: height %d position %d", ErrDoubleSpend, h, positions[0])
+		}
+		v, err := bitvec.Decode(enc)
+		if err != nil {
+			return fmt.Errorf("statusdb: corrupt vector at height %d: %v", h, err)
+		}
+		for _, p := range positions {
+			if int(p) >= v.Len() {
+				return fmt.Errorf("%w: height %d position %d (block has %d outputs)", ErrOutOfRange, h, p, v.Len())
+			}
+			if !v.Clear(int(p)) {
+				return fmt.Errorf("%w: height %d position %d", ErrDoubleSpend, h, p)
+			}
+		}
+		touched[h] = v
+	}
+
+	// Commit: rewrite touched vectors, then insert the new block's.
+	for h, v := range touched {
+		old := d.vectors[h]
+		d.memBytes -= int64(len(old)) + vectorOverhead
+		d.dense -= int64(v.DenseSize()) + vectorOverhead
+		d.ones -= int64(len(byHeight[h]))
+		// d.ones accounting: cleared len(byHeight[h]) bits from v.
+		if v.AllZero() {
+			delete(d.vectors, h)
+			continue
+		}
+		enc := d.encode(v)
+		d.vectors[h] = enc
+		d.memBytes += int64(len(enc)) + vectorOverhead
+		d.dense += int64(v.DenseSize()) + vectorOverhead
+	}
+	nv := bitvec.NewAllSet(nOutputs)
+	enc := d.encode(nv)
+	d.vectors[height] = enc
+	d.memBytes += int64(len(enc)) + vectorOverhead
+	d.dense += int64(nv.DenseSize()) + vectorOverhead
+	d.ones += int64(nOutputs)
+	d.tip = height
+	d.hasTip = true
+	return nil
+}
+
+// IsUnspent probes one bit: the Unspent Validation primitive. A height
+// at or below the tip whose vector has been deleted reports false
+// (every output spent); a height above the tip is an error.
+func (d *DB) IsUnspent(height uint64, pos uint32) (bool, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if !d.hasTip || height > d.tip {
+		return false, fmt.Errorf("%w: %d", ErrUnknownBlock, height)
+	}
+	enc, ok := d.vectors[height]
+	if !ok {
+		return false, nil
+	}
+	n, err := bitvec.EncodedLen(enc)
+	if err != nil {
+		return false, fmt.Errorf("statusdb: corrupt vector at height %d: %v", height, err)
+	}
+	if int(pos) >= n {
+		return false, fmt.Errorf("%w: height %d position %d (block has %d outputs)", ErrOutOfRange, height, pos, n)
+	}
+	return bitvec.ProbeEncoded(enc, int(pos))
+}
+
+// Tip returns the highest connected height; ok is false when empty.
+func (d *DB) Tip() (uint64, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.tip, d.hasTip
+}
+
+// MemUsage returns the set's memory footprint in bytes: the sum of the
+// (optimized) vector encodings plus fixed per-vector overhead. This is
+// the EBV line of Fig. 14.
+func (d *DB) MemUsage() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.memBytes
+}
+
+// DenseUsage returns what MemUsage would be with every vector encoded
+// densely — the "EBV without optimization" line of Fig. 14.
+func (d *DB) DenseUsage() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.dense
+}
+
+// VectorCount returns the number of live (not fully spent) vectors.
+func (d *DB) VectorCount() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.vectors)
+}
+
+// UnspentCount returns the total number of 1-bits across all vectors —
+// the EBV equivalent of the UTXO count.
+func (d *DB) UnspentCount() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.ones
+}
+
+// Save writes a snapshot. Format: varint tip+1 (0 = empty), varint
+// vector count, then per vector varint height + varint len + encoding.
+func (d *DB) Save(w io.Writer) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		_, err := bw.Write(buf[:binary.PutUvarint(buf[:], v)])
+		return err
+	}
+	tipField := uint64(0)
+	if d.hasTip {
+		tipField = d.tip + 1
+	}
+	if err := writeUvarint(tipField); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(len(d.vectors))); err != nil {
+		return err
+	}
+	heights := make([]uint64, 0, len(d.vectors))
+	for h := range d.vectors {
+		heights = append(heights, h)
+	}
+	sort.Slice(heights, func(i, j int) bool { return heights[i] < heights[j] })
+	for _, h := range heights {
+		enc := d.vectors[h]
+		if err := writeUvarint(h); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(len(enc))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(enc); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load replaces the set's contents with a snapshot written by Save.
+func (d *DB) Load(r io.Reader) error {
+	br := bufio.NewReader(r)
+	tipField, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("statusdb: load: %w", err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("statusdb: load: %w", err)
+	}
+	vectors := make(map[uint64][]byte, count)
+	var memBytes, dense, ones int64
+	for i := uint64(0); i < count; i++ {
+		h, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("statusdb: load vector %d: %w", i, err)
+		}
+		l, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("statusdb: load vector %d: %w", i, err)
+		}
+		if l > 3*bitvec.MaxLen {
+			return fmt.Errorf("statusdb: load vector %d: implausible size %d", i, l)
+		}
+		enc := make([]byte, l)
+		if _, err := io.ReadFull(br, enc); err != nil {
+			return fmt.Errorf("statusdb: load vector %d: %w", i, err)
+		}
+		v, err := bitvec.Decode(enc)
+		if err != nil {
+			return fmt.Errorf("statusdb: load vector %d: %v", i, err)
+		}
+		if tipField == 0 || h >= tipField {
+			return fmt.Errorf("statusdb: load vector %d: height %d beyond tip", i, h)
+		}
+		vectors[h] = enc
+		memBytes += int64(len(enc)) + vectorOverhead
+		dense += int64(v.DenseSize()) + vectorOverhead
+		ones += int64(v.Ones())
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.vectors = vectors
+	d.memBytes = memBytes
+	d.dense = dense
+	d.ones = ones
+	d.hasTip = tipField > 0
+	d.tip = 0
+	if d.hasTip {
+		d.tip = tipField - 1
+	}
+	return nil
+}
+
+// Restore identifies one output whose spent bit must be re-set while
+// disconnecting a block, together with the output count of its block
+// (needed to recreate a vector that was deleted as fully spent).
+type Restore struct {
+	Height   uint64
+	Pos      uint32
+	NOutputs int
+}
+
+// Disconnect reverses the tip block: its vector is dropped (its
+// outputs cease to exist) and the bits its inputs had cleared are set
+// again. height must be the current tip; restores must describe
+// exactly the spends the block applied. On error the set is
+// unchanged.
+func (d *DB) Disconnect(height uint64, restores []Restore) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.hasTip || height != d.tip {
+		return fmt.Errorf("statusdb: disconnect height %d, tip %d (present=%v)", height, d.tip, d.hasTip)
+	}
+	// Stage: decode every touched vector (or build a zero vector for
+	// fully spent blocks), set the bits, and validate before commit.
+	byHeight := make(map[uint64][]Restore)
+	for _, r := range restores {
+		if r.Height >= height {
+			return fmt.Errorf("%w: restore references height %d at tip %d", ErrUnknownBlock, r.Height, height)
+		}
+		byHeight[r.Height] = append(byHeight[r.Height], r)
+	}
+	touched := make(map[uint64]*bitvec.Vector, len(byHeight))
+	for h, rs := range byHeight {
+		var v *bitvec.Vector
+		if enc, ok := d.vectors[h]; ok {
+			var err error
+			v, err = bitvec.Decode(enc)
+			if err != nil {
+				return fmt.Errorf("statusdb: corrupt vector at height %d: %v", h, err)
+			}
+		} else {
+			v = bitvec.New(rs[0].NOutputs)
+		}
+		for _, r := range rs {
+			if r.NOutputs != v.Len() {
+				return fmt.Errorf("%w: height %d declared %d outputs, vector has %d", ErrOutOfRange, h, r.NOutputs, v.Len())
+			}
+			if int(r.Pos) >= v.Len() {
+				return fmt.Errorf("%w: height %d position %d", ErrOutOfRange, h, r.Pos)
+			}
+			if v.Get(int(r.Pos)) {
+				return fmt.Errorf("statusdb: restore of unspent bit %d:%d", h, r.Pos)
+			}
+			v.Set(int(r.Pos))
+		}
+		touched[h] = v
+	}
+
+	// Commit: drop the tip vector, rewrite the touched ones.
+	if enc, ok := d.vectors[height]; ok {
+		v, err := bitvec.Decode(enc)
+		if err != nil {
+			return fmt.Errorf("statusdb: corrupt tip vector: %v", err)
+		}
+		d.memBytes -= int64(len(enc)) + vectorOverhead
+		d.dense -= int64(v.DenseSize()) + vectorOverhead
+		d.ones -= int64(v.Ones())
+		delete(d.vectors, height)
+	}
+	for h, v := range touched {
+		if old, ok := d.vectors[h]; ok {
+			d.memBytes -= int64(len(old)) + vectorOverhead
+			oldV, _ := bitvec.Decode(old)
+			d.dense -= int64(oldV.DenseSize()) + vectorOverhead
+		}
+		enc := d.encode(v)
+		d.vectors[h] = enc
+		d.memBytes += int64(len(enc)) + vectorOverhead
+		d.dense += int64(v.DenseSize()) + vectorOverhead
+		d.ones += int64(len(byHeight[h]))
+	}
+	if height == 0 {
+		d.hasTip = false
+		d.tip = 0
+	} else {
+		d.tip = height - 1
+	}
+	return nil
+}

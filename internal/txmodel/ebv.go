@@ -1,0 +1,342 @@
+package txmodel
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ebv/internal/hashx"
+	"ebv/internal/merkle"
+)
+
+// TidyTx is the Merkle-committed form of an EBV transaction (paper
+// §IV-C2, Fig. 9a): input bodies are replaced by their hashes, so a
+// later transaction that embeds this one as ELs carries no nested
+// proofs — the fix for the transaction-inflation problem.
+//
+// StakePos is the stake position the miner assigns when packaging the
+// block (paper §IV-D2): the absolute position, within the whole block,
+// of this transaction's first output. Because StakePos is part of the
+// tidy serialization, it is covered by the block's Merkle tree and
+// cannot be faked by a transaction proposer.
+type TidyTx struct {
+	Version     uint32
+	InputHashes []hashx.Hash
+	Outputs     []TxOut
+	LockTime    uint32
+	StakePos    uint32
+}
+
+// IsCoinbase reports whether the transaction is a coinbase (no
+// inputs). Unlike classic transactions, EBV needs no null-outpoint
+// marker: a coinbase simply has zero input hashes.
+func (t *TidyTx) IsCoinbase() bool { return len(t.InputHashes) == 0 }
+
+// Encode appends the canonical tidy serialization to dst. This is the
+// exact byte string hashed into the block's Merkle tree.
+func (t *TidyTx) Encode(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(t.Version))
+	dst = binary.AppendUvarint(dst, uint64(len(t.InputHashes)))
+	for i := range t.InputHashes {
+		dst = append(dst, t.InputHashes[i][:]...)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(t.Outputs)))
+	for i := range t.Outputs {
+		dst = t.Outputs[i].encode(dst)
+	}
+	dst = binary.AppendUvarint(dst, uint64(t.LockTime))
+	return binary.AppendUvarint(dst, uint64(t.StakePos))
+}
+
+// EncodedSize returns len(Encode(nil)) without allocating.
+func (t *TidyTx) EncodedSize() int {
+	n := uvarintLen(uint64(t.Version)) + uvarintLen(uint64(len(t.InputHashes)))
+	n += len(t.InputHashes) * hashx.Size
+	n += uvarintLen(uint64(len(t.Outputs)))
+	for i := range t.Outputs {
+		n += t.Outputs[i].EncodedSize()
+	}
+	return n + uvarintLen(uint64(t.LockTime)) + uvarintLen(uint64(t.StakePos))
+}
+
+// LeafHash returns the transaction's digest as it appears as a Merkle
+// leaf: double SHA-256 over the tidy serialization. It doubles as the
+// EBV transaction id.
+func (t *TidyTx) LeafHash() hashx.Hash { return hashx.DoubleSum(t.Encode(nil)) }
+
+// decodeTidyFrom parses a tidy transaction in-stream.
+func decodeTidyFrom(r *reader) TidyTx {
+	var t TidyTx
+	t.Version = r.uint32v()
+	nin := r.uvarint()
+	if nin > MaxTxInputs {
+		r.fail("%d input hashes exceeds limit", nin)
+		return t
+	}
+	t.InputHashes = make([]hashx.Hash, nin)
+	for i := range t.InputHashes {
+		t.InputHashes[i] = r.hash()
+	}
+	nout := r.uvarint()
+	if nout > MaxTxOutputs {
+		r.fail("%d outputs exceeds limit", nout)
+		return t
+	}
+	t.Outputs = make([]TxOut, nout)
+	for i := range t.Outputs {
+		t.Outputs[i] = decodeTxOut(r)
+	}
+	t.LockTime = r.uint32v()
+	t.StakePos = r.uint32v()
+	return t
+}
+
+// DecodeTidyTx parses a tidy transaction, requiring full consumption.
+func DecodeTidyTx(data []byte) (*TidyTx, error) {
+	r := &reader{data: data}
+	t := decodeTidyFrom(r)
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// InputBody carries the per-input proof data of an EBV transaction
+// (paper Fig. 7): the Merkle branch MBr, the unlocking script Us, the
+// enhanced locking script ELs (the previous transaction in tidy form),
+// the height of the block containing the spent output, and the
+// relative position of that output within ELs.
+type InputBody struct {
+	Branch       merkle.Branch
+	UnlockScript []byte
+	PrevTx       TidyTx
+	Height       uint64
+	RelIndex     uint32
+}
+
+// AbsPosition returns the spent output's absolute position within its
+// block: the previous transaction's stake position plus the relative
+// position (paper Fig. 11). This derived value is what Unspent
+// Validation probes in the bit vector; because StakePos comes from the
+// Merkle-committed ELs rather than from the proposer, positions cannot
+// be faked.
+func (b *InputBody) AbsPosition() uint32 { return b.PrevTx.StakePos + b.RelIndex }
+
+// SpentOutput returns the output this input spends. The bool is false
+// if RelIndex is out of range.
+func (b *InputBody) SpentOutput() (*TxOut, bool) {
+	if int(b.RelIndex) >= len(b.PrevTx.Outputs) {
+		return nil, false
+	}
+	return &b.PrevTx.Outputs[b.RelIndex], true
+}
+
+// Encode appends the canonical body serialization to dst. The hash of
+// these bytes is the input hash committed in the tidy transaction.
+func (b *InputBody) Encode(dst []byte) []byte {
+	dst = b.Branch.Encode(dst)
+	dst = appendVarBytes(dst, b.UnlockScript)
+	prev := b.PrevTx.Encode(nil)
+	dst = appendVarBytes(dst, prev)
+	dst = binary.AppendUvarint(dst, b.Height)
+	return binary.AppendUvarint(dst, uint64(b.RelIndex))
+}
+
+// EncodedSize returns len(Encode(nil)) without allocating.
+func (b *InputBody) EncodedSize() int {
+	prevLen := b.PrevTx.EncodedSize()
+	return b.Branch.EncodedSize() +
+		uvarintLen(uint64(len(b.UnlockScript))) + len(b.UnlockScript) +
+		uvarintLen(uint64(prevLen)) + prevLen +
+		uvarintLen(b.Height) + uvarintLen(uint64(b.RelIndex))
+}
+
+// Hash returns the input hash: double SHA-256 over the body encoding.
+func (b *InputBody) Hash() hashx.Hash { return hashx.DoubleSum(b.Encode(nil)) }
+
+// maxBodyBytes bounds a nested tidy encoding inside a body.
+const maxBodyBytes = 1 << 20
+
+func decodeBodyFrom(r *reader) InputBody {
+	var b InputBody
+	if r.err != nil {
+		return b
+	}
+	br, n, err := merkle.DecodeBranch(r.data[r.off:])
+	if err != nil {
+		r.fail("branch: %v", err)
+		return b
+	}
+	r.off += n
+	b.Branch = br
+	b.UnlockScript = r.varbytes(MaxScriptBytes)
+	prev := r.varbytes(maxBodyBytes)
+	if r.err != nil {
+		return b
+	}
+	pt, err := DecodeTidyTx(prev)
+	if err != nil {
+		r.fail("nested tidy tx: %v", err)
+		return b
+	}
+	b.PrevTx = *pt
+	b.Height = r.uvarint()
+	b.RelIndex = r.uint32v()
+	return b
+}
+
+// EBVTx is a complete EBV transaction: the tidy form plus one input
+// body per input hash. Bodies travel with the transaction but are not
+// part of the Merkle leaf.
+type EBVTx struct {
+	Tidy   TidyTx
+	Bodies []InputBody
+}
+
+// Consistent verifies that each body hashes to the corresponding
+// input hash in the tidy form. This binds the transported proofs to
+// the Merkle-committed transaction.
+func (t *EBVTx) Consistent() error {
+	if len(t.Bodies) != len(t.Tidy.InputHashes) {
+		return fmt.Errorf("txmodel: %d bodies for %d input hashes", len(t.Bodies), len(t.Tidy.InputHashes))
+	}
+	for i := range t.Bodies {
+		if got := t.Bodies[i].Hash(); got != t.Tidy.InputHashes[i] {
+			return fmt.Errorf("txmodel: body %d hash %s != committed %s", i, got.Short(), t.Tidy.InputHashes[i].Short())
+		}
+	}
+	return nil
+}
+
+// Encode appends the full transaction (tidy + bodies) to dst.
+func (t *EBVTx) Encode(dst []byte) []byte {
+	tidy := t.Tidy.Encode(nil)
+	dst = appendVarBytes(dst, tidy)
+	dst = binary.AppendUvarint(dst, uint64(len(t.Bodies)))
+	for i := range t.Bodies {
+		body := t.Bodies[i].Encode(nil)
+		dst = appendVarBytes(dst, body)
+	}
+	return dst
+}
+
+// EncodedSize returns len(Encode(nil)) without allocating.
+func (t *EBVTx) EncodedSize() int {
+	tl := t.Tidy.EncodedSize()
+	n := uvarintLen(uint64(tl)) + tl + uvarintLen(uint64(len(t.Bodies)))
+	for i := range t.Bodies {
+		bl := t.Bodies[i].EncodedSize()
+		n += uvarintLen(uint64(bl)) + bl
+	}
+	return n
+}
+
+// DecodeEBVTx parses a full EBV transaction.
+func DecodeEBVTx(data []byte) (*EBVTx, error) {
+	r := &reader{data: data}
+	t := decodeEBVTxFrom(r)
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func decodeEBVTxFrom(r *reader) *EBVTx {
+	t := &EBVTx{}
+	tidy := r.varbytes(maxBodyBytes)
+	if r.err != nil {
+		return t
+	}
+	tt, err := DecodeTidyTx(tidy)
+	if err != nil {
+		r.fail("tidy: %v", err)
+		return t
+	}
+	t.Tidy = *tt
+	nb := r.uvarint()
+	if nb > MaxTxInputs {
+		r.fail("%d bodies exceeds limit", nb)
+		return t
+	}
+	t.Bodies = make([]InputBody, nb)
+	for i := range t.Bodies {
+		body := r.varbytes(maxBodyBytes)
+		if r.err != nil {
+			return t
+		}
+		br := &reader{data: body}
+		t.Bodies[i] = decodeBodyFrom(br)
+		if err := br.done(); err != nil {
+			r.fail("body %d: %v", i, err)
+			return t
+		}
+	}
+	return t
+}
+
+// SigHash computes the message signed by every input of an EBV
+// transaction. It commits to what is spent — the previous tidy
+// transaction's leaf hash, the block height, and the relative index —
+// and to the new outputs and locktime. Unlocking scripts and therefore
+// input hashes are excluded, which breaks the circularity between
+// signatures and the input hashes that commit to them.
+//
+// StakePos of the *new* transaction is likewise excluded (the miner
+// assigns it after signing); the stake position of the *previous*
+// transaction is covered via its leaf hash.
+func (t *EBVTx) SigHash() hashx.Hash {
+	var dst []byte
+	dst = binary.AppendUvarint(dst, uint64(t.Tidy.Version))
+	dst = binary.AppendUvarint(dst, uint64(len(t.Bodies)))
+	for i := range t.Bodies {
+		b := &t.Bodies[i]
+		leaf := b.PrevTx.LeafHash()
+		dst = append(dst, leaf[:]...)
+		dst = binary.AppendUvarint(dst, b.Height)
+		dst = binary.AppendUvarint(dst, uint64(b.RelIndex))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(t.Tidy.Outputs)))
+	for i := range t.Tidy.Outputs {
+		dst = t.Tidy.Outputs[i].encode(dst)
+	}
+	dst = binary.AppendUvarint(dst, uint64(t.Tidy.LockTime))
+	return hashx.DoubleSum(dst)
+}
+
+// SealInputHashes recomputes the tidy input hashes from the bodies.
+// Proposers call this after filling in unlocking scripts.
+func (t *EBVTx) SealInputHashes() {
+	t.Tidy.InputHashes = make([]hashx.Hash, len(t.Bodies))
+	for i := range t.Bodies {
+		t.Tidy.InputHashes[i] = t.Bodies[i].Hash()
+	}
+}
+
+// OutputSum returns the total output value; false on overflow.
+func (t *EBVTx) OutputSum() (uint64, bool) {
+	var sum uint64
+	for i := range t.Tidy.Outputs {
+		v := t.Tidy.Outputs[i].Value
+		if sum+v < sum || sum+v > MaxValue {
+			return 0, false
+		}
+		sum += v
+	}
+	return sum, true
+}
+
+// InputSum returns the total value of the outputs the bodies claim to
+// spend; false if any relative index is out of range or on overflow.
+func (t *EBVTx) InputSum() (uint64, bool) {
+	var sum uint64
+	for i := range t.Bodies {
+		out, ok := t.Bodies[i].SpentOutput()
+		if !ok {
+			return 0, false
+		}
+		if sum+out.Value < sum || sum+out.Value > MaxValue {
+			return 0, false
+		}
+		sum += out.Value
+	}
+	return sum, true
+}

@@ -1,0 +1,63 @@
+package txmodel
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets: every decoder must be total — no panics, no accepting
+// non-canonical bytes. Round-trip property: decode(encode(x)) == x and
+// re-encoding reproduces the input bytes exactly.
+
+func FuzzDecodeTx(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(sampleClassic().Encode(nil))
+	cb := &Tx{Inputs: []TxIn{{PrevOut: OutPoint{Index: CoinbaseIndex}}}, Outputs: []TxOut{{Value: 50}}}
+	f.Add(cb.Encode(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tx, err := DecodeTx(data)
+		if err != nil {
+			return
+		}
+		re := tx.Encode(nil)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted non-canonical encoding: %x -> %x", data, re)
+		}
+		if tx.EncodedSize() != len(data) {
+			t.Fatalf("EncodedSize %d != %d", tx.EncodedSize(), len(data))
+		}
+	})
+}
+
+func FuzzDecodeTidyTx(f *testing.F) {
+	tt := sampleTidy()
+	f.Add(tt.Encode(nil))
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tx, err := DecodeTidyTx(data)
+		if err != nil {
+			return
+		}
+		re := tx.Encode(nil)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted non-canonical encoding")
+		}
+	})
+}
+
+func FuzzDecodeEBVTx(f *testing.F) {
+	tx := &EBVTx{Tidy: sampleTidy(), Bodies: []InputBody{sampleBody()}}
+	tx.SealInputHashes()
+	f.Add(tx.Encode(nil))
+	f.Add([]byte{1, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := DecodeEBVTx(data)
+		if err != nil {
+			return
+		}
+		re := decoded.Encode(nil)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted non-canonical encoding")
+		}
+	})
+}

@@ -1,0 +1,235 @@
+// Package utxoset implements the baseline status database of a
+// Bitcoin-style node: the UTXO set, one entry per unspent output,
+// keyed by outpoint and stored in the kvstore substrate (paper §II-B,
+// Fig. 3).
+//
+// The three database-related operations of the paper — Fetch (which
+// performs Existence and Unspent Validation in one lookup), Delete
+// (spend), and Insert (new outputs) — map directly onto this package's
+// API. The set also tracks its own entry count and serialized size,
+// which is what Fig. 1 and Fig. 14 report for Bitcoin.
+package utxoset
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"ebv/internal/kvstore"
+	"ebv/internal/txmodel"
+)
+
+// ErrMissing is returned by Fetch when no entry exists for the
+// outpoint — the input is spending a nonexistent or already-spent
+// output.
+var ErrMissing = errors.New("utxoset: no entry for outpoint")
+
+// Entry is a UTXO-set record: the locking script and value of the
+// unspent output, plus the creation height and coinbase flag needed
+// for maturity rules.
+type Entry struct {
+	Value      uint64
+	LockScript []byte
+	Height     uint64
+	Coinbase   bool
+}
+
+// encode renders the entry value for storage.
+func (e *Entry) encode() []byte {
+	out := make([]byte, 0, 16+len(e.LockScript))
+	out = binary.AppendUvarint(out, e.Value)
+	out = binary.AppendUvarint(out, e.Height)
+	if e.Coinbase {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	out = binary.AppendUvarint(out, uint64(len(e.LockScript)))
+	return append(out, e.LockScript...)
+}
+
+func decodeEntry(data []byte) (*Entry, error) {
+	e := &Entry{}
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("utxoset: corrupt entry value")
+	}
+	e.Value = v
+	off := n
+	h, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return nil, fmt.Errorf("utxoset: corrupt entry height")
+	}
+	e.Height = h
+	off += n
+	if off >= len(data) {
+		return nil, fmt.Errorf("utxoset: corrupt entry flag")
+	}
+	e.Coinbase = data[off] == 1
+	off++
+	sl, n := binary.Uvarint(data[off:])
+	if n <= 0 || off+n+int(sl) != len(data) {
+		return nil, fmt.Errorf("utxoset: corrupt entry script")
+	}
+	off += n
+	e.LockScript = append([]byte{}, data[off:]...)
+	return e, nil
+}
+
+// entrySize is the serialized footprint of an entry including its
+// 36-byte key — the quantity summed into the set size of Fig. 1.
+func entrySize(e *Entry) int64 {
+	return int64(36 + len(e.encode()))
+}
+
+// metaKey persists the set's count and size across reopens. It sorts
+// before any outpoint key (outpoints never start with '!').
+var metaKey = []byte("!utxo-meta")
+
+// Set is the UTXO set.
+type Set struct {
+	db    *kvstore.DB
+	count atomic.Int64
+	bytes atomic.Int64
+}
+
+// Open attaches a UTXO set to a kvstore, restoring persisted counters.
+func Open(db *kvstore.DB) (*Set, error) {
+	s := &Set{db: db}
+	meta, err := db.Get(metaKey)
+	switch {
+	case errors.Is(err, kvstore.ErrNotFound):
+	case err != nil:
+		return nil, err
+	default:
+		if len(meta) != 16 {
+			return nil, fmt.Errorf("utxoset: corrupt meta record")
+		}
+		s.count.Store(int64(binary.LittleEndian.Uint64(meta)))
+		s.bytes.Store(int64(binary.LittleEndian.Uint64(meta[8:])))
+	}
+	return s, nil
+}
+
+// Fetch returns the entry for op, or ErrMissing. This is the paper's
+// Fetch operation: a hit proves existence and unspentness at once; the
+// returned locking script feeds Script Validation.
+func (s *Set) Fetch(op txmodel.OutPoint) (*Entry, error) {
+	k := op.Key()
+	v, err := s.db.Get(k[:])
+	if errors.Is(err, kvstore.ErrNotFound) {
+		return nil, fmt.Errorf("%w: %s", ErrMissing, op)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return decodeEntry(v)
+}
+
+// Addition is one new UTXO: its outpoint plus entry.
+type Addition struct {
+	OutPoint txmodel.OutPoint
+	Entry    Entry
+}
+
+// SpentEntry pairs a spent outpoint with the entry it had (the
+// validator fetched it anyway), so the size counter shrinks by the
+// exact footprint.
+type SpentEntry struct {
+	OutPoint txmodel.OutPoint
+	Entry    Entry
+}
+
+// Update applies a validated block's effect in one batch: the spends
+// are deleted and the new outputs inserted (the paper's Delete and
+// Insert operations).
+func (s *Set) Update(spends []SpentEntry, adds []Addition) error {
+	var b kvstore.Batch
+	var dBytes int64
+	for i := range spends {
+		k := spends[i].OutPoint.Key()
+		b.Delete(k[:])
+		dBytes -= entrySize(&spends[i].Entry)
+	}
+	for i := range adds {
+		a := &adds[i]
+		k := a.OutPoint.Key()
+		b.Put(k[:], a.Entry.encode())
+		dBytes += entrySize(&a.Entry)
+	}
+	if err := s.db.Apply(&b); err != nil {
+		return err
+	}
+	s.count.Add(int64(len(adds)) - int64(len(spends)))
+	s.bytes.Add(dBytes)
+	s.persistMeta()
+	return nil
+}
+
+func (s *Set) persistMeta() {
+	var meta [16]byte
+	binary.LittleEndian.PutUint64(meta[:], uint64(s.count.Load()))
+	binary.LittleEndian.PutUint64(meta[8:], uint64(s.bytes.Load()))
+	_ = s.db.Put(metaKey, meta[:])
+}
+
+// Count returns the number of UTXOs (Fig. 1's left axis).
+func (s *Set) Count() int64 { return s.count.Load() }
+
+// SizeBytes returns the serialized size of the set (Fig. 1's right
+// axis and Fig. 14's Bitcoin line).
+func (s *Set) SizeBytes() int64 { return s.bytes.Load() }
+
+// DB exposes the underlying store (stats, flush control).
+func (s *Set) DB() *kvstore.DB { return s.db }
+
+// EncodeUndo serializes spent entries as a block's undo record
+// (Bitcoin's rev files): the data needed to re-insert them on
+// disconnect.
+func EncodeUndo(spends []SpentEntry) []byte {
+	out := binary.AppendUvarint(nil, uint64(len(spends)))
+	for i := range spends {
+		k := spends[i].OutPoint.Key()
+		out = append(out, k[:]...)
+		e := spends[i].Entry.encode()
+		out = binary.AppendUvarint(out, uint64(len(e)))
+		out = append(out, e...)
+	}
+	return out
+}
+
+// DecodeUndo parses an undo record.
+func DecodeUndo(data []byte) ([]SpentEntry, error) {
+	n, used := binary.Uvarint(data)
+	if used <= 0 || n > 1<<20 {
+		return nil, fmt.Errorf("utxoset: corrupt undo count")
+	}
+	off := used
+	out := make([]SpentEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if off+36 > len(data) {
+			return nil, fmt.Errorf("utxoset: truncated undo outpoint")
+		}
+		op, err := txmodel.OutPointFromKey(data[off : off+36])
+		if err != nil {
+			return nil, err
+		}
+		off += 36
+		el, used := binary.Uvarint(data[off:])
+		if used <= 0 || off+used+int(el) > len(data) {
+			return nil, fmt.Errorf("utxoset: truncated undo entry")
+		}
+		off += used
+		e, err := decodeEntry(data[off : off+int(el)])
+		if err != nil {
+			return nil, err
+		}
+		off += int(el)
+		out = append(out, SpentEntry{OutPoint: op, Entry: *e})
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("utxoset: %d trailing undo bytes", len(data)-off)
+	}
+	return out, nil
+}

@@ -1,0 +1,25 @@
+// Package varint provides canonical unsigned-varint decoding: the
+// standard library's binary.Uvarint accepts redundant encodings
+// (e.g. 0x80 0x00 for zero), which breaks the "decode(bytes) implies
+// re-encode(decode(bytes)) == bytes" property every consensus decoder
+// in this repository guarantees. Uvarint rejects any encoding whose
+// final byte is zero (unless it is the single byte 0x00) — exactly the
+// non-minimal forms.
+package varint
+
+import "encoding/binary"
+
+// Uvarint decodes a canonical unsigned varint from b. It returns the
+// value and the number of bytes consumed; n <= 0 signals an invalid,
+// truncated, or non-minimal encoding (the same contract as
+// binary.Uvarint, with non-minimal forms rejected via n == 0).
+func Uvarint(b []byte) (uint64, int) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, n
+	}
+	if n > 1 && b[n-1] == 0 {
+		return 0, 0 // non-minimal: the last group contributes nothing
+	}
+	return v, n
+}

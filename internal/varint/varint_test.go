@@ -1,0 +1,43 @@
+package varint
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonicalRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		enc := binary.AppendUvarint(nil, v)
+		got, n := Uvarint(enc)
+		return n == len(enc) && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsNonMinimal(t *testing.T) {
+	cases := [][]byte{
+		{0x80, 0x00},       // 0 in two bytes
+		{0x81, 0x00},       // 1 in two bytes
+		{0xFF, 0x80, 0x00}, // 127-ish padded
+	}
+	for _, c := range cases {
+		if _, n := Uvarint(c); n > 0 {
+			t.Fatalf("non-minimal %x accepted (n=%d)", c, n)
+		}
+	}
+}
+
+func TestTruncatedAndEmpty(t *testing.T) {
+	if _, n := Uvarint(nil); n > 0 {
+		t.Fatal("empty accepted")
+	}
+	if _, n := Uvarint([]byte{0x80}); n > 0 {
+		t.Fatal("truncated accepted")
+	}
+	if v, n := Uvarint([]byte{0x00}); n != 1 || v != 0 {
+		t.Fatal("canonical zero rejected")
+	}
+}

@@ -1,0 +1,100 @@
+package workload
+
+// The mainnet activity model: per-block transaction/input/output
+// counts as a function of *mainnet-equivalent* height. A generated
+// chain of N blocks is mapped linearly onto mainnet heights
+// [0, MainnetHeight], and every per-block statistic is drawn from
+// these curves, scaled by Params.TxScale. The curve values approximate
+// the published history that the paper's figures rest on: block 0 is
+// nearly empty, activity rises steeply through 2015–2017
+// (heights ~340k–500k), and blocks around height 590k carry a couple
+// of thousand transactions with several thousand inputs (paper
+// Figs. 1, 4, 5).
+//
+// Each curve is piecewise linear over the control points below.
+
+type curvePoint struct {
+	h uint64
+	v float64
+}
+
+// txPerBlockCurve approximates the average transactions per block.
+var txPerBlockCurve = []curvePoint{
+	{0, 1},
+	{50_000, 20},
+	{100_000, 150},
+	{150_000, 300},
+	{200_000, 450},
+	{250_000, 550},
+	{300_000, 700},
+	{340_000, 800}, // ≈ 2015-Q1
+	{400_000, 1400},
+	{450_000, 1900},
+	{500_000, 2200},
+	{550_000, 2100},
+	{600_000, 2300},
+	{650_000, 2400},
+}
+
+// insPerTxCurve is the average inputs per (non-coinbase) transaction.
+var insPerTxCurve = []curvePoint{
+	{0, 1.2},
+	{200_000, 1.6},
+	{400_000, 1.9},
+	{650_000, 2.1},
+}
+
+// outsPerTxCurve is the average outputs per transaction. Outputs
+// exceed inputs on average, which is what makes the UTXO set grow
+// (Fig. 1).
+var outsPerTxCurve = []curvePoint{
+	{0, 1.6},
+	{200_000, 2.1},
+	{400_000, 2.5},
+	{650_000, 2.6},
+}
+
+// interp evaluates a piecewise-linear curve at h.
+func interp(c []curvePoint, h uint64) float64 {
+	if h <= c[0].h {
+		return c[0].v
+	}
+	for i := 1; i < len(c); i++ {
+		if h <= c[i].h {
+			lo, hi := c[i-1], c[i]
+			t := float64(h-lo.h) / float64(hi.h-lo.h)
+			return lo.v + t*(hi.v-lo.v)
+		}
+	}
+	return c[len(c)-1].v
+}
+
+// QuarterLabel maps a mainnet-equivalent height to a calendar quarter
+// label like "15-Q1", using the canonical ~144 blocks/day cadence from
+// the genesis date 2009-01. Used to label Fig. 1 / Fig. 14 series.
+func QuarterLabel(mainnetHeight uint64) string {
+	const blocksPerQuarter = 13_140 // 144 * 91.25
+	q := int(mainnetHeight / blocksPerQuarter)
+	year := 2009 + q/4
+	quarter := q%4 + 1
+	return twoDigit(year%100) + "-Q" + string(rune('0'+quarter))
+}
+
+func twoDigit(v int) string {
+	return string(rune('0'+v/10)) + string(rune('0'+v%10))
+}
+
+// MainnetInputsPerBlock exposes the activity model: the average number
+// of non-coinbase inputs in a mainnet block at the given height. The
+// propagation experiment uses it to scale measured per-input
+// validation cost back to paper-scale blocks, so that validation and
+// link latency meet at realistic proportions.
+func MainnetInputsPerBlock(mainnetHeight uint64) float64 {
+	return interp(txPerBlockCurve, mainnetHeight) * interp(insPerTxCurve, mainnetHeight)
+}
+
+// MainnetOutputsPerBlock is the average outputs per mainnet block at
+// the given height, from the same activity model.
+func MainnetOutputsPerBlock(mainnetHeight uint64) float64 {
+	return interp(txPerBlockCurve, mainnetHeight) * interp(outsPerTxCurve, mainnetHeight)
+}

@@ -1,0 +1,387 @@
+// Package workload generates the synthetic mainnet-model chain used
+// by every experiment (DESIGN.md, substitution 1).
+//
+// One deterministic logical history — which outputs exist, which get
+// spent when, with what values and keys — is rendered as a classic
+// (Bitcoin-style) chain by this package; the intermediary node
+// (internal/proof) re-renders the same history as an EBV chain, just
+// as the paper's experimental setup reconstructs mainnet blocks
+// (paper §VI-A).
+//
+// Per-block statistics follow the mainnet activity curves in curve.go;
+// spend ages are drawn mostly young with a long tail, so old blocks'
+// outputs drain slowly (making old bit vectors sparse, and old UTXO
+// entries cold); a configurable consolidation episode sweeps up many
+// old outputs with many-input transactions, reproducing the UTXO-set
+// dip the paper observes between blocks 500k and 550k (paper §III-B).
+//
+// Every output's key pair derives from its creation coordinates
+// (height, tx index, output index), so any component that knows where
+// an output was created can re-sign for it without key storage.
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"ebv/internal/blockmodel"
+	"ebv/internal/hashx"
+	"ebv/internal/script"
+	"ebv/internal/sig"
+	"ebv/internal/txmodel"
+)
+
+// Params configures a Generator. The zero value is not usable; use
+// DefaultParams or a preset.
+type Params struct {
+	// Blocks is the chain length to generate.
+	Blocks int
+	// MainnetHeight is the mainnet height the last block maps to.
+	MainnetHeight uint64
+	// TxScale multiplies the mainnet tx-per-block curve; it shrinks
+	// the workload to laptop scale while preserving shape.
+	TxScale float64
+	// Seed makes the whole history deterministic.
+	Seed int64
+	// YoungProb and YoungWindow steer spend-age sampling: with
+	// YoungProb an input spends one of the YoungWindow most recent
+	// outputs.
+	YoungProb   float64
+	YoungWindow int
+	// ConsolidStartFrac/ConsolidEndFrac delimit the consolidation
+	// episode as fractions of Blocks; ConsolidProb is the share of
+	// transactions in that window that are consolidations.
+	ConsolidStartFrac float64
+	ConsolidEndFrac   float64
+	ConsolidProb      float64
+	// Scheme signs transactions. Nil means sig.SimSig{}.
+	Scheme sig.Scheme
+	// FeePerTx is the flat fee each non-coinbase transaction pays.
+	FeePerTx uint64
+}
+
+// DefaultParams returns the medium preset: a 1/50-height chain with
+// 1/50-ish activity, sized so the full-chain experiments run in
+// minutes.
+func DefaultParams() Params {
+	return Params{
+		Blocks:            13_000,
+		MainnetHeight:     650_000,
+		TxScale:           0.02,
+		Seed:              1,
+		YoungProb:         0.7,
+		YoungWindow:       4_000,
+		ConsolidStartFrac: 0.77,
+		ConsolidEndFrac:   0.846,
+		ConsolidProb:      0.10,
+		FeePerTx:          2_000,
+	}
+}
+
+// TestParams returns a tiny preset for unit and integration tests.
+func TestParams(blocks int) Params {
+	p := DefaultParams()
+	p.Blocks = blocks
+	p.TxScale = 0.004
+	p.YoungWindow = 300
+	return p
+}
+
+func (p Params) withDefaults() Params {
+	if p.MainnetHeight == 0 {
+		p.MainnetHeight = 650_000
+	}
+	if p.Scheme == nil {
+		p.Scheme = sig.SimSig{}
+	}
+	if p.YoungWindow <= 0 {
+		p.YoungWindow = 1000
+	}
+	return p
+}
+
+// KeySeed derives the deterministic key seed of the output created at
+// (height, txIdx, outIdx).
+func KeySeed(height uint64, txIdx, outIdx uint32) []byte {
+	var buf [3 + 8 + 4 + 4]byte
+	copy(buf[:3], "key")
+	binary.LittleEndian.PutUint64(buf[3:], height)
+	binary.LittleEndian.PutUint32(buf[11:], txIdx)
+	binary.LittleEndian.PutUint32(buf[15:], outIdx)
+	return buf[:]
+}
+
+// Generator produces the classic chain block by block.
+type Generator struct {
+	p      Params
+	pool   pool
+	txids  [][]hashx.Hash // per height, per tx index
+	height uint64
+	prev   hashx.Hash
+
+	// Totals for reporting.
+	TotalTxs     int
+	TotalInputs  int
+	TotalOutputs int
+}
+
+// NewGenerator returns a generator positioned before the genesis
+// block.
+func NewGenerator(p Params) *Generator {
+	return &Generator{p: p.withDefaults()}
+}
+
+// Height returns the next block's height.
+func (g *Generator) Height() uint64 { return g.height }
+
+// Done reports whether the configured number of blocks was produced.
+func (g *Generator) Done() bool { return g.height >= uint64(g.p.Blocks) }
+
+// UTXOCount returns the generator's live logical output count — the
+// ground truth the status databases must agree with.
+func (g *Generator) UTXOCount() int { return g.pool.size() }
+
+// MainnetHeight maps a generated height to its mainnet-equivalent.
+func (g *Generator) MainnetHeight(h uint64) uint64 {
+	if g.p.Blocks <= 1 {
+		return g.p.MainnetHeight
+	}
+	return h * g.p.MainnetHeight / uint64(g.p.Blocks-1)
+}
+
+// key returns the signing key for an output by creation coordinates.
+func (g *Generator) key(height uint64, txIdx, outIdx uint32) sig.PrivateKey {
+	return g.p.Scheme.KeyFromSeed(KeySeed(height, txIdx, outIdx))
+}
+
+// Resign produces an unlocking script for the output created at the
+// given coordinates, signing sigHash. The intermediary uses this to
+// re-render signatures for the EBV chain, whose sighash differs from
+// the classic one.
+func (g *Generator) Resign(height uint64, txIdx, outIdx uint32, sigHash hashx.Hash) ([]byte, error) {
+	return script.StandardUnlock(g.key(height, txIdx, outIdx), sigHash)
+}
+
+// Scheme returns the signature scheme used by the generated history.
+func (g *Generator) Scheme() sig.Scheme { return g.p.Scheme }
+
+// plannedTx is a transaction plan before signing: which pool entries
+// it spends and the values of its outputs.
+type plannedTx struct {
+	spends []poolEntry
+	outs   []uint64
+	fee    uint64
+}
+
+// NextBlock generates, signs, and assembles the next classic block.
+func (g *Generator) NextBlock() (*blockmodel.ClassicBlock, error) {
+	if g.Done() {
+		return nil, fmt.Errorf("workload: chain complete at %d blocks", g.p.Blocks)
+	}
+	h := g.height
+	rng := rand.New(rand.NewSource(g.p.Seed ^ int64(h*0x9E3779B97F4A7C15)))
+	mh := g.MainnetHeight(h)
+
+	plans := g.planBlock(rng, h, mh)
+
+	// Render: coinbase first (needs total fees), then the spends.
+	var fees uint64
+	for _, plan := range plans {
+		fees += plan.fee
+	}
+	txs := make([]*txmodel.Tx, 0, len(plans)+1)
+	txids := make([]hashx.Hash, 0, len(plans)+1)
+
+	cb := g.buildCoinbase(h, blockmodel.Subsidy(h)+fees, rng)
+	txs = append(txs, cb)
+	txids = append(txids, cb.TxID())
+
+	for ti, plan := range plans {
+		tx, err := g.buildSpend(h, uint32(ti+1), plan)
+		if err != nil {
+			return nil, err
+		}
+		txs = append(txs, tx)
+		txids = append(txids, tx.TxID())
+	}
+
+	block, err := blockmodel.AssembleClassic(g.prev, h, 1_230_000_000+uint64(h)*600, txs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Commit: record txids, enter the new outputs into the pool.
+	g.txids = append(g.txids, txids)
+	for ti, tx := range txs {
+		for oi := range tx.Outputs {
+			g.pool.add(poolEntry{
+				Height:   h,
+				TxIdx:    uint32(ti),
+				OutIdx:   uint32(oi),
+				Value:    tx.Outputs[oi].Value,
+				Coinbase: ti == 0,
+			})
+		}
+		g.TotalOutputs += len(tx.Outputs)
+		if ti > 0 {
+			g.TotalInputs += len(tx.Inputs)
+		}
+	}
+	g.TotalTxs += len(txs)
+	g.prev = block.Header.Hash()
+	g.height++
+	return block, nil
+}
+
+// planBlock decides the block's transactions: counts, input picks
+// (removing them from the pool), and output values.
+func (g *Generator) planBlock(rng *rand.Rand, h, mh uint64) []plannedTx {
+	nTx := int(interp(txPerBlockCurve, mh)*g.p.TxScale + 0.5)
+	if nTx < 0 {
+		nTx = 0
+	}
+	// Jitter ±30%, keeping determinism.
+	if nTx > 0 {
+		nTx = int(float64(nTx) * (0.7 + 0.6*rng.Float64()))
+	}
+	inConsolid := float64(h) >= g.p.ConsolidStartFrac*float64(g.p.Blocks) &&
+		float64(h) < g.p.ConsolidEndFrac*float64(g.p.Blocks)
+
+	avgIn := interp(insPerTxCurve, mh)
+	avgOut := interp(outsPerTxCurve, mh)
+
+	var plans []plannedTx
+	for t := 0; t < nTx; t++ {
+		nIn := drawCount(rng, avgIn)
+		nOut := drawCount(rng, avgOut)
+		if inConsolid && rng.Float64() < g.p.ConsolidProb {
+			// Consolidation sweeps: many inputs, one output. Kept
+			// gentle so the UTXO set dips slightly, as in the paper's
+			// Fig. 5 discussion, rather than collapsing.
+			nIn = 8 + rng.Intn(16)
+			nOut = 1
+		}
+		var spends []poolEntry
+		var inSum uint64
+		for i := 0; i < nIn; i++ {
+			idx := g.pickSpendable(rng, h)
+			if idx < 0 {
+				break
+			}
+			e := g.pool.get(idx)
+			g.pool.remove(idx)
+			spends = append(spends, e)
+			inSum += e.Value
+		}
+		if len(spends) == 0 {
+			continue // nothing spendable yet (early chain)
+		}
+		fee := g.p.FeePerTx
+		if inSum <= fee {
+			fee = inSum - 1
+		}
+		avail := inSum - fee
+		if nOut < 1 {
+			nOut = 1
+		}
+		if uint64(nOut) > avail {
+			nOut = int(avail)
+		}
+		outs := splitValue(rng, avail, nOut)
+		plans = append(plans, plannedTx{spends: spends, outs: outs, fee: fee})
+	}
+	return plans
+}
+
+// pickSpendable samples a pool slot whose entry is mature.
+func (g *Generator) pickSpendable(rng *rand.Rand, h uint64) int {
+	for attempt := 0; attempt < 16; attempt++ {
+		idx := g.pool.sample(rng, g.p.YoungProb, g.p.YoungWindow)
+		if idx < 0 {
+			return -1
+		}
+		e := g.pool.get(idx)
+		if e.Coinbase && h-e.Height < txmodel.CoinbaseMaturity {
+			continue
+		}
+		return idx
+	}
+	return -1
+}
+
+// buildCoinbase creates the block's coinbase transaction.
+func (g *Generator) buildCoinbase(h uint64, value uint64, rng *rand.Rand) *txmodel.Tx {
+	key := g.key(h, 0, 0)
+	var extra [8]byte
+	binary.LittleEndian.PutUint64(extra[:], h)
+	return &txmodel.Tx{
+		Version: 1,
+		Inputs: []txmodel.TxIn{{
+			PrevOut:      txmodel.OutPoint{Index: txmodel.CoinbaseIndex},
+			UnlockScript: extra[:], // height tag makes coinbase txids unique
+		}},
+		Outputs: []txmodel.TxOut{{Value: value, LockScript: script.StandardLock(key)}},
+	}
+}
+
+// buildSpend renders a plan as a signed classic transaction at
+// (height h, tx index txIdx).
+func (g *Generator) buildSpend(h uint64, txIdx uint32, plan plannedTx) (*txmodel.Tx, error) {
+	tx := &txmodel.Tx{Version: 1}
+	for _, e := range plan.spends {
+		tx.Inputs = append(tx.Inputs, txmodel.TxIn{
+			PrevOut: txmodel.OutPoint{TxID: g.txids[e.Height][e.TxIdx], Index: e.OutIdx},
+		})
+	}
+	for oi, v := range plan.outs {
+		key := g.key(h, txIdx, uint32(oi))
+		tx.Outputs = append(tx.Outputs, txmodel.TxOut{Value: v, LockScript: script.StandardLock(key)})
+	}
+	sigHash := tx.SigHash()
+	for i, e := range plan.spends {
+		unlock, err := script.StandardUnlock(g.key(e.Height, e.TxIdx, e.OutIdx), sigHash)
+		if err != nil {
+			return nil, fmt.Errorf("workload: sign input %d: %w", i, err)
+		}
+		tx.Inputs[i].UnlockScript = unlock
+	}
+	return tx, nil
+}
+
+// drawCount draws a positive integer with the given mean, roughly
+// geometric around it.
+func drawCount(rng *rand.Rand, mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	v := 1 + rng.ExpFloat64()*(mean-1)
+	n := int(v + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	if n > 16 {
+		n = 16
+	}
+	return n
+}
+
+// splitValue divides total into n positive parts.
+func splitValue(rng *rand.Rand, total uint64, n int) []uint64 {
+	if n <= 1 || total < uint64(n) {
+		return []uint64{total}
+	}
+	outs := make([]uint64, n)
+	remaining := total
+	for i := 0; i < n-1; i++ {
+		maxPart := remaining - uint64(n-1-i)
+		part := 1 + uint64(rng.Int63n(int64(maxPart/uint64(n-i)+1)))
+		if part > maxPart {
+			part = maxPart
+		}
+		outs[i] = part
+		remaining -= part
+	}
+	outs[n-1] = remaining
+	return outs
+}

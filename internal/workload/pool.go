@@ -1,0 +1,92 @@
+package workload
+
+import "math/rand"
+
+// poolEntry is one spendable logical output: where it was created,
+// its value, and whether it came from a coinbase (maturity rule).
+type poolEntry struct {
+	Height   uint64
+	TxIdx    uint32
+	OutIdx   uint32
+	Value    uint64
+	Coinbase bool
+}
+
+// pool tracks the generator's unspent outputs in creation order, so
+// spend-age sampling can prefer recent outputs (real spending is
+// heavily skewed young). Deletion tombstones the slot; compaction runs
+// when tombstones dominate, preserving order.
+type pool struct {
+	entries []poolEntry
+	dead    []bool
+	live    int
+}
+
+func (p *pool) add(e poolEntry) {
+	p.entries = append(p.entries, e)
+	p.dead = append(p.dead, false)
+	p.live++
+}
+
+func (p *pool) size() int { return p.live }
+
+// sample picks a live entry: with probability young, uniformly from
+// the most recent window live-or-dead slots; otherwise uniformly from
+// the whole pool. Returns the slot index, or -1 if nothing was found
+// in a bounded number of probes.
+func (p *pool) sample(rng *rand.Rand, young float64, window int) int {
+	if p.live == 0 {
+		return -1
+	}
+	n := len(p.entries)
+	for attempt := 0; attempt < 32; attempt++ {
+		var i int
+		if rng.Float64() < young {
+			lo := n - window
+			if lo < 0 {
+				lo = 0
+			}
+			i = lo + rng.Intn(n-lo)
+		} else {
+			i = rng.Intn(n)
+		}
+		if !p.dead[i] {
+			return i
+		}
+	}
+	// Bounded linear fallback: scan forward from a random start.
+	start := rng.Intn(n)
+	for k := 0; k < n; k++ {
+		i := (start + k) % n
+		if !p.dead[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// remove tombstones slot i and compacts if the pool is mostly dead.
+func (p *pool) remove(i int) {
+	if p.dead[i] {
+		panic("workload: double remove from pool")
+	}
+	p.dead[i] = true
+	p.live--
+	if len(p.entries) > 1024 && p.live < len(p.entries)/2 {
+		p.compact()
+	}
+}
+
+func (p *pool) compact() {
+	entries := make([]poolEntry, 0, p.live)
+	for i, e := range p.entries {
+		if !p.dead[i] {
+			entries = append(entries, e)
+		}
+	}
+	p.entries = entries
+	p.dead = make([]bool, len(entries))
+}
+
+// get returns the entry at slot i.
+func (p *pool) get(i int) poolEntry { return p.entries[i] }

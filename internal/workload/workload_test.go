@@ -1,0 +1,327 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"ebv/internal/blockmodel"
+	"ebv/internal/hashx"
+	"ebv/internal/merkle"
+	"ebv/internal/script"
+	"ebv/internal/txmodel"
+)
+
+func genChain(t *testing.T, blocks int, seed int64) (*Generator, []*blockmodel.ClassicBlock) {
+	t.Helper()
+	p := TestParams(blocks)
+	p.Seed = seed
+	g := NewGenerator(p)
+	var out []*blockmodel.ClassicBlock
+	for !g.Done() {
+		b, err := g.NextBlock()
+		if err != nil {
+			t.Fatalf("block %d: %v", g.Height(), err)
+		}
+		out = append(out, b)
+	}
+	return g, out
+}
+
+func TestDeterminism(t *testing.T) {
+	_, a := genChain(t, 150, 7)
+	_, b := genChain(t, 150, 7)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Header.Hash() != b[i].Header.Hash() {
+			t.Fatalf("block %d differs across runs", i)
+		}
+	}
+	_, c := genChain(t, 150, 8)
+	if a[149].Header.Hash() == c[149].Header.Hash() {
+		t.Fatal("different seeds must give different chains")
+	}
+}
+
+func TestChainLinksAndRoots(t *testing.T) {
+	_, blocks := genChain(t, 120, 1)
+	prev := hashx.ZeroHash
+	for i, b := range blocks {
+		if b.Header.Height != uint64(i) {
+			t.Fatalf("block %d has height %d", i, b.Header.Height)
+		}
+		if b.Header.PrevBlock != prev {
+			t.Fatalf("block %d does not link", i)
+		}
+		if merkle.Root(b.TxLeaves()) != b.Header.MerkleRoot {
+			t.Fatalf("block %d merkle root invalid", i)
+		}
+		if !b.Txs[0].IsCoinbase() {
+			t.Fatalf("block %d lacks coinbase", i)
+		}
+		prev = b.Header.Hash()
+	}
+}
+
+// TestLedgerConsistency replays the chain against a naive in-memory
+// UTXO map, checking that every input spends an existing mature
+// output, values are conserved, and signatures verify.
+func TestLedgerConsistency(t *testing.T) {
+	g, blocks := genChain(t, 250, 3)
+	engine := script.NewEngine(g.Scheme())
+	utxo := map[txmodel.OutPoint]txmodel.TxOut{}
+	cbHeight := map[txmodel.OutPoint]uint64{}
+	count := 0
+	for _, b := range blocks {
+		var fees uint64
+		for ti, tx := range b.Txs {
+			if ti == 0 {
+				continue
+			}
+			sigHash := tx.SigHash()
+			var inSum uint64
+			for _, in := range tx.Inputs {
+				out, ok := utxo[in.PrevOut]
+				if !ok {
+					t.Fatalf("height %d: input spends unknown outpoint %s", b.Header.Height, in.PrevOut)
+				}
+				if cb, isCB := cbHeight[in.PrevOut]; isCB && b.Header.Height-cb < txmodel.CoinbaseMaturity {
+					t.Fatalf("height %d: immature coinbase spend", b.Header.Height)
+				}
+				if err := engine.Execute(in.UnlockScript, out.LockScript, sigHash); err != nil {
+					t.Fatalf("height %d: signature invalid: %v", b.Header.Height, err)
+				}
+				inSum += out.Value
+				delete(utxo, in.PrevOut)
+				delete(cbHeight, in.PrevOut)
+				count--
+			}
+			outSum, _ := tx.OutputSum()
+			if outSum > inSum {
+				t.Fatalf("height %d: value created from nothing", b.Header.Height)
+			}
+			fees += inSum - outSum
+		}
+		cbSum, _ := b.Txs[0].OutputSum()
+		if cbSum > blockmodel.Subsidy(b.Header.Height)+fees {
+			t.Fatalf("height %d: coinbase claims %d, allowed %d", b.Header.Height, cbSum, blockmodel.Subsidy(b.Header.Height)+fees)
+		}
+		for ti, tx := range b.Txs {
+			txid := tx.TxID()
+			for oi := range tx.Outputs {
+				op := txmodel.OutPoint{TxID: txid, Index: uint32(oi)}
+				utxo[op] = tx.Outputs[oi]
+				if ti == 0 {
+					cbHeight[op] = b.Header.Height
+				}
+				count++
+			}
+		}
+	}
+	if count != g.UTXOCount() {
+		t.Fatalf("replayed UTXO count %d != generator pool %d", count, g.UTXOCount())
+	}
+	if count <= 0 {
+		t.Fatal("chain must leave unspent outputs")
+	}
+}
+
+func TestActivityGrows(t *testing.T) {
+	_, blocks := genChain(t, 300, 2)
+	early, late := 0, 0
+	for _, b := range blocks[:100] {
+		early += len(b.Txs)
+	}
+	for _, b := range blocks[200:] {
+		late += len(b.Txs)
+	}
+	if late <= early {
+		t.Fatalf("activity must grow: early=%d late=%d", early, late)
+	}
+}
+
+func TestUTXOSetGrows(t *testing.T) {
+	p := TestParams(300)
+	g := NewGenerator(p)
+	var mid int
+	for !g.Done() {
+		if _, err := g.NextBlock(); err != nil {
+			t.Fatal(err)
+		}
+		if g.Height() == 150 {
+			mid = g.UTXOCount()
+		}
+	}
+	if g.UTXOCount() <= mid {
+		t.Fatalf("UTXO count must grow: mid=%d final=%d", mid, g.UTXOCount())
+	}
+}
+
+func TestResignMatchesOutputs(t *testing.T) {
+	g, blocks := genChain(t, 120, 5)
+	engine := script.NewEngine(g.Scheme())
+	// Pick an output and check Resign produces a script that unlocks it.
+	b := blocks[50]
+	tx := b.Txs[0] // coinbase output, key (50, 0, 0)
+	sigHash := hashx.Sum([]byte("arbitrary message"))
+	unlock, err := g.Resign(50, 0, 0, sigHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Execute(unlock, tx.Outputs[0].LockScript, sigHash); err != nil {
+		t.Fatalf("resigned script must unlock the output: %v", err)
+	}
+}
+
+func TestQuarterLabel(t *testing.T) {
+	cases := map[uint64]string{
+		0:       "09-Q1",
+		13_140:  "09-Q2",
+		340_000: "15-Q2",
+		650_000: "21-Q2",
+	}
+	for h, want := range cases {
+		if got := QuarterLabel(h); got != want {
+			t.Fatalf("QuarterLabel(%d)=%q want %q", h, got, want)
+		}
+	}
+}
+
+func TestMainnetHeightMapping(t *testing.T) {
+	g := NewGenerator(TestParams(1001))
+	if g.MainnetHeight(0) != 0 {
+		t.Fatal("height 0 maps to 0")
+	}
+	if got := g.MainnetHeight(1000); got != 650_000 {
+		t.Fatalf("last block maps to %d, want 650000", got)
+	}
+}
+
+func TestPoolSampling(t *testing.T) {
+	var p pool
+	for i := 0; i < 1000; i++ {
+		p.add(poolEntry{Height: uint64(i)})
+	}
+	rng := newTestRand()
+	young := 0
+	for i := 0; i < 1000; i++ {
+		idx := p.sample(rng, 0.7, 100)
+		if idx < 0 {
+			t.Fatal("sample must succeed on a full pool")
+		}
+		if p.get(idx).Height >= 900 {
+			young++
+		}
+	}
+	if young < 500 {
+		t.Fatalf("young sampling too weak: %d/1000", young)
+	}
+	// Remove everything; sample must fail.
+	for i := 0; i < 1000; i++ {
+		idx := p.sample(rng, 0.5, 100)
+		if idx < 0 {
+			t.Fatalf("pool drained early at %d", i)
+		}
+		p.remove(idx)
+	}
+	if p.size() != 0 {
+		t.Fatalf("pool size %d after draining", p.size())
+	}
+	if idx := p.sample(rng, 0.5, 100); idx >= 0 {
+		t.Fatal("empty pool must not sample")
+	}
+}
+
+func TestSplitValueConserves(t *testing.T) {
+	rng := newTestRand()
+	for trial := 0; trial < 200; trial++ {
+		total := uint64(1 + rng.Intn(1_000_000))
+		n := 1 + rng.Intn(8)
+		parts := splitValue(rng, total, n)
+		var sum uint64
+		for _, p := range parts {
+			if p == 0 {
+				t.Fatal("zero-value output")
+			}
+			sum += p
+		}
+		if sum != total {
+			t.Fatalf("split of %d sums to %d", total, sum)
+		}
+	}
+}
+
+func BenchmarkNextBlock(b *testing.B) {
+	p := DefaultParams()
+	p.Blocks = 1 << 30
+	g := NewGenerator(p)
+	// Warm up past the empty early chain.
+	for i := 0; i < 200; i++ {
+		if _, err := g.NextBlock(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.NextBlock(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(99)) }
+
+func TestInterpCurveProperties(t *testing.T) {
+	// Below the first point, at control points, between, and beyond.
+	if interp(txPerBlockCurve, 0) != txPerBlockCurve[0].v {
+		t.Fatal("left clamp")
+	}
+	last := txPerBlockCurve[len(txPerBlockCurve)-1]
+	if interp(txPerBlockCurve, last.h+10_000) != last.v {
+		t.Fatal("right clamp")
+	}
+	for i := 1; i < len(txPerBlockCurve); i++ {
+		lo, hi := txPerBlockCurve[i-1], txPerBlockCurve[i]
+		mid := (lo.h + hi.h) / 2
+		v := interp(txPerBlockCurve, mid)
+		a, b := lo.v, hi.v
+		if a > b {
+			a, b = b, a
+		}
+		if v < a-1e-9 || v > b+1e-9 {
+			t.Fatalf("interp at %d = %f outside [%f,%f]", mid, v, a, b)
+		}
+	}
+	if MainnetInputsPerBlock(650_000) <= MainnetInputsPerBlock(100_000) {
+		t.Fatal("activity must grow with height")
+	}
+	if MainnetOutputsPerBlock(650_000) <= MainnetInputsPerBlock(650_000) {
+		t.Fatal("outputs must exceed inputs on average")
+	}
+}
+
+func TestDrawCountBounds(t *testing.T) {
+	rng := newTestRand()
+	for i := 0; i < 2000; i++ {
+		n := drawCount(rng, 2.1)
+		if n < 1 || n > 16 {
+			t.Fatalf("drawCount out of bounds: %d", n)
+		}
+	}
+	if drawCount(rng, 0.5) != 1 {
+		t.Fatal("mean<=1 must return 1")
+	}
+}
+
+func TestGeneratorDoneBehaviour(t *testing.T) {
+	g := NewGenerator(TestParams(3))
+	for !g.Done() {
+		if _, err := g.NextBlock(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := g.NextBlock(); err == nil {
+		t.Fatal("NextBlock past the end must fail")
+	}
+}

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Reproduce the full evaluation: tests, benchmarks, and every figure of
+# the paper at default (1/50) scale. The generated chains are cached in
+# $DATADIR and reused across invocations.
+#
+# Usage: scripts/reproduce.sh [datadir]
+set -e
+cd "$(dirname "$0")/.."
+
+DATADIR="${1:-${TMPDIR:-/tmp}/ebv-bench}"
+
+echo "== build + vet =="
+go build ./...
+go vet ./...
+
+echo "== test suite =="
+go test ./... 2>&1 | tee test_output.txt
+
+echo "== per-figure and micro benchmarks (quick preset) =="
+go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+echo "== full-scale experiments (figures + ablations) =="
+go run ./cmd/ebvbench -exp everything -datadir "$DATADIR" 2>&1 | tee results_default.txt
+
+echo "done: see test_output.txt, bench_output.txt, results_default.txt"
