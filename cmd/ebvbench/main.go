@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id(s), comma-separated: fig1,fig4,fig5,fig14,fig14full,fig15,fig16,fig17,fig18, ablation-cache,ablation-simcost,ablation-latency,ablation-vector, related-proofs,net-ibd; 'all' = figures, 'everything' = figures+ablations")
+		exp      = flag.String("exp", "all", "experiment id(s), comma-separated: fig1,fig4,fig5,fig14,fig14full,fig15,fig16,fig17,fig18, ablation-cache,ablation-simcost,ablation-latency,ablation-vector,ablation-parallel, related-proofs,net-ibd; 'all' = figures, 'everything' = figures+ablations")
 		blocks   = flag.Int("blocks", 0, "chain height (default preset)")
 		txScale  = flag.Float64("txscale", 0, "tx-per-block scale factor (default preset)")
 		seed     = flag.Int64("seed", 1, "workload seed")
@@ -33,6 +33,7 @@ func main() {
 		repeats  = flag.Int("repeats", 0, "runs for repeated experiments (default preset)")
 		dataDir  = flag.String("datadir", "", "chain cache directory (default $TMPDIR/ebv-bench)")
 		quick    = flag.Bool("quick", false, "small preset for smoke runs")
+		workers  = flag.Int("workers", 0, "override worker counts swept by ablation-parallel (0 = {1,2,4,NumCPU})")
 	)
 	flag.Parse()
 
@@ -64,6 +65,9 @@ func main() {
 	}
 	if *dataDir != "" {
 		opts.DataDir = *dataDir
+	}
+	if *workers > 0 {
+		opts.Workers = *workers
 	}
 
 	start := time.Now()

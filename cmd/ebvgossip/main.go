@@ -33,10 +33,11 @@ func main() {
 		connectTo = flag.String("connect", "", "comma-separated peer addresses to dial")
 		importDir = flag.String("import", "", "preload blocks from this chain directory before serving")
 		quiet     = flag.Bool("quiet", false, "suppress per-block output")
+		workers   = flag.Int("workers", 1, "parallel proof-verification workers per block (>1 enables the pipeline)")
 	)
 	flag.Parse()
 
-	n, err := node.NewEBVNode(node.Config{Dir: *dataDir, Optimize: true})
+	n, err := node.NewEBVNode(node.Config{Dir: *dataDir, Optimize: true, ParallelValidation: *workers})
 	if err != nil {
 		fail(err)
 	}

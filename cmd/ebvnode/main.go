@@ -26,6 +26,7 @@ func main() {
 		memLimit = flag.Int("memlimit", 64, "status-data memory budget in MiB (bitcoin mode)")
 		latency  = flag.Duration("latency", 0, "injected disk latency per cache miss (bitcoin mode)")
 		period   = flag.Int("period", 1000, "blocks per progress report")
+		workers  = flag.Int("workers", 1, "parallel proof-verification workers per block (ebv mode; >1 enables the pipeline)")
 	)
 	flag.Parse()
 	if *chainDir == "" {
@@ -54,7 +55,7 @@ func main() {
 	start := time.Now()
 	switch *mode {
 	case "ebv":
-		n, err := node.NewEBVNode(node.Config{Dir: *dataDir, Optimize: true})
+		n, err := node.NewEBVNode(node.Config{Dir: *dataDir, Optimize: true, ParallelValidation: *workers})
 		if err != nil {
 			fail(err)
 		}

@@ -157,6 +157,11 @@ var (
 	// block — the paper's future-work direction (§VI-D); also
 	// available on nodes via NodeConfig.ParallelSV.
 	WithParallelSV = core.WithParallelSV
+	// WithParallelValidation runs the full proof-verification pipeline
+	// (consistency, sighash, EV and SV) on N goroutines per block with
+	// deterministic failure reporting; supersedes WithParallelSV. Also
+	// available on nodes via NodeConfig.ParallelValidation.
+	WithParallelValidation = core.WithParallelValidation
 )
 
 // Validation errors: ErrInvalidBlock is the root every validator

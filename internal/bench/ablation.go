@@ -74,7 +74,7 @@ func (e *Env) AblationSimCost(w io.Writer) error {
 		// the validating engine must use that cost; the sweep instead
 		// reports the *modeled* SV at the swept cost — SV scales
 		// linearly in hash iterations.
-		n, err := node.NewEBVNode(node.Config{Dir: dir, Optimize: true, Scheme: e.Opts.Scheme()})
+		n, err := node.NewEBVNode(e.EBVNodeConfig(dir))
 		if err != nil {
 			return err
 		}
@@ -170,7 +170,7 @@ func (e *Env) AblationVector(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	n, err := node.NewEBVNode(node.Config{Dir: dir, Optimize: true, Scheme: e.Opts.Scheme()})
+	n, err := node.NewEBVNode(e.EBVNodeConfig(dir))
 	if err != nil {
 		return err
 	}

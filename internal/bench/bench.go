@@ -19,6 +19,7 @@ import (
 
 	"ebv/internal/blockmodel"
 	"ebv/internal/chainstore"
+	"ebv/internal/node"
 	"ebv/internal/proof"
 	"ebv/internal/sig"
 	"ebv/internal/workload"
@@ -62,6 +63,11 @@ type Options struct {
 	DataDir string
 	// Quick shrinks everything for smoke tests.
 	Quick bool
+	// Workers, when > 1, runs every EBV node with the parallel
+	// proof-verification pipeline at that width; ablation-parallel
+	// additionally narrows its sweep to {1, Workers}. 0 keeps the
+	// sequential validator (and the default sweep).
+	Workers int
 }
 
 // DefaultOptions returns the medium preset used by EXPERIMENTS.md.
@@ -244,6 +250,18 @@ func (e *Env) Close() error {
 // TempNodeDir returns a fresh scratch directory for a node.
 func (e *Env) TempNodeDir() (string, error) {
 	return os.MkdirTemp("", "ebv-node-*")
+}
+
+// EBVNodeConfig is the node configuration every EBV-side experiment
+// uses: optimized vectors, the options' signature scheme, and — when
+// Options.Workers asks for it — the parallel validation pipeline.
+func (e *Env) EBVNodeConfig(dir string) node.Config {
+	return node.Config{
+		Dir:                dir,
+		Optimize:           true,
+		Scheme:             e.Opts.Scheme(),
+		ParallelValidation: e.Opts.Workers,
+	}
 }
 
 // WindowStart maps the paper's block-590,000 measurement window onto

@@ -42,7 +42,7 @@ func (e *Env) runEBVIBD(log io.Writer) (*ibdRun, error) {
 	if err != nil {
 		return nil, err
 	}
-	n, err := node.NewEBVNode(node.Config{Dir: dir, Optimize: true, Scheme: e.Opts.Scheme()})
+	n, err := node.NewEBVNode(e.EBVNodeConfig(dir))
 	if err != nil {
 		return nil, err
 	}

@@ -79,7 +79,7 @@ func (e *Env) memorySeries(log io.Writer) ([]MemSample, error) {
 	if err != nil {
 		return nil, err
 	}
-	ebv, err := node.NewEBVNode(node.Config{Dir: dir2, Optimize: true, Scheme: e.Opts.Scheme()})
+	ebv, err := node.NewEBVNode(e.EBVNodeConfig(dir2))
 	if err != nil {
 		return nil, err
 	}

@@ -62,7 +62,7 @@ func (e *Env) NetIBD(w io.Writer) error {
 			dstChain = n.Chain
 			gossip = p2p.NewNode(p2p.BitcoinChain{Node: n}, p2p.Config{})
 		case "ebv":
-			n, err := node.NewEBVNode(node.Config{Dir: dir, Optimize: true, Scheme: e.Opts.Scheme()})
+			n, err := node.NewEBVNode(e.EBVNodeConfig(dir))
 			if err != nil {
 				return err
 			}

@@ -29,6 +29,7 @@ func Experiments() []Experiment {
 		{"ablation-simcost", "EBV validation vs signature-verify cost", (*Env).AblationSimCost},
 		{"ablation-latency", "Baseline IBD vs disk model", (*Env).AblationLatency},
 		{"ablation-vector", "Sparse-vector optimization detail", (*Env).AblationVector},
+		{"ablation-parallel", "EBV window validation vs parallel pipeline workers", (*Env).AblationParallel},
 		{"related-proofs", "Proof size/churn: EBV vs accumulator designs", (*Env).RelatedProofs},
 		{"net-ibd", "Networked IBD over the gossip protocol", (*Env).NetIBD},
 	}

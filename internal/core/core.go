@@ -45,6 +45,12 @@ var (
 	ErrBadProof       = fmt.Errorf("%w: input proof inconsistent", ErrInvalidBlock)
 	ErrBadStakePos    = fmt.Errorf("%w: stake positions inconsistent", ErrInvalidBlock)
 	ErrOverflow       = fmt.Errorf("%w: value overflow", ErrInvalidBlock)
+
+	// ErrNoBlockOutputs is reported by DisconnectBlock when a fully
+	// spent vector must be recreated but no BlockOutputsFunc can supply
+	// its output count. It does not wrap ErrInvalidBlock: the block is
+	// fine, the validator is misconfigured.
+	ErrNoBlockOutputs = errors.New("core: no block-output resolver for fully spent vector")
 )
 
 // HeaderSource supplies stored headers by height. chainstore.Store

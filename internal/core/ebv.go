@@ -2,8 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
 
 	"ebv/internal/blockmodel"
 	"ebv/internal/hashx"
@@ -23,6 +21,7 @@ type EBVValidator struct {
 	engine         *script.Engine
 	headers        HeaderSource
 	parallel       int
+	pipeline       int
 	blockOutputsFn BlockOutputsFunc
 }
 
@@ -35,8 +34,25 @@ type EBVOption func(*EBVValidator)
 // work (§VI-D); unlike the baseline — whose hot path serializes on the
 // status database — EBV's SV inputs are mutually independent, so they
 // parallelize trivially. workers <= 1 keeps the sequential path.
+//
+// Superseded by WithParallelValidation, which also parallelizes the
+// per-input Existence Validation; WithParallelSV remains for the
+// script-only ablation.
 func WithParallelSV(workers int) EBVOption {
 	return func(v *EBVValidator) { v.parallel = workers }
+}
+
+// WithParallelValidation runs the full proof-verification pipeline on
+// up to workers goroutines: every transaction's consistency binding,
+// sighash, and per-input EV (leaf hash + Merkle fold against the
+// stored header) and SV run concurrently, while UV, duplicate-spend
+// detection, maturity, and value conservation run in a sequential
+// reduce over the worker verdicts. Acceptance, rejection, and the
+// reported error are bit-for-bit identical to the sequential path
+// regardless of scheduling (see connectBlockParallel). workers <= 1
+// keeps the sequential path.
+func WithParallelValidation(workers int) EBVOption {
+	return func(v *EBVValidator) { v.pipeline = workers }
 }
 
 // NewEBVValidator wires the EBV validator to its status database,
@@ -75,38 +91,51 @@ func (v *EBVValidator) ValidateInput(body *txmodel.InputBody, sigHash hashx.Hash
 // input and returns the spent output for the Script Validation step.
 func (v *EBVValidator) validateInputEVUV(body *txmodel.InputBody, bd *Breakdown) (*txmodel.TxOut, error) {
 	w := newStopwatch()
+	out, err := v.evInput(body)
+	w.lap(&bd.EV)
+	if err != nil {
+		return nil, err
+	}
+	err = v.uvInput(body)
+	w.lap(&bd.UV)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
 
-	// EV: fold the branch from the ELs leaf and compare against the
-	// stored header of the named height.
+// evInput performs Existence Validation for one input: fold the branch
+// from the ELs leaf, compare against the stored header of the named
+// height, and extract the spent output. It reads only immutable chain
+// state, so the parallel pipeline calls it from worker goroutines;
+// both paths share it so they report identical errors.
+func (v *EBVValidator) evInput(body *txmodel.InputBody) (*txmodel.TxOut, error) {
 	hdr, ok := v.headers.Header(body.Height)
 	if !ok {
-		w.lap(&bd.EV)
 		return nil, fmt.Errorf("%w: no header at height %d", ErrMissingOutput, body.Height)
 	}
 	leaf := body.PrevTx.LeafHash()
 	if !merkle.Verify(leaf, body.Branch, hdr.MerkleRoot) {
-		w.lap(&bd.EV)
 		return nil, fmt.Errorf("%w: merkle branch does not reach root at height %d", ErrMissingOutput, body.Height)
 	}
 	out, ok := body.SpentOutput()
 	if !ok {
-		w.lap(&bd.EV)
 		return nil, fmt.Errorf("%w: relative index %d out of range", ErrBadProof, body.RelIndex)
 	}
-	w.lap(&bd.EV)
+	return out, nil
+}
 
-	// UV: probe the bit at the derived absolute position.
+// uvInput performs Unspent Validation for one input: probe the bit at
+// the derived absolute position.
+func (v *EBVValidator) uvInput(body *txmodel.InputBody) error {
 	unspent, err := v.status.IsUnspent(body.Height, body.AbsPosition())
 	if err != nil {
-		w.lap(&bd.UV)
-		return nil, fmt.Errorf("%w: %v", ErrBadProof, err)
+		return fmt.Errorf("%w: %v", ErrBadProof, err)
 	}
 	if !unspent {
-		w.lap(&bd.UV)
-		return nil, fmt.Errorf("%w: height %d position %d", ErrSpentOutput, body.Height, body.AbsPosition())
+		return fmt.Errorf("%w: height %d position %d", ErrSpentOutput, body.Height, body.AbsPosition())
 	}
-	w.lap(&bd.UV)
-	return out, nil
+	return nil
 }
 
 // svTask is one deferred script validation.
@@ -117,55 +146,32 @@ type svTask struct {
 }
 
 // runParallelSV executes the deferred script validations on
-// v.parallel workers and returns the first failure (by task order).
+// v.parallel workers. Failure selection is deterministic: runWorkers
+// guarantees every task at or below the lowest failing index ran, so
+// the scan below always reports the same (lowest-index) error for the
+// same task list, regardless of goroutine scheduling.
 func (v *EBVValidator) runParallelSV(tasks []svTask) error {
-	workers := v.parallel
-	if workers > len(tasks) {
-		workers = len(tasks)
+	errs := make([]error, len(tasks))
+	runWorkers(v.parallel, len(tasks), func(i int) bool {
+		t := &tasks[i]
+		errs[i] = v.engine.Execute(t.unlock, t.lock, t.sigHash)
+		return errs[i] == nil
+	})
+	for i, err := range errs {
+		if err != nil {
+			t := &tasks[i]
+			return fmt.Errorf("tx %d input %d: %w: %v", t.tx, t.input, ErrScriptFailed, err)
+		}
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	var (
-		next atomic.Int64
-		stop atomic.Bool
-		mu   sync.Mutex
-		wg   sync.WaitGroup
-	)
-	firstErr := struct {
-		idx int
-		err error
-	}{idx: len(tasks)}
-	wg.Add(workers)
-	for wkr := 0; wkr < workers; wkr++ {
-		go func() {
-			defer wg.Done()
-			for !stop.Load() {
-				i := int(next.Add(1)) - 1
-				if i >= len(tasks) {
-					return
-				}
-				t := &tasks[i]
-				if err := v.engine.Execute(t.unlock, t.lock, t.sigHash); err != nil {
-					mu.Lock()
-					if i < firstErr.idx {
-						firstErr.idx = i
-						firstErr.err = fmt.Errorf("tx %d input %d: %w: %v", t.tx, t.input, ErrScriptFailed, err)
-					}
-					mu.Unlock()
-					stop.Store(true)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr.err
+	return nil
 }
 
 // ConnectBlock fully validates b as the next block and applies its
 // effect to the bit-vector set. On failure the set is untouched.
 func (v *EBVValidator) ConnectBlock(b *blockmodel.EBVBlock) (*Breakdown, error) {
+	if v.pipeline > 1 {
+		return v.connectBlockParallel(b)
+	}
 	bd := &Breakdown{Txs: len(b.Txs), Inputs: b.TotalInputs(), Outputs: b.TotalOutputs()}
 	w := newStopwatch()
 
@@ -396,12 +402,25 @@ func (v *EBVValidator) DisconnectBlock(b *blockmodel.EBVBlock) error {
 		for i := range tx.Bodies {
 			body := &tx.Bodies[i]
 			// NOutputs recreates vectors that were deleted as fully
-			// spent; it comes from the stored block via the node's
-			// resolver (SetBlockOutputsFunc).
+			// spent. When the vector is still live its own length is
+			// authoritative; only a deleted (fully spent) vector needs
+			// the node's resolver (SetBlockOutputsFunc), and silently
+			// guessing 0 there would corrupt the recreated vector — so
+			// a missing resolver is a hard error in that case.
+			n, live := v.status.VectorLen(body.Height)
+			if !live {
+				if v.blockOutputsFn == nil {
+					return fmt.Errorf("%w: fully spent vector at height %d", ErrNoBlockOutputs, body.Height)
+				}
+				n = v.blockOutputsFn(body.Height)
+				if n <= 0 {
+					return fmt.Errorf("%w: resolver returned %d outputs for height %d", ErrNoBlockOutputs, n, body.Height)
+				}
+			}
 			restores = append(restores, statusdb.Restore{
 				Height:   body.Height,
 				Pos:      body.AbsPosition(),
-				NOutputs: v.blockOutputs(body.Height),
+				NOutputs: n,
 			})
 		}
 	}
@@ -415,10 +434,3 @@ type BlockOutputsFunc func(height uint64) int
 // SetBlockOutputsFunc installs the resolver (nodes wire it to their
 // chain store).
 func (v *EBVValidator) SetBlockOutputsFunc(f BlockOutputsFunc) { v.blockOutputsFn = f }
-
-func (v *EBVValidator) blockOutputs(height uint64) int {
-	if v.blockOutputsFn == nil {
-		return 0
-	}
-	return v.blockOutputsFn(height)
-}

@@ -46,6 +46,11 @@ type Config struct {
 	// goroutines per block (the paper's future-work direction; see
 	// core.WithParallelSV).
 	ParallelSV int
+	// ParallelValidation, when > 1, runs the full EBV proof-
+	// verification pipeline — consistency, sighash, EV and SV — on
+	// that many goroutines per block (core.WithParallelValidation).
+	// It supersedes ParallelSV and takes precedence when both are set.
+	ParallelValidation int
 }
 
 func (c Config) scheme() sig.Scheme {
@@ -206,7 +211,10 @@ func NewEBVNode(cfg Config) (*EBVNode, error) {
 			sTip, sOK, cTip, cOK, cfg.Dir)
 	}
 	var opts []core.EBVOption
-	if cfg.ParallelSV > 1 {
+	switch {
+	case cfg.ParallelValidation > 1:
+		opts = append(opts, core.WithParallelValidation(cfg.ParallelValidation))
+	case cfg.ParallelSV > 1:
 		opts = append(opts, core.WithParallelSV(cfg.ParallelSV))
 	}
 	n.Validator = core.NewEBVValidator(status, script.NewEngine(cfg.scheme()), chain, opts...)

@@ -355,6 +355,43 @@ func TestParallelSVNodeAgrees(t *testing.T) {
 	}
 }
 
+func TestParallelValidationNodeAgrees(t *testing.T) {
+	g, _, ebvChain := buildChains(t, 120)
+	seq, err := NewEBVNode(Config{Dir: t.TempDir(), Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seq.Close()
+	// ParallelValidation takes precedence over ParallelSV when both are
+	// set; this node runs the full pipeline.
+	par, err := NewEBVNode(Config{Dir: t.TempDir(), Optimize: true, ParallelValidation: 4, ParallelSV: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+	resSeq, err := RunIBDEBV(ebvChain, seq, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resPar, err := RunIBDEBV(ebvChain, par, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Status.UnspentCount() != par.Status.UnspentCount() {
+		t.Fatal("pipeline node diverged")
+	}
+	if int(par.Status.UnspentCount()) != g.UTXOCount() {
+		t.Fatal("pipeline node vs ground truth")
+	}
+	if resSeq.Total.Inputs != resPar.Total.Inputs || resSeq.Total.Txs != resPar.Total.Txs {
+		t.Fatalf("work accounting differs: %d/%d vs %d/%d",
+			resSeq.Total.Inputs, resSeq.Total.Txs, resPar.Total.Inputs, resPar.Total.Txs)
+	}
+	if resPar.Total.SV == 0 || resPar.Total.EV == 0 {
+		t.Fatal("pipeline must still attribute EV and SV time")
+	}
+}
+
 // TestReorgRoundTrip disconnects the top K blocks of both node types
 // and reconnects them: state must be identical at every step.
 func TestReorgRoundTrip(t *testing.T) {

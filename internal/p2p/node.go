@@ -39,6 +39,14 @@ type Config struct {
 	OnBlock func(height uint64, from string)
 	// Logf, if set, receives debug lines.
 	Logf func(format string, args ...any)
+	// ReadTimeout bounds the wait for each inbound message after the
+	// handshake; a peer silent for longer is dropped instead of
+	// pinning its handler goroutine forever. Default 2 minutes.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each outbound message write, so a peer that
+	// stops draining its socket cannot block senders indefinitely.
+	// Default 30 seconds.
+	WriteTimeout time.Duration
 }
 
 // Node gossips blocks with its peers.
@@ -58,9 +66,10 @@ type Node struct {
 
 // peer is one live connection.
 type peer struct {
-	id   string
-	conn net.Conn
-	r    *bufio.Reader
+	id           string
+	conn         net.Conn
+	r            *bufio.Reader
+	writeTimeout time.Duration
 
 	wmu sync.Mutex
 	w   *bufio.Writer
@@ -69,13 +78,22 @@ type peer struct {
 func (p *peer) send(m *message) error {
 	p.wmu.Lock()
 	defer p.wmu.Unlock()
-	return writeMessage(p.w, m)
+	p.conn.SetWriteDeadline(time.Now().Add(p.writeTimeout))
+	err := writeMessage(p.w, m)
+	p.conn.SetWriteDeadline(time.Time{})
+	return err
 }
 
 // NewNode creates a gossip node over chain.
 func NewNode(chain Chain, cfg Config) *Node {
 	if cfg.MaxPeers <= 0 {
 		cfg.MaxPeers = 16
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 2 * time.Minute
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 30 * time.Second
 	}
 	return &Node{chain: chain, cfg: cfg, peers: make(map[string]*peer)}
 }
@@ -163,10 +181,11 @@ func (n *Node) Close() error {
 // handleConn runs the lifetime of one connection (either direction).
 func (n *Node) handleConn(conn net.Conn) {
 	p := &peer{
-		id:   conn.RemoteAddr().String(),
-		conn: conn,
-		r:    bufio.NewReader(conn),
-		w:    bufio.NewWriter(conn),
+		id:           conn.RemoteAddr().String(),
+		conn:         conn,
+		r:            bufio.NewReader(conn),
+		w:            bufio.NewWriter(conn),
+		writeTimeout: n.cfg.WriteTimeout,
 	}
 	defer conn.Close()
 
@@ -194,15 +213,19 @@ func (n *Node) handleConn(conn net.Conn) {
 	if err != nil || first.kind != msgHello {
 		return
 	}
-	conn.SetReadDeadline(time.Time{})
 	n.logf("peer %s connected (tip %d, ours %d)", p.id, first.height, hello.height)
 	if first.height > hello.height {
 		n.requestFrom(p, hello.height) // hello.height == next needed height encoding
 	}
 
+	// Per-message read deadline: a peer that goes silent for longer
+	// than ReadTimeout is dropped rather than pinning this goroutine
+	// (and a peer slot) forever.
 	for {
+		conn.SetReadDeadline(time.Now().Add(n.cfg.ReadTimeout))
 		m, err := readMessage(p.r)
 		if err != nil {
+			n.logf("peer %s: read: %v", p.id, err)
 			return
 		}
 		if err := n.handleMessage(p, m); err != nil {

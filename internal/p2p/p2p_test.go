@@ -251,6 +251,70 @@ func TestMaliciousPeerDropped(t *testing.T) {
 	}
 }
 
+func TestSilentPeerDropped(t *testing.T) {
+	_, src := buildEBVChain(t, 30)
+	tip, _ := src.TipHeight()
+
+	honest, honestNode := newEBVGossipNode(t, Config{ReadTimeout: 150 * time.Millisecond})
+	preload(t, honestNode, src, tip+1)
+
+	// Complete the handshake, then go silent: the per-message read
+	// deadline must drop us instead of pinning the handler goroutine
+	// (and a peer slot) forever.
+	conn, err := dialRaw(honest.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.close()
+	if err := conn.send(&message{kind: msgHello, height: tip + 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.read(); err != nil { // its hello
+		t.Fatal(err)
+	}
+	waitFor(t, "peer registered", func() bool { return honest.PeerCount() == 1 })
+
+	waitFor(t, "silent peer dropped", func() bool { return honest.PeerCount() == 0 })
+	// The node closed the connection, not just forgot about it.
+	conn.conn.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := conn.read(); err == nil {
+		t.Fatal("node must close a silent peer's connection")
+	}
+}
+
+func TestActivePeerNotDropped(t *testing.T) {
+	_, src := buildEBVChain(t, 30)
+	tip, _ := src.TipHeight()
+
+	honest, honestNode := newEBVGossipNode(t, Config{ReadTimeout: 200 * time.Millisecond})
+	preload(t, honestNode, src, tip+1)
+
+	conn, err := dialRaw(honest.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.close()
+	if err := conn.send(&message{kind: msgHello, height: tip + 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.read(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "peer registered", func() bool { return honest.PeerCount() == 1 })
+
+	// Keep talking at a cadence well inside the deadline: each message
+	// must re-arm the timer and keep the connection alive.
+	for i := 0; i < 6; i++ {
+		time.Sleep(80 * time.Millisecond)
+		if err := conn.send(&message{kind: msgInv, height: tip}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		if honest.PeerCount() != 1 {
+			t.Fatalf("active peer dropped after %d messages", i)
+		}
+	}
+}
+
 func TestBitcoinChainAdapter(t *testing.T) {
 	g := workload.NewGenerator(workload.TestParams(40))
 	classicDir := t.TempDir()

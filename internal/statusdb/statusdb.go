@@ -173,6 +173,24 @@ func (d *DB) IsUnspent(height uint64, pos uint32) (bool, error) {
 	return bitvec.ProbeEncoded(enc, int(pos))
 }
 
+// VectorLen returns the output count of the live vector at height. ok
+// is false when the vector is absent — never connected, or deleted as
+// fully spent — or undecodable; the caller must then consult block
+// storage for the output count.
+func (d *DB) VectorLen(height uint64) (int, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	enc, ok := d.vectors[height]
+	if !ok {
+		return 0, false
+	}
+	n, err := bitvec.EncodedLen(enc)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
 // Tip returns the highest connected height; ok is false when empty.
 func (d *DB) Tip() (uint64, bool) {
 	d.mu.RLock()

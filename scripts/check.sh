@@ -1,0 +1,25 @@
+#!/bin/sh
+# Static and dynamic checks for the whole module: formatting, vet, and
+# the full test suite under the race detector. The race pass is what
+# protects the parallel proof-verification pipeline — run this before
+# sending any change that touches internal/core or internal/p2p.
+#
+# Usage: scripts/check.sh
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "check.sh: all checks passed"

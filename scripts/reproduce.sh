@@ -9,9 +9,11 @@ cd "$(dirname "$0")/.."
 
 DATADIR="${1:-${TMPDIR:-/tmp}/ebv-bench}"
 
-echo "== build + vet =="
+echo "== build =="
 go build ./...
-go vet ./...
+
+echo "== checks (gofmt, vet, race-enabled tests) =="
+scripts/check.sh
 
 echo "== test suite =="
 go test ./... 2>&1 | tee test_output.txt
