@@ -34,10 +34,14 @@ func main() {
 		importDir = flag.String("import", "", "preload blocks from this chain directory before serving")
 		quiet     = flag.Bool("quiet", false, "suppress per-block output")
 		workers   = flag.Int("workers", 1, "parallel proof-verification workers per block (>1 enables the pipeline)")
+		vcache    = flag.Int("vcache", 1<<16, "verified-proof cache entries (0 disables); relayed blocks whose proofs were already verified skip EV and SV")
 	)
 	flag.Parse()
 
-	n, err := node.NewEBVNode(node.Config{Dir: *dataDir, Optimize: true, ParallelValidation: *workers})
+	n, err := node.NewEBVNode(node.Config{
+		Dir: *dataDir, Optimize: true,
+		ParallelValidation: *workers, VerifyCacheSize: *vcache,
+	})
 	if err != nil {
 		fail(err)
 	}

@@ -27,6 +27,7 @@ func main() {
 		latency  = flag.Duration("latency", 0, "injected disk latency per cache miss (bitcoin mode)")
 		period   = flag.Int("period", 1000, "blocks per progress report")
 		workers  = flag.Int("workers", 1, "parallel proof-verification workers per block (ebv mode; >1 enables the pipeline)")
+		vcache   = flag.Int("vcache", 0, "verified-proof cache entries (ebv mode; 0 disables)")
 	)
 	flag.Parse()
 	if *chainDir == "" {
@@ -55,7 +56,10 @@ func main() {
 	start := time.Now()
 	switch *mode {
 	case "ebv":
-		n, err := node.NewEBVNode(node.Config{Dir: *dataDir, Optimize: true, ParallelValidation: *workers})
+		n, err := node.NewEBVNode(node.Config{
+			Dir: *dataDir, Optimize: true,
+			ParallelValidation: *workers, VerifyCacheSize: *vcache,
+		})
 		if err != nil {
 			fail(err)
 		}
@@ -69,6 +73,11 @@ func main() {
 		fmt.Printf("  validation: ev %s, uv %s, sv %s, other %s\n",
 			res.Total.EV.Round(time.Millisecond), res.Total.UV.Round(time.Millisecond),
 			res.Total.SV.Round(time.Millisecond), res.Total.Other.Round(time.Millisecond))
+		if c := n.Validator.Cache(); c != nil {
+			st := c.Stats()
+			fmt.Printf("  verified-proof cache: %d hits, %d misses, %d evictions, %d entries\n",
+				st.Hits, st.Misses, st.Evictions, st.Size)
+		}
 		fmt.Printf("  status-data memory: %.2f MB (bit-vector set, %d vectors, %d unspent)\n",
 			float64(n.StatusMemUsage())/(1<<20), n.Status.VectorCount(), n.Status.UnspentCount())
 	case "bitcoin":

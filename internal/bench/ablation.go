@@ -13,11 +13,13 @@ import (
 // optimization, Fig. 14). Each isolates one design choice DESIGN.md
 // calls out.
 
-// AblationCache sweeps the baseline's memory budget: the memory-limit
-// sensitivity behind the paper's choice to fix 500 MB for both
-// systems. As the budget falls below the UTXO-set size, DBO time
-// explodes; EBV has no such cliff.
-func (e *Env) AblationCache(w io.Writer) error {
+// AblationDBCache sweeps the baseline's memory budget: the
+// memory-limit sensitivity behind the paper's choice to fix 500 MB for
+// both systems. As the budget falls below the UTXO-set size, DBO time
+// explodes; EBV has no such cliff. (Formerly registered as
+// "ablation-cache"; that id now names the verified-proof cache sweep
+// in vcache.go.)
+func (e *Env) AblationDBCache(w io.Writer) error {
 	budgets := []int{e.Opts.MemLimit / 8, e.Opts.MemLimit / 4, e.Opts.MemLimit / 2,
 		e.Opts.MemLimit, e.Opts.MemLimit * 4, e.Opts.MemLimit * 16}
 	t := newTable("mem-budget", "ibd-total", "dbo", "dbo-share", "cache-hit-rate")

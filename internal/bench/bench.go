@@ -68,6 +68,14 @@ type Options struct {
 	// additionally narrows its sweep to {1, Workers}. 0 keeps the
 	// sequential validator (and the default sweep).
 	Workers int
+	// VerifyCache, when > 0, runs every EBV node with a verified-proof
+	// cache of that many entries. 0 keeps caching off; ablation-cache
+	// sweeps its own sizes regardless.
+	VerifyCache int
+	// ArtifactDir is where experiments that emit machine-readable
+	// results (BENCH_cache.json) write them. Default "." (the current
+	// directory).
+	ArtifactDir string
 }
 
 // DefaultOptions returns the medium preset used by EXPERIMENTS.md.
@@ -120,6 +128,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DataDir == "" {
 		o.DataDir = filepath.Join(os.TempDir(), "ebv-bench")
+	}
+	if o.ArtifactDir == "" {
+		o.ArtifactDir = "."
 	}
 	return o
 }
@@ -254,13 +265,15 @@ func (e *Env) TempNodeDir() (string, error) {
 
 // EBVNodeConfig is the node configuration every EBV-side experiment
 // uses: optimized vectors, the options' signature scheme, and — when
-// Options.Workers asks for it — the parallel validation pipeline.
+// Options.Workers / Options.VerifyCache ask for them — the parallel
+// validation pipeline and the verified-proof cache.
 func (e *Env) EBVNodeConfig(dir string) node.Config {
 	return node.Config{
 		Dir:                dir,
 		Optimize:           true,
 		Scheme:             e.Opts.Scheme(),
 		ParallelValidation: e.Opts.Workers,
+		VerifyCacheSize:    e.Opts.VerifyCache,
 	}
 }
 

@@ -2,6 +2,9 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -18,6 +21,7 @@ func tinyOptions(t *testing.T) Options {
 	o.MemLimit = 128 << 10
 	o.ReadLatency = time.Millisecond
 	o.DataDir = t.TempDir()
+	o.ArtifactDir = t.TempDir()
 	return o
 }
 
@@ -216,7 +220,7 @@ func TestAblationsRun(t *testing.T) {
 	}
 	e := newTestEnv(t)
 	var out bytes.Buffer
-	if err := RunByID(e, "ablation-cache,ablation-simcost,ablation-latency,ablation-vector", &out); err != nil {
+	if err := RunByID(e, "ablation-dbcache,ablation-simcost,ablation-latency,ablation-vector", &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, marker := range []string{
@@ -224,6 +228,47 @@ func TestAblationsRun(t *testing.T) {
 	} {
 		if !strings.Contains(out.String(), marker) {
 			t.Fatalf("output missing %q", marker)
+		}
+	}
+}
+
+func TestAblationCacheRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run")
+	}
+	e := newTestEnv(t)
+	var out bytes.Buffer
+	if err := RunByID(e, "ablation-cache", &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "verified-proof cache") || !strings.Contains(s, "warm") {
+		t.Fatalf("missing ablation-cache output:\n%s", s)
+	}
+	raw, err := os.ReadFile(filepath.Join(e.Opts.ArtifactDir, "BENCH_cache.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []struct {
+		Size   int    `json:"cache_size"`
+		Mode   string `json:"mode"`
+		Hits   int    `json:"cache_hits"`
+		Misses int    `json:"cache_misses"`
+	}
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("expected 5 rows (1 uncached + 2 sizes x cold/warm), got %d", len(rows))
+	}
+	for _, r := range rows {
+		switch {
+		case r.Size == 0 && (r.Hits != 0 || r.Misses != 0):
+			t.Fatalf("uncached row must report no cache traffic: %+v", r)
+		case r.Size > 0 && r.Mode == "cold" && r.Hits != 0:
+			t.Fatalf("cold row must not hit (every window proof is new): %+v", r)
+		case r.Size > 0 && r.Mode == "warm" && (r.Hits == 0 || r.Misses != 0):
+			t.Fatalf("warm row must hit on every window input: %+v", r)
 		}
 	}
 }

@@ -25,7 +25,8 @@ func Experiments() []Experiment {
 		{"fig16", "Validation time Bitcoin vs EBV (16a) and EBV components (16b)", (*Env).Fig16},
 		{"fig17", "IBD time Bitcoin vs EBV with repeats (17a) and EBV components (17b)", (*Env).Fig17},
 		{"fig18", "Block propagation delay over the gossip network", (*Env).Fig18},
-		{"ablation-cache", "Baseline IBD vs memory budget", (*Env).AblationCache},
+		{"ablation-cache", "EBV window validation vs verified-proof cache (cold/warm)", (*Env).AblationCache},
+		{"ablation-dbcache", "Baseline IBD vs memory budget", (*Env).AblationDBCache},
 		{"ablation-simcost", "EBV validation vs signature-verify cost", (*Env).AblationSimCost},
 		{"ablation-latency", "Baseline IBD vs disk model", (*Env).AblationLatency},
 		{"ablation-vector", "Sparse-vector optimization detail", (*Env).AblationVector},

@@ -279,9 +279,8 @@ func (b *EBVBlock) Encode(dst []byte) []byte {
 	dst = b.Header.Encode(dst)
 	dst = binary.AppendUvarint(dst, uint64(len(b.Txs)))
 	for _, tx := range b.Txs {
-		txb := tx.Encode(nil)
-		dst = binary.AppendUvarint(dst, uint64(len(txb)))
-		dst = append(dst, txb...)
+		dst = binary.AppendUvarint(dst, uint64(tx.EncodedSize()))
+		dst = tx.Encode(dst)
 	}
 	return dst
 }
@@ -340,7 +339,10 @@ func AssembleEBV(prevHash hashx.Hash, height uint64, timestamp uint64, txs []*tx
 		if i > 0 && tx.Tidy.IsCoinbase() {
 			return nil, fmt.Errorf("%w: transaction %d is an extra coinbase", ErrAssemble, i)
 		}
+		// Assigning the stake position mutates the tidy form, so any
+		// leaf hash memoized before packaging is stale.
 		tx.Tidy.StakePos = pos
+		tx.Tidy.Invalidate()
 		pos += uint32(len(tx.Tidy.Outputs))
 	}
 	if pos > MaxBlockOutputs {

@@ -194,6 +194,7 @@ func TestAssembleEBVAssignsStakePositions(t *testing.T) {
 	// tampered position must change the root.
 	root := b.Header.MerkleRoot
 	b.Txs[1].Tidy.StakePos = 9
+	b.Txs[1].Tidy.Invalidate() // in-place mutation after hashing
 	if merkle.Root(b.TxLeaves()) == root {
 		t.Fatal("root must commit to stake positions")
 	}

@@ -78,6 +78,11 @@ type Breakdown struct {
 	Inputs  int
 	Outputs int
 	Txs     int
+	// CacheHits and CacheMisses count verified-proof cache probes for
+	// the inputs this Breakdown covers (EBV with WithVerificationCache
+	// only; both stay zero when the cache is disabled).
+	CacheHits   int
+	CacheMisses int
 }
 
 // Total returns the total validation time.
@@ -95,6 +100,8 @@ func (b *Breakdown) Add(o *Breakdown) {
 	b.Inputs += o.Inputs
 	b.Outputs += o.Outputs
 	b.Txs += o.Txs
+	b.CacheHits += o.CacheHits
+	b.CacheMisses += o.CacheMisses
 }
 
 // stopwatch measures consecutive phases: each lap charges the elapsed

@@ -36,7 +36,7 @@ type fixture struct {
 	btcEngine *script.Engine
 }
 
-func newFixture(t *testing.T, blocks int) *fixture {
+func newFixture(t testing.TB, blocks int) *fixture {
 	t.Helper()
 	f := &fixture{}
 	f.gen = workload.NewGenerator(workload.TestParams(blocks))
@@ -104,7 +104,7 @@ func newFixture(t *testing.T, blocks int) *fixture {
 
 // reencode deep-copies an EBV block through its serialization so tests
 // can mutate it without corrupting the fixture.
-func reencode(t *testing.T, b *blockmodel.EBVBlock) *blockmodel.EBVBlock {
+func reencode(t testing.TB, b *blockmodel.EBVBlock) *blockmodel.EBVBlock {
 	t.Helper()
 	cp, err := blockmodel.DecodeEBVBlock(b.Encode(nil))
 	if err != nil {
@@ -401,7 +401,7 @@ func TestEBVValidateTx(t *testing.T) {
 // rebuild recomputes a mutated block's stake positions are preserved
 // but the merkle root refreshed so structural checks pass and the
 // deeper check under test is reached.
-func rebuild(t *testing.T, blk *blockmodel.EBVBlock) {
+func rebuild(t testing.TB, blk *blockmodel.EBVBlock) {
 	t.Helper()
 	rebuilt, err := blockmodel.AssembleEBV(blk.Header.PrevBlock, blk.Header.Height, blk.Header.TimeStamp, blk.Txs)
 	if err != nil {

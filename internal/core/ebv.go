@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"ebv/internal/blockmodel"
@@ -9,6 +10,7 @@ import (
 	"ebv/internal/script"
 	"ebv/internal/statusdb"
 	"ebv/internal/txmodel"
+	"ebv/internal/vcache"
 )
 
 // EBVValidator validates EBV blocks with the efficient mechanism:
@@ -22,6 +24,7 @@ type EBVValidator struct {
 	headers        HeaderSource
 	parallel       int
 	pipeline       int
+	vcache         *vcache.Cache
 	blockOutputsFn BlockOutputsFunc
 }
 
@@ -55,6 +58,20 @@ func WithParallelValidation(workers int) EBVOption {
 	return func(v *EBVValidator) { v.pipeline = workers }
 }
 
+// WithVerificationCache installs a verified-proof cache: inputs whose
+// cache key — a digest binding the body bytes (MBr, Us, ELs, height,
+// relative index), the transaction sighash, and the stored header at
+// the proof's height — was recorded by an earlier successful check
+// skip the EV Merkle fold and the SV script execution. UV, duplicate-
+// spend detection, maturity, and value conservation always run live:
+// they depend on mutable chain state a past verdict cannot speak for.
+// Both ConnectBlock paths consult the cache; ValidateInput (and so
+// mempool admission via ValidateTx) consults and populates it, which
+// is what pre-warms block validation on the relay path.
+func WithVerificationCache(c *vcache.Cache) EBVOption {
+	return func(v *EBVValidator) { v.vcache = c }
+}
+
 // NewEBVValidator wires the EBV validator to its status database,
 // script engine, and header chain.
 func NewEBVValidator(status *statusdb.DB, engine *script.Engine, headers HeaderSource, opts ...EBVOption) *EBVValidator {
@@ -68,11 +85,74 @@ func NewEBVValidator(status *statusdb.DB, engine *script.Engine, headers HeaderS
 // Status exposes the underlying bit-vector set (memory reporting).
 func (v *EBVValidator) Status() *statusdb.DB { return v.status }
 
+// Cache exposes the verified-proof cache, nil when disabled.
+func (v *EBVValidator) Cache() *vcache.Cache { return v.vcache }
+
+// cacheKey derives the verified-proof cache key for one input: a
+// digest over the body hash (which covers the MBr branch, unlock
+// script, ELs bytes, height and relative index), the transaction
+// sighash, and the stored header's Merkle root plus the height itself.
+// Binding the stored root means a reorg that replaces the header at
+// the proof's height silently invalidates every entry minted against
+// the old header. ok is false when the cache is disabled or no header
+// is stored at the body's height — the miss path then reports the
+// missing header exactly as the uncached validator would.
+func (v *EBVValidator) cacheKey(body *txmodel.InputBody, sigHash hashx.Hash) (vcache.Key, bool) {
+	if v.vcache == nil {
+		return vcache.Key{}, false
+	}
+	hdr, ok := v.headers.Header(body.Height)
+	if !ok {
+		return vcache.Key{}, false
+	}
+	bodyHash := body.Hash()
+	var buf [3*hashx.Size + 8]byte
+	copy(buf[0:hashx.Size], bodyHash[:])
+	copy(buf[hashx.Size:2*hashx.Size], sigHash[:])
+	copy(buf[2*hashx.Size:3*hashx.Size], hdr.MerkleRoot[:])
+	binary.LittleEndian.PutUint64(buf[3*hashx.Size:], body.Height)
+	return vcache.Key(hashx.Sum(buf[:])), true
+}
+
+// cacheProbe consults the verified-proof cache for one input. A true
+// hit additionally requires the body's relative index to be in range
+// (an out-of-range index can never have been inserted, but the full
+// path owns that error message). The probe time is charged to EV —
+// the phase a hit replaces.
+func (v *EBVValidator) cacheProbe(key vcache.Key, body *txmodel.InputBody, bd *Breakdown) (*txmodel.TxOut, bool) {
+	w := newStopwatch()
+	hit := v.vcache.Contains(key)
+	var out *txmodel.TxOut
+	if hit {
+		out, hit = body.SpentOutput()
+	}
+	w.lap(&bd.EV)
+	if hit {
+		bd.CacheHits++
+	} else {
+		bd.CacheMisses++
+	}
+	return out, hit
+}
+
 // ValidateInput checks one input body against the chain state: EV via
 // the Merkle branch, UV via the bit vector, SV via the script engine.
 // It is the unit the paper's transaction validation (§IV-D1) builds
 // on; ConnectBlock calls it for every input with shared bookkeeping.
+// With a verification cache installed, a hit skips the EV fold and the
+// script execution (UV stays live), and a fully successful uncached
+// check inserts its key — this is the mempool-admission path that
+// pre-warms block validation.
 func (v *EBVValidator) ValidateInput(body *txmodel.InputBody, sigHash hashx.Hash, bd *Breakdown) error {
+	key, keyOK := v.cacheKey(body, sigHash)
+	if keyOK {
+		if _, hit := v.cacheProbe(key, body, bd); hit {
+			w := newStopwatch()
+			err := v.uvInput(body)
+			w.lap(&bd.UV)
+			return err
+		}
+	}
 	out, err := v.validateInputEVUV(body, bd)
 	if err != nil {
 		return err
@@ -84,6 +164,9 @@ func (v *EBVValidator) ValidateInput(body *txmodel.InputBody, sigHash hashx.Hash
 		return fmt.Errorf("%w: %v", ErrScriptFailed, err)
 	}
 	w.lap(&bd.SV)
+	if keyOK {
+		v.vcache.Add(key)
+	}
 	return nil
 }
 
@@ -214,22 +297,46 @@ func (v *EBVValidator) ConnectBlock(b *blockmodel.EBVBlock) (*Breakdown, error) 
 			seen[sp] = struct{}{}
 			w.lap(&bd.UV)
 
-			out, err := v.validateInputEVUV(body, bd)
-			if err != nil {
-				return bd, fmt.Errorf("tx %d input %d: %w", ti, bi, err)
+			// Verified-proof cache: a hit skips the EV fold and the
+			// script execution below; the UV probe and everything after
+			// it still run — they read mutable chain state.
+			key, keyOK := v.cacheKey(body, sigHash)
+			var out *txmodel.TxOut
+			hit := false
+			if keyOK {
+				out, hit = v.cacheProbe(key, body, bd)
 			}
-			if v.parallel > 1 {
-				deferred = append(deferred, svTask{
-					unlock: body.UnlockScript, lock: out.LockScript,
-					sigHash: sigHash, tx: ti, input: bi,
-				})
-			} else {
-				sw := newStopwatch()
-				if err := v.engine.Execute(body.UnlockScript, out.LockScript, sigHash); err != nil {
-					sw.lap(&bd.SV)
-					return bd, fmt.Errorf("tx %d input %d: %w: %v", ti, bi, ErrScriptFailed, err)
+			if hit {
+				uw := newStopwatch()
+				err := v.uvInput(body)
+				uw.lap(&bd.UV)
+				if err != nil {
+					return bd, fmt.Errorf("tx %d input %d: %w", ti, bi, err)
 				}
-				sw.lap(&bd.SV)
+			} else {
+				var err error
+				out, err = v.validateInputEVUV(body, bd)
+				if err != nil {
+					return bd, fmt.Errorf("tx %d input %d: %w", ti, bi, err)
+				}
+				if v.parallel > 1 {
+					// Deferred SV: the verdict is unknown here, so the
+					// key is not inserted for this input.
+					deferred = append(deferred, svTask{
+						unlock: body.UnlockScript, lock: out.LockScript,
+						sigHash: sigHash, tx: ti, input: bi,
+					})
+				} else {
+					sw := newStopwatch()
+					if err := v.engine.Execute(body.UnlockScript, out.LockScript, sigHash); err != nil {
+						sw.lap(&bd.SV)
+						return bd, fmt.Errorf("tx %d input %d: %w: %v", ti, bi, ErrScriptFailed, err)
+					}
+					sw.lap(&bd.SV)
+					if keyOK {
+						v.vcache.Add(key)
+					}
+				}
 			}
 			// The EV/UV/SV work above was timed by its own stopwatches;
 			// restart the outer clock so Other does not count it again.

@@ -100,6 +100,10 @@ type txVerdict struct {
 	consErr  error
 	inputs   []inputVerdict
 	other    time.Duration // consistency + sighash time
+	// cacheHits and cacheMisses count this transaction's verified-proof
+	// cache probes; the reduce folds them into the Breakdown.
+	cacheHits   int
+	cacheMisses int
 }
 
 // ok reports whether the verdict carries any failure. A false return
@@ -140,6 +144,26 @@ func (v *EBVValidator) verifyTx(tx *txmodel.EBVTx) *txVerdict {
 	for bi := range tx.Bodies {
 		iv := &tv.inputs[bi]
 		body := &tx.Bodies[bi]
+		// Verified-proof cache: a hit stands in for a clean EV fold and
+		// script execution; the reduce still runs UV and every other
+		// live-state check. The cache is concurrency-safe, so workers
+		// probe and insert without coordination.
+		key, keyOK := v.cacheKey(body, sigHash)
+		if keyOK {
+			sw := newStopwatch()
+			hit := v.vcache.Contains(key)
+			var out *txmodel.TxOut
+			if hit {
+				out, hit = body.SpentOutput()
+			}
+			sw.lap(&iv.ev)
+			if hit {
+				tv.cacheHits++
+				iv.out = out
+				continue
+			}
+			tv.cacheMisses++
+		}
 		sw := newStopwatch()
 		out, err := v.evInput(body)
 		sw.lap(&iv.ev)
@@ -151,6 +175,9 @@ func (v *EBVValidator) verifyTx(tx *txmodel.EBVTx) *txVerdict {
 		sw = newStopwatch()
 		iv.svErr = v.engine.Execute(body.UnlockScript, out.LockScript, sigHash)
 		sw.lap(&iv.sv)
+		if iv.svErr == nil && keyOK {
+			v.vcache.Add(key)
+		}
 	}
 	return tv
 }
@@ -308,6 +335,8 @@ func (v *EBVValidator) chargePool(bd *Breakdown, verdicts []*txVerdict, wall tim
 			continue
 		}
 		sOther += tv.other
+		bd.CacheHits += tv.cacheHits
+		bd.CacheMisses += tv.cacheMisses
 		for i := range tv.inputs {
 			sEV += tv.inputs[i].ev
 			sSV += tv.inputs[i].sv

@@ -1,0 +1,364 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"ebv/internal/blockmodel"
+	"ebv/internal/chainstore"
+	"ebv/internal/script"
+	"ebv/internal/statusdb"
+	"ebv/internal/txmodel"
+	"ebv/internal/vcache"
+)
+
+// syncedEBV builds a fresh EBV validator with the given options and
+// replays the fixture's chain into it, all but the last block.
+func syncedEBV(t testing.TB, f *fixture, opts ...EBVOption) (*EBVValidator, *statusdb.DB) {
+	t.Helper()
+	chain2, err := chainstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { chain2.Close() })
+	status2 := statusdb.New(true)
+	v := NewEBVValidator(status2, script.NewEngine(f.gen.Scheme()), chain2, opts...)
+	for i := 0; i < len(f.ebv)-1; i++ {
+		if _, err := v.ConnectBlock(f.ebv[i]); err != nil {
+			t.Fatalf("synced connect %d: %v", i, err)
+		}
+		if err := chain2.Append(f.ebv[i].Header, f.ebv[i].Encode(nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return v, status2
+}
+
+// warmFromMempool admits every non-coinbase transaction of blk through
+// ValidateTx — the mempool path, which populates the validator's
+// verified-proof cache. A separate decode of the block is used so the
+// caller's block object shares nothing (in particular no memoized
+// hashes) with the warming pass; the cache keys are content-derived,
+// so the entries still match.
+func warmFromMempool(t testing.TB, v *EBVValidator, blk *blockmodel.EBVBlock) {
+	t.Helper()
+	pre := reencode(t, blk)
+	for i, tx := range pre.Txs {
+		if i == 0 {
+			continue
+		}
+		if err := v.ValidateTx(tx); err != nil {
+			t.Fatalf("warming tx %d: %v", i, err)
+		}
+	}
+}
+
+// spendingTx returns the first transaction of blk that carries a
+// proof-backed input with a mutable unlock script, or nil.
+func spendingTx(blk *blockmodel.EBVBlock) *txmodel.EBVTx {
+	for _, tx := range blk.Txs[1:] {
+		if len(tx.Bodies) > 0 && len(tx.Bodies[0].UnlockScript) > 10 {
+			return tx
+		}
+	}
+	return nil
+}
+
+// TestValidateInputCacheStats pins the cache contract at the
+// ValidateInput level: a first (successful) validation misses and
+// inserts, a repeat hits, a byte-level proof difference or a height
+// difference misses and is rejected with exactly the uncached
+// validator's error, and failed validations never insert.
+func TestValidateInputCacheStats(t *testing.T) {
+	f := newFixture(t, 150)
+	cachedV, _ := syncedEBV(t, f, WithVerificationCache(vcache.New(0)))
+	plainV, _ := syncedEBV(t, f)
+
+	blk := reencode(t, f.lastEBV)
+	tx := spendingTx(blk)
+	if tx == nil {
+		t.Skip("no usable spends in last block")
+	}
+	sigHash := tx.SigHash()
+	body := &tx.Bodies[0]
+
+	base := cachedV.Cache().Len()
+	var bd Breakdown
+	if err := cachedV.ValidateInput(body, sigHash, &bd); err != nil {
+		t.Fatalf("first validation: %v", err)
+	}
+	if bd.CacheHits != 0 || bd.CacheMisses != 1 {
+		t.Fatalf("first validation must miss: %+v", bd)
+	}
+	if cachedV.Cache().Len() != base+1 {
+		t.Fatalf("successful validation must insert: len %d, want %d", cachedV.Cache().Len(), base+1)
+	}
+	if err := cachedV.ValidateInput(body, sigHash, &bd); err != nil {
+		t.Fatalf("repeat validation: %v", err)
+	}
+	if bd.CacheHits != 1 || bd.CacheMisses != 1 {
+		t.Fatalf("repeat validation must hit: %+v", bd)
+	}
+
+	// Byte-level proof difference: a flipped unlock-script byte derives
+	// a different key, misses, and fails SV with the uncached error.
+	bad := *body
+	bad.UnlockScript = append([]byte(nil), body.UnlockScript...)
+	bad.UnlockScript[5] ^= 1
+	bad.Invalidate() // in-place mutation after hashing
+	var bdBad Breakdown
+	errCached := cachedV.ValidateInput(&bad, sigHash, &bdBad)
+	errPlain := plainV.ValidateInput(&bad, sigHash, &Breakdown{})
+	if errCached == nil || errPlain == nil {
+		t.Fatalf("tampered unlock script must fail: cached=%v plain=%v", errCached, errPlain)
+	}
+	if errCached.Error() != errPlain.Error() {
+		t.Fatalf("error divergence:\n  cached: %v\n  plain:  %v", errCached, errPlain)
+	}
+	if bdBad.CacheHits != 0 || bdBad.CacheMisses != 1 {
+		t.Fatalf("tampered input must miss: %+v", bdBad)
+	}
+	if cachedV.Cache().Len() != base+1 {
+		t.Fatal("failed validation must not insert")
+	}
+
+	// Height difference: different key (or no stored header), miss, and
+	// the identical EV failure.
+	bad2 := *body
+	bad2.Height++
+	bad2.Invalidate()
+	errCached2 := cachedV.ValidateInput(&bad2, sigHash, &Breakdown{})
+	errPlain2 := plainV.ValidateInput(&bad2, sigHash, &Breakdown{})
+	if errCached2 == nil || errPlain2 == nil {
+		t.Fatalf("wrong height must fail: cached=%v plain=%v", errCached2, errPlain2)
+	}
+	if errCached2.Error() != errPlain2.Error() {
+		t.Fatalf("error divergence:\n  cached: %v\n  plain:  %v", errCached2, errPlain2)
+	}
+}
+
+// TestCachePoisoningRejectedIdentically is the cache-poisoning
+// adversarial suite: after the cache has been warmed with the honest
+// last block's transactions through the mempool path, every
+// adversarial mutation (signature, ELs/stake position, Merkle branch,
+// height, double/spent spends, crafted immature spend …) must miss the
+// cache and be rejected with error text identical to the uncached
+// validator's, on both the sequential path and the parallel pipeline.
+// The honest block must then connect with a full-hit cache.
+func TestCachePoisoningRejectedIdentically(t *testing.T) {
+	f := newFixture(t, 150)
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			ref, refStatus := syncedEBV(t, f, WithParallelValidation(workers))
+			cached, cachedStatus := syncedEBV(t, f,
+				WithParallelValidation(workers), WithVerificationCache(vcache.New(0)))
+			warmFromMempool(t, cached, f.lastEBV)
+
+			for _, c := range adversarialCases() {
+				blk := c.make(t, f)
+				if blk == nil {
+					t.Logf("case %s: no usable spends, skipped", c.name)
+					continue
+				}
+				_, errRef := ref.ConnectBlock(blk)
+				_, errCached := cached.ConnectBlock(blk)
+				if errRef == nil || errCached == nil {
+					t.Fatalf("case %s: uncached err=%v, cached err=%v (both must reject)", c.name, errRef, errCached)
+				}
+				if errRef.Error() != errCached.Error() {
+					t.Fatalf("case %s: error divergence:\n  uncached: %v\n  cached:   %v", c.name, errRef, errCached)
+				}
+			}
+
+			// The honest block connects on both, the cached validator
+			// entirely from warm entries, to identical state.
+			bdRef, err := ref.ConnectBlock(f.lastEBV)
+			if err != nil {
+				t.Fatalf("uncached honest block: %v", err)
+			}
+			bdCached, err := cached.ConnectBlock(f.lastEBV)
+			if err != nil {
+				t.Fatalf("cached honest block: %v", err)
+			}
+			if bdCached.CacheHits != bdCached.Inputs || bdCached.CacheMisses != 0 {
+				t.Fatalf("warmed block must hit on every input: hits=%d misses=%d inputs=%d",
+					bdCached.CacheHits, bdCached.CacheMisses, bdCached.Inputs)
+			}
+			if bdRef.CacheHits != 0 || bdRef.CacheMisses != 0 {
+				t.Fatalf("uncached validator must report no cache traffic: %+v", bdRef)
+			}
+			if bdRef.Inputs != bdCached.Inputs || bdRef.Outputs != bdCached.Outputs {
+				t.Fatalf("breakdown shape mismatch: %+v vs %+v", bdRef, bdCached)
+			}
+			if refStatus.UnspentCount() != cachedStatus.UnspentCount() {
+				t.Fatalf("state divergence: %d vs %d unspent", refStatus.UnspentCount(), cachedStatus.UnspentCount())
+			}
+		})
+	}
+}
+
+// TestCacheMemoEquivalenceMatrix extends the PR-1 equivalence suite
+// across the 2x2 matrix of hash memoization {on, off} x cache state
+// {cold, mempool-warmed}: the cached sequential validator and the
+// cached parallel pipeline must accept/reject exactly the blocks the
+// uncached sequential validator does, with identical error text, in
+// every cell.
+func TestCacheMemoEquivalenceMatrix(t *testing.T) {
+	f := newFixture(t, 150)
+	defer txmodel.SetHashMemoization(true)
+	for _, memoOn := range []bool{true, false} {
+		for _, warm := range []bool{false, true} {
+			t.Run(fmt.Sprintf("memo=%v/warm=%v", memoOn, warm), func(t *testing.T) {
+				txmodel.SetHashMemoization(memoOn)
+				ref, refStatus := syncedEBV(t, f)
+				seqC, seqStatus := syncedEBV(t, f, WithVerificationCache(vcache.New(0)))
+				parC, parStatus := syncedEBV(t, f,
+					WithParallelValidation(4), WithVerificationCache(vcache.New(0)))
+				if warm {
+					warmFromMempool(t, seqC, f.lastEBV)
+					warmFromMempool(t, parC, f.lastEBV)
+				}
+
+				for _, c := range adversarialCases() {
+					blk := c.make(t, f)
+					if blk == nil {
+						continue
+					}
+					_, errRef := ref.ConnectBlock(blk)
+					_, errSeq := seqC.ConnectBlock(blk)
+					_, errPar := parC.ConnectBlock(blk)
+					if errRef == nil || errSeq == nil || errPar == nil {
+						t.Fatalf("case %s: ref=%v seq=%v par=%v (all must reject)", c.name, errRef, errSeq, errPar)
+					}
+					if errSeq.Error() != errRef.Error() || errPar.Error() != errRef.Error() {
+						t.Fatalf("case %s: error divergence:\n  ref: %v\n  seq: %v\n  par: %v",
+							c.name, errRef, errSeq, errPar)
+					}
+				}
+
+				bdRef, err := ref.ConnectBlock(f.lastEBV)
+				if err != nil {
+					t.Fatalf("ref honest block: %v", err)
+				}
+				bdSeq, err := seqC.ConnectBlock(f.lastEBV)
+				if err != nil {
+					t.Fatalf("cached sequential honest block: %v", err)
+				}
+				bdPar, err := parC.ConnectBlock(f.lastEBV)
+				if err != nil {
+					t.Fatalf("cached parallel honest block: %v", err)
+				}
+				for name, bd := range map[string]*Breakdown{"seq": bdSeq, "par": bdPar} {
+					// Every input is probed exactly once; warmed runs hit on
+					// all of them.
+					if bd.CacheHits+bd.CacheMisses != bd.Inputs {
+						t.Fatalf("%s: probes %d+%d != inputs %d", name, bd.CacheHits, bd.CacheMisses, bd.Inputs)
+					}
+					if warm && (bd.CacheHits != bd.Inputs || bd.CacheMisses != 0) {
+						t.Fatalf("%s: warmed block must hit on every input: %+v", name, bd)
+					}
+				}
+				if bdRef.Inputs != bdSeq.Inputs || bdRef.Inputs != bdPar.Inputs {
+					t.Fatalf("input counts differ: %d/%d/%d", bdRef.Inputs, bdSeq.Inputs, bdPar.Inputs)
+				}
+				if refStatus.UnspentCount() != seqStatus.UnspentCount() ||
+					refStatus.UnspentCount() != parStatus.UnspentCount() {
+					t.Fatalf("state divergence: %d/%d/%d unspent",
+						refStatus.UnspentCount(), seqStatus.UnspentCount(), parStatus.UnspentCount())
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEBVValidateInput measures one input's full validation
+// (EV+UV+SV) in the configurations the tentpole targets: uncached with
+// memoization, warm verified-proof cache (the relay steady state,
+// expected ~0 allocs/op), and memoization disabled.
+func BenchmarkEBVValidateInput(b *testing.B) {
+	f := newFixture(b, 120)
+	blk := reencode(b, f.lastEBV)
+	tx := spendingTx(blk)
+	if tx == nil {
+		b.Skip("no usable spends in last block")
+	}
+	sigHash := tx.SigHash()
+	body := &tx.Bodies[0]
+
+	run := func(b *testing.B, v *EBVValidator) {
+		var bd Breakdown
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := v.ValidateInput(body, sigHash, &bd); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("uncached", func(b *testing.B) {
+		v, _ := syncedEBV(b, f)
+		run(b, v)
+	})
+	b.Run("warm-cache", func(b *testing.B) {
+		v, _ := syncedEBV(b, f, WithVerificationCache(vcache.New(0)))
+		var bd Breakdown
+		if err := v.ValidateInput(body, sigHash, &bd); err != nil {
+			b.Fatal(err)
+		}
+		run(b, v)
+	})
+	b.Run("memo-off", func(b *testing.B) {
+		defer txmodel.SetHashMemoization(true)
+		txmodel.SetHashMemoization(false)
+		v, _ := syncedEBV(b, f)
+		run(b, v)
+	})
+}
+
+// BenchmarkEBVDecodeValidateBlock measures the full decode→validate
+// path for one block (wire bytes through ValidateTx for every
+// transaction), cold vs warm cache vs memoization off, reporting
+// allocations and per-input time.
+func BenchmarkEBVDecodeValidateBlock(b *testing.B) {
+	f := newFixture(b, 120)
+	raw := f.lastEBV.Encode(nil)
+	inputs := f.lastEBV.TotalInputs()
+	if inputs == 0 {
+		b.Skip("no spends in last block")
+	}
+
+	run := func(b *testing.B, v *EBVValidator) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			blk, err := blockmodel.DecodeEBVBlock(raw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j, tx := range blk.Txs {
+				if j == 0 {
+					continue
+				}
+				if err := v.ValidateTx(tx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*inputs), "ns/input")
+	}
+	b.Run("cold", func(b *testing.B) {
+		v, _ := syncedEBV(b, f)
+		run(b, v)
+	})
+	b.Run("warm-cache", func(b *testing.B) {
+		v, _ := syncedEBV(b, f, WithVerificationCache(vcache.New(0)))
+		warmFromMempool(b, v, f.lastEBV)
+		run(b, v)
+	})
+	b.Run("memo-off", func(b *testing.B) {
+		defer txmodel.SetHashMemoization(true)
+		txmodel.SetHashMemoization(false)
+		v, _ := syncedEBV(b, f)
+		run(b, v)
+	})
+}

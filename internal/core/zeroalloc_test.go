@@ -1,0 +1,50 @@
+//go:build !race
+
+package core
+
+import (
+	"testing"
+
+	"ebv/internal/vcache"
+)
+
+// TestWarmCacheValidateInputZeroAllocs pins the allocation contract of
+// the validation hot path: once an input's proof is in the
+// verified-proof cache, re-validating it (probe + live UV) allocates
+// nothing — the cache key is derived from memoized hashes into stack
+// buffers, the LRU probe is allocation-free, and the bit-vector read
+// holds no garbage. Excluded from -race builds, whose instrumentation
+// skews allocation accounting.
+func TestWarmCacheValidateInputZeroAllocs(t *testing.T) {
+	f := newFixture(t, 120)
+	v, _ := syncedEBV(t, f, WithVerificationCache(vcache.New(0)))
+	blk := reencode(t, f.lastEBV)
+	tx := spendingTx(blk)
+	if tx == nil {
+		t.Skip("no usable spends in last block")
+	}
+	sigHash := tx.SigHash()
+	body := &tx.Bodies[0]
+	var bd Breakdown
+	if err := v.ValidateInput(body, sigHash, &bd); err != nil {
+		t.Fatal(err)
+	}
+
+	if avg := testing.AllocsPerRun(200, func() {
+		if err := v.ValidateInput(body, sigHash, &bd); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("warm-cache ValidateInput allocates %.1f objects/input, want 0", avg)
+	}
+
+	// The uncached EV step is allocation-free too: the tidy leaf hash is
+	// memoized and the Merkle fold runs in a stack scratch buffer.
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := v.evInput(body); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("evInput allocates %.1f objects/input, want 0", avg)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"sync"
 )
 
 // Size is the byte length of a Hash.
@@ -107,5 +108,37 @@ func Concat(parts ...[]byte) Hash {
 	}
 	var h Hash
 	d.Sum(h[:0])
+	return h
+}
+
+// encodePool recycles the scratch buffers DoubleSumEncoded hashes
+// into. Buffers only ever grow, so the steady state is one buffer per
+// P sized for the largest encoding seen.
+var encodePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// DoubleSumEncoded computes DoubleSum over the bytes produced by
+// encode, which must append its output to the slice it receives and
+// return the result (the Encode convention used throughout this
+// module). The scratch buffer comes from a pool pre-grown to sizeHint,
+// so steady-state callers perform zero heap allocations per digest —
+// the hot-path replacement for DoubleSum(x.Encode(nil)).
+func DoubleSumEncoded(sizeHint int, encode func([]byte) []byte) Hash {
+	bp := encodePool.Get().(*[]byte)
+	buf := *bp
+	if cap(buf) < sizeHint {
+		buf = make([]byte, 0, sizeHint)
+	}
+	out := encode(buf[:0])
+	h := DoubleSum(out)
+	if cap(out) > cap(buf) {
+		buf = out
+	}
+	*bp = buf[:0]
+	encodePool.Put(bp)
 	return h
 }

@@ -93,8 +93,10 @@ func (p *Pool) Add(tx *txmodel.EBVTx) (hashx.Hash, error) {
 		return hashx.ZeroHash, err
 	}
 	// Pool identity is the pre-packaging form: the miner owns the
-	// stake position, so it is zeroed here.
+	// stake position, so it is zeroed here (a mutation, so any
+	// memoized leaf hash is dropped before the id is computed).
 	tx.Tidy.StakePos = 0
+	tx.Tidy.Invalidate()
 	inSum, _ := tx.InputSum()
 	outSum, _ := tx.OutputSum()
 	fee := inSum - outSum
@@ -193,17 +195,21 @@ func (p *Pool) BuildTemplate(maxOutputs int) (txs []*txmodel.EBVTx, totalFees ui
 
 // BlockConnected removes transactions included in (or conflicting
 // with) a newly connected block and returns how many were dropped.
+//
+// Eviction works purely on the spend claims cached at admission: a
+// pooled transaction that was included in the block necessarily has
+// every one of its spends claimed by the block (the pool id is the
+// leaf hash, which commits to the input bodies and hence the spends),
+// and admission rejects standalone coinbases, so every entry has at
+// least one spend. Inclusion is therefore a special case of conflict,
+// and no tidy re-serialization or leaf hashing per block transaction
+// is needed here.
 func (p *Pool) BlockConnected(b *blockmodel.EBVBlock) int {
 	claimed := make(map[statusdb.Spend]struct{})
-	included := make(map[hashx.Hash]struct{})
 	for i, tx := range b.Txs {
 		if i == 0 {
 			continue
 		}
-		// Identity in the pool uses StakePos 0 (pre-packaging form).
-		tidy := tx.Tidy
-		tidy.StakePos = 0
-		included[tidy.LeafHash()] = struct{}{}
 		for j := range tx.Bodies {
 			claimed[statusdb.Spend{Height: tx.Bodies[j].Height, Pos: tx.Bodies[j].AbsPosition()}] = struct{}{}
 		}
@@ -212,11 +218,6 @@ func (p *Pool) BlockConnected(b *blockmodel.EBVBlock) int {
 	defer p.mu.Unlock()
 	dropped := 0
 	for _, e := range p.entries {
-		if _, ok := included[e.id]; ok {
-			p.removeLocked(e)
-			dropped++
-			continue
-		}
 		for _, sp := range e.spends {
 			if _, ok := claimed[sp]; ok {
 				p.removeLocked(e)

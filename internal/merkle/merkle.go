@@ -102,16 +102,23 @@ func (t *Tree) Branch(i int) Branch {
 
 // Root folds the leaf digest up through the branch and returns the
 // implied root. Comparing the result against a header's Merkle root is
-// EV.
+// EV. The fold runs on a single stack-allocated scratch buffer reused
+// across all levels — EV is the per-input hot loop of block
+// validation, and a per-level concat buffer would be the dominant
+// allocation there.
 func (b Branch) Root(leaf hashx.Hash) hashx.Hash {
 	h := leaf
 	idx := b.Index
+	var scratch [2 * hashx.Size]byte
 	for _, sib := range b.Siblings {
 		if idx&1 == 0 {
-			h = hashx.SumPair(h, sib)
+			copy(scratch[:hashx.Size], h[:])
+			copy(scratch[hashx.Size:], sib[:])
 		} else {
-			h = hashx.SumPair(sib, h)
+			copy(scratch[:hashx.Size], sib[:])
+			copy(scratch[hashx.Size:], h[:])
 		}
+		h = hashx.Sum(scratch[:])
 		idx /= 2
 	}
 	return h

@@ -21,6 +21,7 @@ import (
 	"ebv/internal/sig"
 	"ebv/internal/statusdb"
 	"ebv/internal/utxoset"
+	"ebv/internal/vcache"
 )
 
 // Config configures a node.
@@ -51,6 +52,13 @@ type Config struct {
 	// that many goroutines per block (core.WithParallelValidation).
 	// It supersedes ParallelSV and takes precedence when both are set.
 	ParallelValidation int
+	// VerifyCacheSize, when > 0, installs a verified-proof cache of
+	// that many entries on the EBV validator
+	// (core.WithVerificationCache): inputs already verified — e.g. at
+	// mempool admission on the relay path — skip the EV Merkle fold
+	// and SV script execution at block validation. 0 disables the
+	// cache (the seed behavior).
+	VerifyCacheSize int
 }
 
 func (c Config) scheme() sig.Scheme {
@@ -216,6 +224,9 @@ func NewEBVNode(cfg Config) (*EBVNode, error) {
 		opts = append(opts, core.WithParallelValidation(cfg.ParallelValidation))
 	case cfg.ParallelSV > 1:
 		opts = append(opts, core.WithParallelSV(cfg.ParallelSV))
+	}
+	if cfg.VerifyCacheSize > 0 {
+		opts = append(opts, core.WithVerificationCache(vcache.New(cfg.VerifyCacheSize)))
 	}
 	n.Validator = core.NewEBVValidator(status, script.NewEngine(cfg.scheme()), chain, opts...)
 	// Disconnects recreate fully spent vectors; resolve output counts

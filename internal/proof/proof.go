@@ -108,6 +108,11 @@ func (b *Builder) Prove(loc Loc, outIdx uint32) (txmodel.InputBody, error) {
 		return txmodel.InputBody{}, fmt.Errorf("%w: block %d has %d txs, want index %d",
 			ErrUnknownTx, loc.Height, len(cb.block.Txs), loc.TxIndex)
 	}
+	// The tidy value copy carries its memoized leaf hash (filled when
+	// blockAt built the Merkle tree over TxLeaves), so validators
+	// folding this proof's branch re-hash nothing. The proof never
+	// mutates prev, which keeps the memo valid; callers that do mutate
+	// (none today) would own the matching Invalidate.
 	prev := cb.block.Txs[loc.TxIndex].Tidy
 	if int(outIdx) >= len(prev.Outputs) {
 		return txmodel.InputBody{}, fmt.Errorf("%w: tx %d:%d has %d outputs, want %d",

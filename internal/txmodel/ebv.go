@@ -24,6 +24,8 @@ type TidyTx struct {
 	Outputs     []TxOut
 	LockTime    uint32
 	StakePos    uint32
+
+	leafMemo memoHash // memoized LeafHash; see memo.go
 }
 
 // IsCoinbase reports whether the transaction is a coinbase (no
@@ -60,8 +62,21 @@ func (t *TidyTx) EncodedSize() int {
 
 // LeafHash returns the transaction's digest as it appears as a Merkle
 // leaf: double SHA-256 over the tidy serialization. It doubles as the
-// EBV transaction id.
-func (t *TidyTx) LeafHash() hashx.Hash { return hashx.DoubleSum(t.Encode(nil)) }
+// EBV transaction id. The digest is memoized on first use; callers
+// that mutate the struct afterwards must Invalidate.
+func (t *TidyTx) LeafHash() hashx.Hash {
+	if h, ok := t.leafMemo.get(); ok {
+		return h
+	}
+	h := hashx.DoubleSumEncoded(t.EncodedSize(), t.Encode)
+	t.leafMemo.put(h)
+	return h
+}
+
+// Invalidate drops the memoized leaf hash. Builders and tests that
+// mutate a tidy transaction in place after hashing it must call this
+// before the next LeafHash; the wire-decode path never needs it.
+func (t *TidyTx) Invalidate() { t.leafMemo.clear() }
 
 // decodeTidyFrom parses a tidy transaction in-stream.
 func decodeTidyFrom(r *reader) TidyTx {
@@ -111,6 +126,8 @@ type InputBody struct {
 	PrevTx       TidyTx
 	Height       uint64
 	RelIndex     uint32
+
+	hashMemo memoHash // memoized Hash; see memo.go
 }
 
 // AbsPosition returns the spent output's absolute position within its
@@ -135,8 +152,10 @@ func (b *InputBody) SpentOutput() (*TxOut, bool) {
 func (b *InputBody) Encode(dst []byte) []byte {
 	dst = b.Branch.Encode(dst)
 	dst = appendVarBytes(dst, b.UnlockScript)
-	prev := b.PrevTx.Encode(nil)
-	dst = appendVarBytes(dst, prev)
+	// Nested tidy encoding in place: the length prefix comes from
+	// EncodedSize, so no intermediate buffer is materialized.
+	dst = binary.AppendUvarint(dst, uint64(b.PrevTx.EncodedSize()))
+	dst = b.PrevTx.Encode(dst)
 	dst = binary.AppendUvarint(dst, b.Height)
 	return binary.AppendUvarint(dst, uint64(b.RelIndex))
 }
@@ -151,7 +170,29 @@ func (b *InputBody) EncodedSize() int {
 }
 
 // Hash returns the input hash: double SHA-256 over the body encoding.
-func (b *InputBody) Hash() hashx.Hash { return hashx.DoubleSum(b.Encode(nil)) }
+// The digest is memoized on first use; callers that mutate the body
+// (or its nested PrevTx) afterwards must Invalidate.
+func (b *InputBody) Hash() hashx.Hash {
+	if h, ok := b.hashMemo.get(); ok {
+		return h
+	}
+	h := b.hashUncached()
+	b.hashMemo.put(h)
+	return h
+}
+
+// hashUncached computes the body hash without touching the memo.
+func (b *InputBody) hashUncached() hashx.Hash {
+	return hashx.DoubleSumEncoded(b.EncodedSize(), b.Encode)
+}
+
+// Invalidate drops the memoized body hash and the nested tidy
+// transaction's leaf memo. Builders and tests that mutate a body in
+// place after hashing it must call this.
+func (b *InputBody) Invalidate() {
+	b.hashMemo.clear()
+	b.PrevTx.Invalidate()
+}
 
 // maxBodyBytes bounds a nested tidy encoding inside a body.
 const maxBodyBytes = 1 << 20
@@ -190,6 +231,8 @@ func decodeBodyFrom(r *reader) InputBody {
 type EBVTx struct {
 	Tidy   TidyTx
 	Bodies []InputBody
+
+	sigMemo memoHash // memoized SigHash; see memo.go
 }
 
 // Consistent verifies that each body hashes to the corresponding
@@ -207,14 +250,16 @@ func (t *EBVTx) Consistent() error {
 	return nil
 }
 
-// Encode appends the full transaction (tidy + bodies) to dst.
+// Encode appends the full transaction (tidy + bodies) to dst. Nested
+// structures are encoded in place behind EncodedSize length prefixes —
+// no per-part intermediate buffers.
 func (t *EBVTx) Encode(dst []byte) []byte {
-	tidy := t.Tidy.Encode(nil)
-	dst = appendVarBytes(dst, tidy)
+	dst = binary.AppendUvarint(dst, uint64(t.Tidy.EncodedSize()))
+	dst = t.Tidy.Encode(dst)
 	dst = binary.AppendUvarint(dst, uint64(len(t.Bodies)))
 	for i := range t.Bodies {
-		body := t.Bodies[i].Encode(nil)
-		dst = appendVarBytes(dst, body)
+		dst = binary.AppendUvarint(dst, uint64(t.Bodies[i].EncodedSize()))
+		dst = t.Bodies[i].Encode(dst)
 	}
 	return dst
 }
@@ -284,7 +329,16 @@ func decodeEBVTxFrom(r *reader) *EBVTx {
 // assigns it after signing); the stake position of the *previous*
 // transaction is covered via its leaf hash.
 func (t *EBVTx) SigHash() hashx.Hash {
-	var dst []byte
+	if h, ok := t.sigMemo.get(); ok {
+		return h
+	}
+	h := hashx.DoubleSumEncoded(0, t.appendSigPreimage)
+	t.sigMemo.put(h)
+	return h
+}
+
+// appendSigPreimage appends the SigHash preimage to dst.
+func (t *EBVTx) appendSigPreimage(dst []byte) []byte {
 	dst = binary.AppendUvarint(dst, uint64(t.Tidy.Version))
 	dst = binary.AppendUvarint(dst, uint64(len(t.Bodies)))
 	for i := range t.Bodies {
@@ -298,16 +352,32 @@ func (t *EBVTx) SigHash() hashx.Hash {
 	for i := range t.Tidy.Outputs {
 		dst = t.Tidy.Outputs[i].encode(dst)
 	}
-	dst = binary.AppendUvarint(dst, uint64(t.Tidy.LockTime))
-	return hashx.DoubleSum(dst)
+	return binary.AppendUvarint(dst, uint64(t.Tidy.LockTime))
+}
+
+// Invalidate drops every memoized digest on the transaction: the
+// sighash, the tidy leaf hash, and each body hash (with its nested
+// leaf memo). Builders and tests that mutate a transaction in place
+// after hashing it must call this (SealInputHashes does so itself).
+func (t *EBVTx) Invalidate() {
+	t.sigMemo.clear()
+	t.Tidy.Invalidate()
+	for i := range t.Bodies {
+		t.Bodies[i].Invalidate()
+	}
 }
 
 // SealInputHashes recomputes the tidy input hashes from the bodies.
-// Proposers call this after filling in unlocking scripts.
+// Proposers call this after filling in unlocking scripts. Because
+// sealing follows in-place mutation, it drops every memoized digest
+// first, and hashes the bodies without filling their memos — a
+// post-seal tamper must still be caught by Consistent, which a
+// freshly filled memo would mask.
 func (t *EBVTx) SealInputHashes() {
+	t.Invalidate()
 	t.Tidy.InputHashes = make([]hashx.Hash, len(t.Bodies))
 	for i := range t.Bodies {
-		t.Tidy.InputHashes[i] = t.Bodies[i].Hash()
+		t.Tidy.InputHashes[i] = t.Bodies[i].hashUncached()
 	}
 }
 

@@ -1,0 +1,149 @@
+// Package vcache implements the verified-proof cache (Tier 1 of the
+// verification-caching layer): a sharded, lock-striped, bounded LRU
+// set of digests identifying proofs whose expensive checks — the
+// Merkle fold of Existence Validation and the script execution of
+// Script Validation — have already succeeded against the current
+// header chain.
+//
+// The cache stores only keys, never verdicts: a key is a digest over
+// the input-body bytes (MBr, Us, ELs, height, relative index), the
+// transaction sighash, and the stored header the proof was verified
+// against, so membership *is* the verdict. Any byte-level difference
+// in the proof, any signature or output change (via the sighash), and
+// any header change at the proof's height (via the header's Merkle
+// root) produces a different key and therefore a miss — there is
+// nothing an adversary can poison. Negative results are never cached.
+//
+// Bitcoin Core's signature cache plays the same role on the
+// relay-to-block path; here the cached unit is the whole per-input
+// proof check, which EBV makes self-contained.
+package vcache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// KeySize is the byte length of a cache key.
+const KeySize = 32
+
+// Key identifies one verified proof. Callers derive it with a
+// collision-resistant digest (see core's cache key derivation).
+type Key [KeySize]byte
+
+// DefaultCapacity is the entry bound used when New is given none.
+// At 32 bytes per key (plus map/list overhead) this is a few MiB.
+const DefaultCapacity = 1 << 16
+
+// shardCount stripes the lock. Keys are uniform digests, so the first
+// byte balances the shards; 16 stripes keep contention negligible at
+// any plausible worker count.
+const shardCount = 16
+
+// Cache is a bounded LRU set of verified-proof keys. Safe for
+// concurrent use.
+type Cache struct {
+	shards [shardCount]shard
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type shard struct {
+	mu    sync.Mutex
+	cap   int
+	items map[Key]*list.Element
+	order *list.List // front = most recently seen; values are Key
+}
+
+// New creates a cache bounded at capacity entries in total across all
+// shards; capacity <= 0 selects DefaultCapacity.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	per := (capacity + shardCount - 1) / shardCount
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].cap = per
+		c.shards[i].items = make(map[Key]*list.Element)
+		c.shards[i].order = list.New()
+	}
+	return c
+}
+
+func (c *Cache) shard(k Key) *shard { return &c.shards[int(k[0])%shardCount] }
+
+// Contains reports whether k was added and not yet evicted, bumping
+// its recency and the hit/miss counters. The lookup allocates nothing.
+func (c *Cache) Contains(k Key) bool {
+	s := c.shard(k)
+	s.mu.Lock()
+	el, ok := s.items[k]
+	if ok {
+		s.order.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return ok
+}
+
+// Add records k as verified, evicting the least-recently-seen key of
+// its shard when full. Adding an existing key only bumps its recency.
+func (c *Cache) Add(k Key) {
+	s := c.shard(k)
+	s.mu.Lock()
+	if el, ok := s.items[k]; ok {
+		s.order.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	evicted := uint64(0)
+	for s.order.Len() >= s.cap {
+		back := s.order.Back()
+		s.order.Remove(back)
+		delete(s.items, back.Value.(Key))
+		evicted++
+	}
+	s.items[k] = s.order.PushFront(k)
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+	}
+}
+
+// Len returns the number of cached keys.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Size      int
+}
+
+// Stats snapshots the hit/miss/eviction counters and current size.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Size:      c.Len(),
+	}
+}

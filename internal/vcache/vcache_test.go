@@ -1,0 +1,128 @@
+package vcache
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+)
+
+// key derives a distinct test key; spreading i into the first byte
+// exercises every shard.
+func key(i int) Key {
+	var k Key
+	k[0] = byte(i)
+	binary.LittleEndian.PutUint64(k[1:], uint64(i))
+	return k
+}
+
+func TestAddContains(t *testing.T) {
+	c := New(64)
+	if c.Contains(key(1)) {
+		t.Fatal("empty cache must miss")
+	}
+	c.Add(key(1))
+	if !c.Contains(key(1)) {
+		t.Fatal("added key must hit")
+	}
+	if c.Contains(key(2)) {
+		t.Fatal("different key must miss")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Size != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDuplicateAdd(t *testing.T) {
+	c := New(64)
+	c.Add(key(1))
+	c.Add(key(1))
+	if c.Len() != 1 {
+		t.Fatalf("Len=%d after duplicate add", c.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Capacity 16 = one slot per shard; a second key in any shard
+	// evicts the least recently seen one.
+	c := New(shardCount)
+	a, b := key(0), key(0)
+	b[1] ^= 1 // same shard as a (same first byte), different key
+	c.Add(a)
+	c.Add(b)
+	if c.Contains(a) {
+		t.Fatal("a must have been evicted")
+	}
+	if !c.Contains(b) {
+		t.Fatal("b must remain")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions=%d", st.Evictions)
+	}
+}
+
+func TestRecencyOrder(t *testing.T) {
+	// Two slots in one shard: add a, b; touch a; adding c must evict b.
+	c := New(2 * shardCount)
+	a, b, d := key(0), key(0), key(0)
+	b[1], d[1] = 1, 2
+	c.Add(a)
+	c.Add(b)
+	c.Contains(a)
+	c.Add(d)
+	if !c.Contains(a) {
+		t.Fatal("recently touched key must survive")
+	}
+	if c.Contains(b) {
+		t.Fatal("least recently seen key must be evicted")
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	c := New(0)
+	for i := 0; i < 1000; i++ {
+		c.Add(key(i))
+	}
+	if c.Len() != 1000 {
+		t.Fatalf("Len=%d", c.Len())
+	}
+	if st := c.Stats(); st.Evictions != 0 {
+		t.Fatalf("unexpected evictions at default capacity: %d", st.Evictions)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	c := New(256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := key(g*500 + i)
+				c.Add(k)
+				c.Contains(k)
+				c.Contains(key(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Size > 256+shardCount {
+		t.Fatalf("size %d exceeds bound", st.Size)
+	}
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("counters not moving: %+v", st)
+	}
+}
+
+func BenchmarkContainsHit(b *testing.B) {
+	c := New(1 << 12)
+	k := key(7)
+	c.Add(k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Contains(k)
+	}
+}

@@ -22,4 +22,10 @@ go vet ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== benchmark smoke (1 iteration) =="
+# One iteration of every internal benchmark so benchmark code cannot
+# rot; the repo-root bench_test.go experiments are too slow for a
+# smoke pass and are exercised by their own tests instead.
+go test -run '^$' -bench . -benchtime 1x ./internal/...
+
 echo "check.sh: all checks passed"
