@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id(s), comma-separated: fig1,fig4,fig5,fig14,fig14full,fig15,fig16,fig17,fig18, ablation-cache,ablation-dbcache,ablation-simcost,ablation-latency,ablation-vector,ablation-parallel, related-proofs,net-ibd; 'all' = figures, 'everything' = figures+ablations")
+		exp      = flag.String("exp", "all", "experiment id(s), comma-separated: fig1,fig4,fig5,fig14,fig14full,fig15,fig16,fig17,fig18, ablation-cache,ablation-dbcache,ablation-simcost,ablation-latency,ablation-vector,ablation-parallel,ablation-bootstrap, related-proofs,net-ibd; 'all' = figures, 'everything' = figures+ablations")
 		blocks   = flag.Int("blocks", 0, "chain height (default preset)")
 		txScale  = flag.Float64("txscale", 0, "tx-per-block scale factor (default preset)")
 		seed     = flag.Int64("seed", 1, "workload seed")
@@ -32,6 +32,7 @@ func main() {
 		simCost  = flag.Int("simcost", 0, "SimSig verify cost in SHA-256 iterations (default preset)")
 		repeats  = flag.Int("repeats", 0, "runs for repeated experiments (default preset)")
 		dataDir  = flag.String("datadir", "", "chain cache directory (default $TMPDIR/ebv-bench)")
+		artDir   = flag.String("artifactdir", "", "directory for machine-readable BENCH_*.json artifacts (default .)")
 		quick    = flag.Bool("quick", false, "small preset for smoke runs")
 		workers  = flag.Int("workers", 0, "override worker counts swept by ablation-parallel (0 = {1,2,4,NumCPU})")
 		vcache   = flag.Int("vcache", 0, "verified-proof cache entries for every EBV node (0 disables; ablation-cache sweeps its own sizes)")
@@ -66,6 +67,9 @@ func main() {
 	}
 	if *dataDir != "" {
 		opts.DataDir = *dataDir
+	}
+	if *artDir != "" {
+		opts.ArtifactDir = *artDir
 	}
 	if *workers > 0 {
 		opts.Workers = *workers

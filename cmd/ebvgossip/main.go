@@ -9,6 +9,11 @@
 //	ebvgossip -datadir ./n1 -connect 127.0.0.1:7401 -listen 127.0.0.1:7402
 //	ebvgossip -datadir ./n2 -connect 127.0.0.1:7402
 //
+// A fresh node can skip block replay and bootstrap from peer
+// snapshots instead (fast sync), then follow gossip from there:
+//
+//	ebvgossip -datadir ./n3 -connect 127.0.0.1:7401 -fastsync
+//
 // The process prints each accepted block and runs until interrupted.
 package main
 
@@ -24,6 +29,7 @@ import (
 	"ebv/internal/chainstore"
 	"ebv/internal/node"
 	"ebv/internal/p2p"
+	"ebv/internal/statesync"
 )
 
 func main() {
@@ -35,17 +41,41 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "suppress per-block output")
 		workers   = flag.Int("workers", 1, "parallel proof-verification workers per block (>1 enables the pipeline)")
 		vcache    = flag.Int("vcache", 1<<16, "verified-proof cache entries (0 disables); relayed blocks whose proofs were already verified skip EV and SV")
+		fastsync  = flag.Bool("fastsync", false, "bootstrap from the -connect peers via state-sync snapshots before gossiping")
 	)
 	flag.Parse()
 
-	n, err := node.NewEBVNode(node.Config{
+	var peers []string
+	for _, p := range strings.Split(*connectTo, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+
+	nodeCfg := node.Config{
 		Dir: *dataDir, Optimize: true,
 		ParallelValidation: *workers, VerifyCacheSize: *vcache,
-	})
+	}
+	if *fastsync {
+		if len(peers) == 0 {
+			fail(fmt.Errorf("-fastsync needs at least one -connect peer"))
+		}
+		nodeCfg.FastSync = &statesync.Config{
+			Peers: peers,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		}
+	}
+	n, err := node.NewEBVNode(nodeCfg)
 	if err != nil {
 		fail(err)
 	}
 	defer n.Close()
+	if fs := n.FastSyncResult; fs != nil {
+		fmt.Fprintf(os.Stderr, "fast sync: tip %d in %s (%d chunks, %d bytes)\n",
+			fs.TipHeight, fs.Wall.Round(time.Millisecond), fs.Chunks, fs.BytesReceived)
+	}
 
 	if *importDir != "" {
 		src, err := chainstore.Open(*importDir)
@@ -60,7 +90,12 @@ func main() {
 		src.Close()
 	}
 
-	cfg := p2p.Config{ListenAddr: *listen}
+	// Every gossip node also serves snapshots, so any peer can be a
+	// fast-sync source.
+	cfg := p2p.Config{
+		ListenAddr: *listen,
+		Snapshots:  statesync.NewServer(n.Chain, n.Status),
+	}
 	if !*quiet {
 		cfg.OnBlock = func(h uint64, from string) {
 			src := "local"
@@ -83,11 +118,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "listening on %s (chain tip: %s)\n", addr, tipStr)
 
-	for _, peer := range strings.Split(*connectTo, ",") {
-		peer = strings.TrimSpace(peer)
-		if peer == "" {
-			continue
-		}
+	for _, peer := range peers {
 		if err := gn.Connect(peer); err != nil {
 			fmt.Fprintf(os.Stderr, "connect %s: %v\n", peer, err)
 		} else {

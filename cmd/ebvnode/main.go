@@ -6,44 +6,55 @@
 //
 //	ebvnode -chain ./chains/inter/chain -datadir ./node            # EBV
 //	ebvnode -mode bitcoin -chain ./chains/classic -datadir ./node  # baseline
+//	ebvnode -fastsync 127.0.0.1:7401 -datadir ./node               # snapshot bootstrap
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"ebv/internal/chainstore"
 	"ebv/internal/node"
+	"ebv/internal/statesync"
 )
 
 func main() {
 	var (
 		mode     = flag.String("mode", "ebv", "validator: ebv or bitcoin")
-		chainDir = flag.String("chain", "", "source chain directory (required)")
+		chainDir = flag.String("chain", "", "source chain directory (required unless -fastsync)")
 		dataDir  = flag.String("datadir", "nodedata", "node state directory")
 		memLimit = flag.Int("memlimit", 64, "status-data memory budget in MiB (bitcoin mode)")
 		latency  = flag.Duration("latency", 0, "injected disk latency per cache miss (bitcoin mode)")
 		period   = flag.Int("period", 1000, "blocks per progress report")
 		workers  = flag.Int("workers", 1, "parallel proof-verification workers per block (ebv mode; >1 enables the pipeline)")
 		vcache   = flag.Int("vcache", 0, "verified-proof cache entries (ebv mode; 0 disables)")
+		fastsync = flag.String("fastsync", "", "comma-separated peer addresses to fast-bootstrap from (ebv mode; -chain then replays any remaining blocks)")
 	)
 	flag.Parse()
-	if *chainDir == "" {
-		fmt.Fprintln(os.Stderr, "ebvnode: -chain is required")
+	if *chainDir == "" && *fastsync == "" {
+		fmt.Fprintln(os.Stderr, "ebvnode: -chain or -fastsync is required")
 		os.Exit(2)
 	}
+	if *fastsync != "" && *mode != "ebv" {
+		fail(fmt.Errorf("-fastsync needs -mode ebv (only EBV nodes can bootstrap from bit-vector snapshots)"))
+	}
 
-	src, err := chainstore.Open(*chainDir)
-	if err != nil {
-		fail(err)
+	var src *chainstore.Store
+	if *chainDir != "" {
+		var err error
+		src, err = chainstore.Open(*chainDir)
+		if err != nil {
+			fail(err)
+		}
+		defer src.Close()
+		if src.Count() == 0 {
+			fail(fmt.Errorf("source chain %s is empty", *chainDir))
+		}
+		fmt.Fprintf(os.Stderr, "source chain: %d blocks\n", src.Count())
 	}
-	defer src.Close()
-	if src.Count() == 0 {
-		fail(fmt.Errorf("source chain %s is empty", *chainDir))
-	}
-	fmt.Fprintf(os.Stderr, "source chain: %d blocks\n", src.Count())
 
 	progress := func(p node.PeriodStats) {
 		bd := p.Breakdown
@@ -56,23 +67,46 @@ func main() {
 	start := time.Now()
 	switch *mode {
 	case "ebv":
-		n, err := node.NewEBVNode(node.Config{
+		cfg := node.Config{
 			Dir: *dataDir, Optimize: true,
 			ParallelValidation: *workers, VerifyCacheSize: *vcache,
-		})
+		}
+		if *fastsync != "" {
+			var peers []string
+			for _, p := range strings.Split(*fastsync, ",") {
+				if p = strings.TrimSpace(p); p != "" {
+					peers = append(peers, p)
+				}
+			}
+			cfg.FastSync = &statesync.Config{
+				Peers: peers,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, format+"\n", args...)
+				},
+			}
+		}
+		n, err := node.NewEBVNode(cfg)
 		if err != nil {
 			fail(err)
 		}
 		defer n.Close()
-		res, err := node.RunIBDEBV(src, n, *period, progress)
-		if err != nil {
-			fail(err)
+		if fs := n.FastSyncResult; fs != nil {
+			fmt.Printf("EBV fast sync complete in %s\n", fs.Wall.Round(time.Millisecond))
+			fmt.Printf("  snapshot tip %d (%d chunks, %d resumed, %d bytes received)\n",
+				fs.TipHeight, fs.Chunks, fs.ChunksResumed, fs.BytesReceived)
 		}
-		fmt.Printf("EBV IBD complete in %s\n", time.Since(start).Round(time.Millisecond))
-		fmt.Printf("  blocks: %d, inputs: %d\n", n.Chain.Count(), res.Total.Inputs)
-		fmt.Printf("  validation: ev %s, uv %s, sv %s, other %s\n",
-			res.Total.EV.Round(time.Millisecond), res.Total.UV.Round(time.Millisecond),
-			res.Total.SV.Round(time.Millisecond), res.Total.Other.Round(time.Millisecond))
+		if src != nil {
+			res, err := node.RunIBDEBV(src, n, *period, progress)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("EBV IBD complete in %s\n", time.Since(start).Round(time.Millisecond))
+			fmt.Printf("  inputs: %d\n", res.Total.Inputs)
+			fmt.Printf("  validation: ev %s, uv %s, sv %s, other %s\n",
+				res.Total.EV.Round(time.Millisecond), res.Total.UV.Round(time.Millisecond),
+				res.Total.SV.Round(time.Millisecond), res.Total.Other.Round(time.Millisecond))
+		}
+		fmt.Printf("  blocks: %d\n", n.Chain.Count())
 		if c := n.Validator.Cache(); c != nil {
 			st := c.Stats()
 			fmt.Printf("  verified-proof cache: %d hits, %d misses, %d evictions, %d entries\n",

@@ -349,3 +349,32 @@ func TestNetIBDRuns(t *testing.T) {
 		t.Fatal("missing net-ibd output")
 	}
 }
+
+func TestAblationBootstrapRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run")
+	}
+	e := newTestEnv(t)
+	var out bytes.Buffer
+	if err := RunByID(e, "ablation-bootstrap", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fast-bootstrap state sync") {
+		t.Fatalf("missing ablation-bootstrap output:\n%s", out.String())
+	}
+	data, err := os.ReadFile(filepath.Join(e.Opts.ArtifactDir, "BENCH_bootstrap.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("empty BENCH_bootstrap.json")
+	}
+	last := rows[len(rows)-1]
+	if last["fast_sync_bytes"].(float64) >= last["full_ibd_bytes"].(float64) {
+		t.Fatalf("fast sync must transfer less than full IBD: %+v", last)
+	}
+}

@@ -24,6 +24,11 @@ import (
 // ErrUnknownHeight is returned for heights not in the store.
 var ErrUnknownHeight = errors.New("chainstore: unknown height")
 
+// ErrNoBody is returned by BlockBytes for a height stored header-only
+// (via AppendHeader): fast-synced history below the snapshot tip has
+// headers but no block bodies.
+var ErrNoBody = errors.New("chainstore: block body not stored")
+
 // indexRecordSize: header (96 bytes) + offset (8) + length (8).
 const indexRecordSize = 96 + 16
 
@@ -124,12 +129,52 @@ func (s *Store) Append(header blockmodel.Header, blockBytes []byte) error {
 	return nil
 }
 
+// AppendHeader stores a header with no block body under the next
+// height — the record a fast-synced node keeps for history below its
+// snapshot tip. Linkage rules match Append. A length-0 index record is
+// unambiguous: a real block is never smaller than its 96-byte header.
+func (s *Store) AppendHeader(header blockmodel.Header) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if header.Height != uint64(len(s.headers)) {
+		return fmt.Errorf("chainstore: append height %d, want %d", header.Height, len(s.headers))
+	}
+	if len(s.headers) > 0 {
+		prev := s.headers[len(s.headers)-1]
+		if header.PrevBlock != prev.Hash() {
+			return fmt.Errorf("chainstore: block %d does not link to tip", header.Height)
+		}
+	}
+	var rec [indexRecordSize]byte
+	header.Encode(rec[:0])
+	binary.LittleEndian.PutUint64(rec[96:], uint64(s.dataEnd))
+	binary.LittleEndian.PutUint64(rec[104:], 0)
+	if _, err := s.index.WriteAt(rec[:], int64(len(s.headers))*indexRecordSize); err != nil {
+		return fmt.Errorf("chainstore: %w", err)
+	}
+	s.headers = append(s.headers, header)
+	s.offsets = append(s.offsets, s.dataEnd)
+	s.lengths = append(s.lengths, 0)
+	return nil
+}
+
+// HasBody reports whether the block at height has its body stored
+// (false for header-only records and unknown heights).
+func (s *Store) HasBody(height uint64) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return height < uint64(len(s.headers)) && s.lengths[height] > 0
+}
+
 // BlockBytes returns the serialized block at height.
 func (s *Store) BlockBytes(height uint64) ([]byte, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if height >= uint64(len(s.headers)) {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownHeight, height)
+	}
+	if s.lengths[height] == 0 {
+		return nil, fmt.Errorf("%w: height %d (fast-synced header)", ErrNoBody, height)
 	}
 	buf := make([]byte, s.lengths[height])
 	if _, err := s.data.ReadAt(buf, s.offsets[height]); err != nil && err != io.EOF {

@@ -202,3 +202,78 @@ func TestOpenRejectsIndexHeightMismatch(t *testing.T) {
 		t.Fatal("height mismatch must fail open")
 	}
 }
+
+func TestAppendHeaderOnly(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Headers 0..4 header-only (fast-synced history), then a real
+	// block 5 appended on top — the post-snapshot handoff shape.
+	prev := hashx.ZeroHash
+	for i := 0; i < 5; i++ {
+		h := blockmodel.Header{
+			Version: 1, Height: uint64(i), PrevBlock: prev,
+			MerkleRoot: hashx.Sum([]byte(fmt.Sprintf("root-%d", i))),
+			TimeStamp:  uint64(1000 + i),
+		}
+		if err := s.AppendHeader(h); err != nil {
+			t.Fatalf("append header %d: %v", i, err)
+		}
+		prev = h.Hash()
+	}
+	h5 := blockmodel.Header{
+		Version: 1, Height: 5, PrevBlock: prev,
+		MerkleRoot: hashx.Sum([]byte("root-5")), TimeStamp: 1005,
+	}
+	body := []byte("block five body")
+	if err := s.Append(h5, body); err != nil {
+		t.Fatalf("append real block on header-only history: %v", err)
+	}
+
+	check := func(s *Store) {
+		t.Helper()
+		if s.Count() != 6 {
+			t.Fatalf("Count=%d", s.Count())
+		}
+		for i := 0; i < 5; i++ {
+			if s.HasBody(uint64(i)) {
+				t.Fatalf("height %d claims a body", i)
+			}
+			if _, err := s.BlockBytes(uint64(i)); !errors.Is(err, ErrNoBody) {
+				t.Fatalf("height %d: err = %v, want ErrNoBody", i, err)
+			}
+			if h, ok := s.Header(uint64(i)); !ok || h.Height != uint64(i) {
+				t.Fatalf("header %d missing", i)
+			}
+		}
+		if !s.HasBody(5) {
+			t.Fatal("height 5 must have a body")
+		}
+		got, err := s.BlockBytes(5)
+		if err != nil || !bytes.Equal(got, body) {
+			t.Fatalf("block 5: %q, %v", got, err)
+		}
+		if s.HasBody(99) {
+			t.Fatal("unknown height claims a body")
+		}
+	}
+	check(s)
+
+	// Reopen: header-only records must survive the index round trip.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	check(s2)
+
+	// Linkage is still enforced for header-only appends.
+	if err := s2.AppendHeader(blockmodel.Header{Version: 1, Height: 6}); err == nil {
+		t.Fatal("unlinked header must be rejected")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"ebv/internal/kvstore"
 	"ebv/internal/script"
 	"ebv/internal/sig"
+	"ebv/internal/statesync"
 	"ebv/internal/statusdb"
 	"ebv/internal/utxoset"
 	"ebv/internal/vcache"
@@ -59,6 +60,12 @@ type Config struct {
 	// and SV script execution at block validation. 0 disables the
 	// cache (the seed behavior).
 	VerifyCacheSize int
+	// FastSync, when non-nil with peers configured, bootstraps an
+	// empty EBV node from peer snapshots inside NewEBVNode before the
+	// validator comes up (and resumes an interrupted bootstrap found
+	// under Dir). Dir and SnapshotPath are derived from the node's own
+	// layout; the remaining fields pass through to statesync.FastSync.
+	FastSync *statesync.Config
 }
 
 func (c Config) scheme() sig.Scheme {
@@ -189,7 +196,10 @@ type EBVNode struct {
 	Chain     *chainstore.Store
 	Status    *statusdb.DB
 	Validator *core.EBVValidator
-	statusPth string
+	// FastSyncResult is set when this node bootstrapped (or resumed a
+	// bootstrap) via Config.FastSync.
+	FastSyncResult *statesync.Result
+	statusPth      string
 }
 
 // NewEBVNode creates or reopens an EBV node under cfg.Dir. A snapshot
@@ -202,12 +212,28 @@ func NewEBVNode(cfg Config) (*EBVNode, error) {
 	}
 	status := statusdb.New(cfg.Optimize)
 	n := &EBVNode{Chain: chain, Status: status, statusPth: filepath.Join(cfg.Dir, "status.snapshot")}
-	if f, err := os.Open(n.statusPth); err == nil {
-		loadErr := status.Load(f)
-		f.Close()
-		if loadErr != nil {
-			chain.Close()
-			return nil, fmt.Errorf("node: corrupt status snapshot: %w", loadErr)
+	if err := status.LoadFile(n.statusPth); err != nil && !os.IsNotExist(err) {
+		chain.Close()
+		return nil, fmt.Errorf("node: %w; delete %s to resync", err, n.statusPth)
+	}
+	// Fast bootstrap: a fresh node (or one with an interrupted
+	// bootstrap persisted under Dir) pulls a verified snapshot from
+	// its peers instead of replaying blocks. Runs before the tip
+	// check so a node killed mid-install comes back consistent.
+	if cfg.FastSync != nil && len(cfg.FastSync.Peers) > 0 {
+		fsDir := filepath.Join(cfg.Dir, "statesync")
+		_, statErr := os.Stat(fsDir)
+		pending := statErr == nil
+		if chain.Count() == 0 || pending {
+			fsCfg := *cfg.FastSync
+			fsCfg.Dir = fsDir
+			fsCfg.SnapshotPath = n.statusPth
+			res, err := statesync.FastSync(chain, status, fsCfg)
+			if err != nil {
+				chain.Close()
+				return nil, fmt.Errorf("node: fast sync: %w", err)
+			}
+			n.FastSyncResult = res
 		}
 	}
 	// The snapshot and chain must describe the same tip.
@@ -289,22 +315,14 @@ func (n *EBVNode) SubmitBlock(b *blockmodel.EBVBlock) (*core.Breakdown, error) {
 // StatusMemUsage reports the resident bytes of the bit-vector set.
 func (n *EBVNode) StatusMemUsage() int64 { return n.Status.MemUsage() }
 
-// Close snapshots the bit-vector set next to the chain and closes the
+// Close snapshots the bit-vector set next to the chain (atomically,
+// with a trailing digest — see statusdb.SaveFile) and closes the
 // node's stores.
 func (n *EBVNode) Close() error {
-	f, err := os.Create(n.statusPth)
-	if err != nil {
-		n.Chain.Close()
-		return err
-	}
-	saveErr := n.Status.Save(f)
-	closeErr := f.Close()
+	saveErr := n.Status.SaveFile(n.statusPth)
 	chainErr := n.Chain.Close()
 	if saveErr != nil {
 		return saveErr
-	}
-	if closeErr != nil {
-		return closeErr
 	}
 	return chainErr
 }

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ebv/internal/hashx"
+	"ebv/internal/p2p/wire"
 )
 
 // Chain is the ledger a gossip node serves and extends. Both node
@@ -47,6 +49,9 @@ type Config struct {
 	// stops draining its socket cannot block senders indefinitely.
 	// Default 30 seconds.
 	WriteTimeout time.Duration
+	// Snapshots, if set, serves state snapshots to fast-syncing peers
+	// and advertises wire.FeatureStateSync in the handshake.
+	Snapshots SnapshotProvider
 }
 
 // Node gossips blocks with its peers.
@@ -61,6 +66,9 @@ type Node struct {
 	closing bool
 	syncing bool
 
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+
 	wg sync.WaitGroup
 }
 
@@ -70,16 +78,17 @@ type peer struct {
 	conn         net.Conn
 	r            *bufio.Reader
 	writeTimeout time.Duration
+	features     byte // from the peer's hello
 
 	wmu sync.Mutex
 	w   *bufio.Writer
 }
 
-func (p *peer) send(m *message) error {
+func (p *peer) send(m *wire.Message) error {
 	p.wmu.Lock()
 	defer p.wmu.Unlock()
 	p.conn.SetWriteDeadline(time.Now().Add(p.writeTimeout))
-	err := writeMessage(p.w, m)
+	err := wire.Write(p.w, m)
 	p.conn.SetWriteDeadline(time.Time{})
 	return err
 }
@@ -103,6 +112,23 @@ func (n *Node) logf(format string, args ...any) {
 		n.cfg.Logf(format, args...)
 	}
 }
+
+// features returns the feature bits this node advertises in hellos.
+func (n *Node) features() byte {
+	var f byte
+	if n.cfg.Snapshots != nil {
+		f |= wire.FeatureStateSync
+	}
+	return f
+}
+
+// BytesRead returns the total bytes received over all peer
+// connections since the node was created.
+func (n *Node) BytesRead() int64 { return n.bytesIn.Load() }
+
+// BytesWritten returns the total bytes sent over all peer connections
+// since the node was created.
+func (n *Node) BytesWritten() int64 { return n.bytesOut.Load() }
 
 // Start begins accepting peers. It returns the bound address.
 func (n *Node) Start() (string, error) {
@@ -179,9 +205,10 @@ func (n *Node) Close() error {
 }
 
 // handleConn runs the lifetime of one connection (either direction).
-func (n *Node) handleConn(conn net.Conn) {
+func (n *Node) handleConn(raw net.Conn) {
+	conn := &countingConn{Conn: raw, in: &n.bytesIn, out: &n.bytesOut}
 	p := &peer{
-		id:           conn.RemoteAddr().String(),
+		id:           raw.RemoteAddr().String(),
 		conn:         conn,
 		r:            bufio.NewReader(conn),
 		w:            bufio.NewWriter(conn),
@@ -202,20 +229,21 @@ func (n *Node) handleConn(conn net.Conn) {
 		n.mu.Unlock()
 	}()
 
-	// Handshake: exchange tips.
+	// Handshake: exchange tips and feature bits.
 	tip, ok := n.chain.TipHeight()
-	hello := &message{kind: msgHello, height: tipField(tip, ok)}
+	hello := &wire.Message{Kind: wire.Hello, Height: tipField(tip, ok), Features: n.features()}
 	if err := p.send(hello); err != nil {
 		return
 	}
 	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
-	first, err := readMessage(p.r)
-	if err != nil || first.kind != msgHello {
+	first, err := wire.Read(p.r)
+	if err != nil || first.Kind != wire.Hello {
 		return
 	}
-	n.logf("peer %s connected (tip %d, ours %d)", p.id, first.height, hello.height)
-	if first.height > hello.height {
-		n.requestFrom(p, hello.height) // hello.height == next needed height encoding
+	p.features = first.Features
+	n.logf("peer %s connected (tip %d, ours %d, features %08b)", p.id, first.Height, hello.Height, first.Features)
+	if first.Height > hello.Height {
+		n.requestFrom(p, hello.Height) // hello.Height == next needed height encoding
 	}
 
 	// Per-message read deadline: a peer that goes silent for longer
@@ -223,8 +251,14 @@ func (n *Node) handleConn(conn net.Conn) {
 	// (and a peer slot) forever.
 	for {
 		conn.SetReadDeadline(time.Now().Add(n.cfg.ReadTimeout))
-		m, err := readMessage(p.r)
+		m, err := wire.Read(p.r)
 		if err != nil {
+			// A kind from a newer protocol version is not an offence:
+			// the frame was consumed, log it and keep the connection.
+			if errors.Is(err, wire.ErrUnknownKind) {
+				n.logf("peer %s: skipping unknown message kind %d", p.id, m.Kind)
+				continue
+			}
 			n.logf("peer %s: read: %v", p.id, err)
 			return
 		}
@@ -246,41 +280,41 @@ func tipField(tip uint64, ok bool) uint64 {
 
 // requestFrom asks p for the next batch of blocks starting at from.
 func (n *Node) requestFrom(p *peer, from uint64) {
-	_ = p.send(&message{kind: msgGetBlocks, height: from, count: maxBatch})
+	_ = p.send(&wire.Message{Kind: wire.GetBlocks, Height: from, Count: wire.MaxBatch})
 }
 
 // handleMessage processes one inbound message.
-func (n *Node) handleMessage(p *peer, m *message) error {
-	switch m.kind {
-	case msgInv:
+func (n *Node) handleMessage(p *peer, m *wire.Message) error {
+	switch m.Kind {
+	case wire.Inv:
 		next := tipField(n.chain.TipHeight())
 		switch {
-		case m.height < next:
+		case m.Height < next:
 			// Already have it.
 		default:
 			n.requestFrom(p, next)
 		}
 		return nil
 
-	case msgGetBlocks:
+	case wire.GetBlocks:
 		next := tipField(n.chain.TipHeight())
-		for h := m.height; h < m.height+m.count && h < next; h++ {
+		for h := m.Height; h < m.Height+m.Count && h < next; h++ {
 			raw, err := n.chain.BlockBytes(h)
 			if err != nil {
 				return fmt.Errorf("serving block %d: %w", h, err)
 			}
-			if err := p.send(&message{kind: msgBlock, height: h, payload: raw}); err != nil {
+			if err := p.send(&wire.Message{Kind: wire.Block, Height: h, Payload: raw}); err != nil {
 				return err
 			}
 		}
 		return nil
 
-	case msgBlock:
+	case wire.Block:
 		next := tipField(n.chain.TipHeight())
-		if m.height < next {
+		if m.Height < next {
 			return nil // duplicate
 		}
-		if m.height > next {
+		if m.Height > next {
 			// Out of order; re-request the gap.
 			n.requestFrom(p, next)
 			return nil
@@ -288,21 +322,53 @@ func (n *Node) handleMessage(p *peer, m *message) error {
 		// Validate before storing or forwarding — the property under
 		// study. A validation failure is a protocol offence: drop the
 		// peer.
-		if err := n.chain.SubmitRaw(m.payload); err != nil {
-			return fmt.Errorf("invalid block %d: %w", m.height, err)
+		if err := n.chain.SubmitRaw(m.Payload); err != nil {
+			return fmt.Errorf("invalid block %d: %w", m.Height, err)
 		}
 		if n.cfg.OnBlock != nil {
-			n.cfg.OnBlock(m.height, p.id)
+			n.cfg.OnBlock(m.Height, p.id)
 		}
-		n.announce(m.height, p.id)
+		n.announce(m.Height, p.id)
 		// If the peer is ahead, keep pulling.
-		n.requestFrom(p, m.height+1)
+		n.requestFrom(p, m.Height+1)
 		return nil
 
-	case msgHello:
+	case wire.GetManifest:
+		// An empty manifest payload means "no snapshot here"; clients
+		// move on to the next peer instead of timing out.
+		var mb []byte
+		if n.cfg.Snapshots != nil {
+			if b, ok := n.cfg.Snapshots.ManifestBytes(); ok {
+				mb = b
+			}
+		}
+		return p.send(&wire.Message{Kind: wire.Manifest, Payload: mb})
+
+	case wire.GetChunk:
+		// Likewise an empty chunk payload means "unavailable" (a valid
+		// chunk always covers at least one height, so it is never
+		// empty). A provider error is the server's problem, not the
+		// requesting peer's: log it and answer unavailable.
+		var cb []byte
+		if n.cfg.Snapshots != nil {
+			b, err := n.cfg.Snapshots.ChunkBytes(m.Height)
+			if err != nil {
+				n.logf("peer %s: serving chunk %d: %v", p.id, m.Height, err)
+			} else {
+				cb = b
+			}
+		}
+		return p.send(&wire.Message{Kind: wire.Chunk, Height: m.Height, Payload: cb})
+
+	case wire.Manifest, wire.Chunk:
+		// Responses to requests this gossip loop never makes (the
+		// statesync client runs its own connection). Harmless; ignore.
+		return nil
+
+	case wire.Hello:
 		return errors.New("unexpected hello")
 	default:
-		return fmt.Errorf("unknown message kind %d", m.kind)
+		return fmt.Errorf("unknown message kind %d", m.Kind)
 	}
 }
 
@@ -318,7 +384,7 @@ func (n *Node) announce(height uint64, except string) {
 	}
 	n.mu.Unlock()
 	for _, p := range targets {
-		_ = p.send(&message{kind: msgInv, height: height, hash: hash})
+		_ = p.send(&wire.Message{Kind: wire.Inv, Height: height, Hash: hash})
 	}
 }
 

@@ -2,7 +2,7 @@ package p2p
 
 import (
 	"bufio"
-	"bytes"
+	"fmt"
 	"net"
 	"sync"
 	"testing"
@@ -10,8 +10,8 @@ import (
 
 	"ebv/internal/blockmodel"
 	"ebv/internal/chainstore"
-	"ebv/internal/hashx"
 	"ebv/internal/node"
+	"ebv/internal/p2p/wire"
 	"ebv/internal/proof"
 	"ebv/internal/workload"
 )
@@ -82,48 +82,6 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatalf("timeout waiting for %s", what)
-}
-
-func TestMessageRoundTrip(t *testing.T) {
-	msgs := []*message{
-		{kind: msgHello, height: 42},
-		{kind: msgInv, height: 7, hash: hashx.Sum([]byte("b"))},
-		{kind: msgGetBlocks, height: 3, count: 128},
-		{kind: msgBlock, height: 9, payload: []byte("raw block bytes")},
-	}
-	var buf bytes.Buffer
-	w := bufio.NewWriter(&buf)
-	for _, m := range msgs {
-		if err := writeMessage(w, m); err != nil {
-			t.Fatal(err)
-		}
-	}
-	r := bufio.NewReader(&buf)
-	for _, want := range msgs {
-		got, err := readMessage(r)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got.kind != want.kind || got.height != want.height || got.count != want.count ||
-			got.hash != want.hash || string(got.payload) != string(want.payload) {
-			t.Fatalf("round trip mismatch: %+v vs %+v", got, want)
-		}
-	}
-}
-
-func TestMessageRejectsMalformed(t *testing.T) {
-	cases := [][]byte{
-		{msgInv, 2, 1, 2},         // inv too short
-		{msgGetBlocks, 1, 0},      // getblocks missing count
-		{msgGetBlocks, 2, 0, 0},   // count 0
-		{0x99, 1, 0},              // unknown kind
-		{msgHello, 3, 0xFF, 0xFF}, // bad varint / length mismatch
-	}
-	for i, c := range cases {
-		if _, err := readMessage(bufio.NewReader(bytes.NewReader(c))); err == nil {
-			t.Fatalf("case %d: malformed message must fail", i)
-		}
-	}
 }
 
 func TestInitialSyncOverTCP(t *testing.T) {
@@ -230,14 +188,14 @@ func TestMaliciousPeerDropped(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.close()
-	if err := conn.send(&message{kind: msgHello, height: tip + 5}); err != nil {
+	if err := conn.send(&wire.Message{Kind: wire.Hello, Height: tip + 5}); err != nil {
 		t.Fatal(err)
 	}
 	// The node believes we are ahead and asks for blocks; feed it junk.
 	if _, err := conn.read(); err != nil { // its hello
 		t.Fatal(err)
 	}
-	if err := conn.send(&message{kind: msgBlock, height: tip, payload: []byte("junk")}); err != nil {
+	if err := conn.send(&wire.Message{Kind: wire.Block, Height: tip, Payload: []byte("junk")}); err != nil {
 		t.Fatal(err)
 	}
 	// The node must drop us: the next read fails once it closes.
@@ -266,7 +224,7 @@ func TestSilentPeerDropped(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.close()
-	if err := conn.send(&message{kind: msgHello, height: tip + 1}); err != nil {
+	if err := conn.send(&wire.Message{Kind: wire.Hello, Height: tip + 1}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := conn.read(); err != nil { // its hello
@@ -294,7 +252,7 @@ func TestActivePeerNotDropped(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.close()
-	if err := conn.send(&message{kind: msgHello, height: tip + 1}); err != nil {
+	if err := conn.send(&wire.Message{Kind: wire.Hello, Height: tip + 1}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := conn.read(); err != nil {
@@ -306,7 +264,7 @@ func TestActivePeerNotDropped(t *testing.T) {
 	// must re-arm the timer and keep the connection alive.
 	for i := 0; i < 6; i++ {
 		time.Sleep(80 * time.Millisecond)
-		if err := conn.send(&message{kind: msgInv, height: tip}); err != nil {
+		if err := conn.send(&wire.Message{Kind: wire.Inv, Height: tip}); err != nil {
 			t.Fatalf("send %d: %v", i, err)
 		}
 		if honest.PeerCount() != 1 {
@@ -385,11 +343,20 @@ func dialRaw(addr string) (*rawConn, error) {
 	return &rawConn{conn: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}, nil
 }
 
-func (c *rawConn) send(m *message) error { return writeMessage(c.w, m) }
-func (c *rawConn) read() (*message, error) {
-	return readMessage(c.r)
+func (c *rawConn) send(m *wire.Message) error { return wire.Write(c.w, m) }
+func (c *rawConn) read() (*wire.Message, error) {
+	return wire.Read(c.r)
 }
 func (c *rawConn) close() { c.conn.Close() }
+
+// sendRaw writes pre-framed bytes, bypassing the codec's send-side
+// checks — for frames a correct implementation could never produce.
+func (c *rawConn) sendRaw(b []byte) error {
+	if _, err := c.w.Write(b); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
 
 func BenchmarkSyncThroughput(b *testing.B) {
 	_, src := buildEBVChain(b, 100)
@@ -473,7 +440,7 @@ func TestOutOfOrderBlockTriggersGapRequest(t *testing.T) {
 	}
 	defer conn.close()
 	// Handshake claiming the same height so no initial sync fires.
-	if err := conn.send(&message{kind: msgHello, height: tip - 2}); err != nil {
+	if err := conn.send(&wire.Message{Kind: wire.Hello, Height: tip - 2}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := conn.read(); err != nil {
@@ -482,20 +449,20 @@ func TestOutOfOrderBlockTriggersGapRequest(t *testing.T) {
 	// Send the TIP block (two ahead of what the node needs): the node
 	// must not apply it, and must ask for the gap instead.
 	raw, _ := src.BlockBytes(tip)
-	if err := conn.send(&message{kind: msgBlock, height: tip, payload: raw}); err != nil {
+	if err := conn.send(&wire.Message{Kind: wire.Block, Height: tip, Payload: raw}); err != nil {
 		t.Fatal(err)
 	}
 	got, err := conn.read()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.kind != msgGetBlocks || got.height != tip-2 {
-		t.Fatalf("want gap request from %d, got kind %d height %d", tip-2, got.kind, got.height)
+	if got.Kind != wire.GetBlocks || got.Height != tip-2 {
+		t.Fatalf("want gap request from %d, got kind %d height %d", tip-2, got.Kind, got.Height)
 	}
 	// Serve the gap; the node catches up and keeps pulling.
 	for h := tip - 2; h <= tip; h++ {
 		raw, _ := src.BlockBytes(h)
-		if err := conn.send(&message{kind: msgBlock, height: h, payload: raw}); err != nil {
+		if err := conn.send(&wire.Message{Kind: wire.Block, Height: h, Payload: raw}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -516,14 +483,14 @@ func TestDuplicateBlockIgnored(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.close()
-	if err := conn.send(&message{kind: msgHello, height: tip + 1}); err != nil {
+	if err := conn.send(&wire.Message{Kind: wire.Hello, Height: tip + 1}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := conn.read(); err != nil {
 		t.Fatal(err)
 	}
 	raw, _ := src.BlockBytes(tip)
-	if err := conn.send(&message{kind: msgBlock, height: tip, payload: raw}); err != nil {
+	if err := conn.send(&wire.Message{Kind: wire.Block, Height: tip, Payload: raw}); err != nil {
 		t.Fatal(err)
 	}
 	// The node must stay connected and unchanged.
@@ -533,5 +500,168 @@ func TestDuplicateBlockIgnored(t *testing.T) {
 	}
 	if got, _ := honestNode.Chain.TipHeight(); got != tip {
 		t.Fatal("duplicate block must not change the chain")
+	}
+}
+
+// fakeSnapshots is a canned SnapshotProvider for protocol-level tests.
+type fakeSnapshots struct {
+	manifest []byte
+	chunks   map[uint64][]byte
+}
+
+func (f fakeSnapshots) ManifestBytes() ([]byte, bool) { return f.manifest, f.manifest != nil }
+func (f fakeSnapshots) ChunkBytes(index uint64) ([]byte, error) {
+	c, ok := f.chunks[index]
+	if !ok {
+		return nil, fmt.Errorf("no chunk %d", index)
+	}
+	return c, nil
+}
+
+// A message kind from a future protocol version must be skipped, not
+// treated as an offence: the connection stays up and later messages
+// are still served.
+func TestUnknownMessageKindTolerated(t *testing.T) {
+	_, src := buildEBVChain(t, 30)
+	tip, _ := src.TipHeight()
+	honest, honestNode := newEBVGossipNode(t, Config{})
+	preload(t, honestNode, src, tip+1)
+
+	conn, err := dialRaw(honest.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.close()
+	if err := conn.send(&wire.Message{Kind: wire.Hello, Height: tip + 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.read(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "peer registered", func() bool { return honest.PeerCount() == 1 })
+
+	// A frame with an unassigned kind byte and a body.
+	if err := conn.sendRaw([]byte{0x63, 4, 'f', 'u', 't', 'r'}); err != nil {
+		t.Fatal(err)
+	}
+	// The node must still answer a real request on the same connection.
+	if err := conn.send(&wire.Message{Kind: wire.GetBlocks, Height: tip, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := conn.read()
+	if err != nil {
+		t.Fatalf("connection dead after unknown kind: %v", err)
+	}
+	if got.Kind != wire.Block || got.Height != tip {
+		t.Fatalf("want block %d after unknown kind, got kind %d height %d", tip, got.Kind, got.Height)
+	}
+	if honest.PeerCount() != 1 {
+		t.Fatal("unknown message kind must not drop the peer")
+	}
+}
+
+// A node with a SnapshotProvider advertises FeatureStateSync and
+// serves manifest/chunk requests; one without answers with empty
+// payloads instead of dropping the connection.
+func TestSnapshotServingAndFeatureBit(t *testing.T) {
+	_, src := buildEBVChain(t, 20)
+	tip, _ := src.TipHeight()
+
+	snaps := fakeSnapshots{
+		manifest: []byte("the manifest"),
+		chunks:   map[uint64][]byte{0: []byte("chunk zero")},
+	}
+	serving, servingNode := newEBVGossipNode(t, Config{Snapshots: snaps})
+	preload(t, servingNode, src, tip+1)
+
+	conn, err := dialRaw(serving.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.close()
+	if err := conn.send(&wire.Message{Kind: wire.Hello, Height: tip + 1, Features: wire.FeatureStateSync}); err != nil {
+		t.Fatal(err)
+	}
+	hello, err := conn.read()
+	if err != nil || hello.Kind != wire.Hello {
+		t.Fatalf("handshake: %+v, %v", hello, err)
+	}
+	if hello.Features&wire.FeatureStateSync == 0 {
+		t.Fatal("serving node must advertise FeatureStateSync")
+	}
+	if err := conn.send(&wire.Message{Kind: wire.GetManifest}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := conn.read()
+	if err != nil || m.Kind != wire.Manifest || string(m.Payload) != "the manifest" {
+		t.Fatalf("manifest: %+v, %v", m, err)
+	}
+	if err := conn.send(&wire.Message{Kind: wire.GetChunk, Height: 0}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := conn.read()
+	if err != nil || c.Kind != wire.Chunk || c.Height != 0 || string(c.Payload) != "chunk zero" {
+		t.Fatalf("chunk: %+v, %v", c, err)
+	}
+	// A chunk the provider errors on comes back empty (unavailable),
+	// and the connection survives.
+	if err := conn.send(&wire.Message{Kind: wire.GetChunk, Height: 99}); err != nil {
+		t.Fatal(err)
+	}
+	c, err = conn.read()
+	if err != nil || c.Kind != wire.Chunk || len(c.Payload) != 0 {
+		t.Fatalf("missing chunk: %+v, %v", c, err)
+	}
+
+	// A node without a provider: no feature bit, empty manifest.
+	plain, plainNode := newEBVGossipNode(t, Config{})
+	preload(t, plainNode, src, tip+1)
+	conn2, err := dialRaw(plain.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.close()
+	if err := conn2.send(&wire.Message{Kind: wire.Hello, Height: tip + 1}); err != nil {
+		t.Fatal(err)
+	}
+	hello2, err := conn2.read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hello2.Features != 0 {
+		t.Fatalf("plain node advertised features %08b", hello2.Features)
+	}
+	if err := conn2.send(&wire.Message{Kind: wire.GetManifest}); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := conn2.read()
+	if err != nil || m2.Kind != wire.Manifest || len(m2.Payload) != 0 {
+		t.Fatalf("no-provider manifest: %+v, %v", m2, err)
+	}
+	if plain.PeerCount() != 1 {
+		t.Fatal("snapshot requests must not drop the peer")
+	}
+}
+
+// Byte counters must see traffic in both directions.
+func TestByteCounters(t *testing.T) {
+	_, src := buildEBVChain(t, 30)
+	tip, _ := src.TipHeight()
+	seed, seedNode := newEBVGossipNode(t, Config{})
+	preload(t, seedNode, src, tip+1)
+
+	fresh, freshNode := newEBVGossipNode(t, Config{})
+	if err := fresh.Connect(seed.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "sync", func() bool {
+		got, ok := freshNode.Chain.TipHeight()
+		return ok && got == tip
+	})
+	if fresh.BytesRead() == 0 || fresh.BytesWritten() == 0 {
+		t.Fatalf("counters: read %d written %d", fresh.BytesRead(), fresh.BytesWritten())
+	}
+	if seed.BytesWritten() < fresh.BytesRead() {
+		t.Fatalf("seed wrote %d < fresh read %d", seed.BytesWritten(), fresh.BytesRead())
 	}
 }

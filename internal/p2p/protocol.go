@@ -5,139 +5,63 @@
 //
 // The protocol is deliberately small:
 //
-//	hello      — exchange tip heights on connect
-//	inv        — announce a new tip (height + block hash)
-//	getblocks  — request a run of blocks by height
-//	block      — deliver one serialized block
+//	hello       — exchange tip heights (+ a feature byte) on connect
+//	inv         — announce a new tip (height + block hash)
+//	getblocks   — request a run of blocks by height
+//	block       — deliver one serialized block
+//	getmanifest — request the peer's snapshot manifest (statesync)
+//	manifest    — deliver the manifest (empty = none available)
+//	getchunk    — request one snapshot chunk by index (statesync)
+//	chunk       — deliver one snapshot chunk (empty = unavailable)
 //
-// A node that learns of a longer chain requests the missing heights in
+// Frame encoding lives in the wire subpackage so the statesync client
+// can speak the same protocol without importing the gossip node. A
+// node that learns of a longer chain requests the missing heights in
 // order and submits each block to its validator; only blocks that pass
-// validation are stored and re-announced to other peers. The package
-// is validator-agnostic: it moves opaque block bytes over a Chain
-// interface that EBV and baseline nodes both satisfy.
+// validation are stored and re-announced to other peers. Unknown
+// message kinds from newer peers are logged and skipped, not treated
+// as an offence, so future protocol extensions do not cost the
+// connection. The package is validator-agnostic: it moves opaque block
+// bytes over a Chain interface that EBV and baseline nodes both
+// satisfy.
 package p2p
 
 import (
-	"bufio"
-	"encoding/binary"
-	"fmt"
-	"io"
-
-	"ebv/internal/hashx"
-	"ebv/internal/varint"
+	"net"
+	"sync/atomic"
 )
 
-// Message types.
-const (
-	msgHello byte = iota + 1
-	msgInv
-	msgGetBlocks
-	msgBlock
-)
-
-// maxPayload bounds one message (a block plus its proofs).
-const maxPayload = 32 << 20
-
-// maxBatch bounds one getblocks request.
-const maxBatch = 256
-
-// message is one decoded wire message.
-type message struct {
-	kind    byte
-	height  uint64 // hello: tip; inv/block: block height; getblocks: first height
-	count   uint64 // getblocks: number of blocks
-	hash    hashx.Hash
-	payload []byte // block: serialized block
+// SnapshotProvider serves state snapshots to fast-syncing peers. A
+// node with a provider advertises wire.FeatureStateSync in its hello
+// and answers getmanifest/getchunk; without one it answers with empty
+// payloads, which clients read as "no snapshot here".
+//
+// statesync.Server is the canonical implementation.
+type SnapshotProvider interface {
+	// ManifestBytes returns the encoded manifest of the current
+	// snapshot; ok is false when no snapshot can be served yet.
+	ManifestBytes() ([]byte, bool)
+	// ChunkBytes returns the encoded chunk at index for the snapshot
+	// described by the last returned manifest.
+	ChunkBytes(index uint64) ([]byte, error)
 }
 
-// writeMessage frames and writes m.
-func writeMessage(w *bufio.Writer, m *message) error {
-	var head []byte
-	head = append(head, m.kind)
-	var body []byte
-	switch m.kind {
-	case msgHello:
-		body = binary.AppendUvarint(body, m.height)
-	case msgInv:
-		body = binary.AppendUvarint(body, m.height)
-		body = append(body, m.hash[:]...)
-	case msgGetBlocks:
-		body = binary.AppendUvarint(body, m.height)
-		body = binary.AppendUvarint(body, m.count)
-	case msgBlock:
-		body = binary.AppendUvarint(body, m.height)
-		body = append(body, m.payload...)
-	default:
-		return fmt.Errorf("p2p: unknown message kind %d", m.kind)
-	}
-	head = binary.AppendUvarint(head, uint64(len(body)))
-	if _, err := w.Write(head); err != nil {
-		return err
-	}
-	if _, err := w.Write(body); err != nil {
-		return err
-	}
-	return w.Flush()
+// countingConn counts bytes crossing a peer connection, feeding the
+// node's transfer totals (the bootstrap benchmark's bytes-on-the-wire
+// column). Deadlines and Close pass through the embedded conn.
+type countingConn struct {
+	net.Conn
+	in, out *atomic.Int64
 }
 
-// readMessage reads and decodes one message.
-func readMessage(r *bufio.Reader) (*message, error) {
-	kind, err := r.ReadByte()
-	if err != nil {
-		return nil, err
-	}
-	size, err := binary.ReadUvarint(r)
-	if err != nil {
-		return nil, fmt.Errorf("p2p: bad frame length: %w", err)
-	}
-	if size > maxPayload {
-		return nil, fmt.Errorf("p2p: frame of %d bytes exceeds limit", size)
-	}
-	body := make([]byte, size)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, fmt.Errorf("p2p: truncated frame: %w", err)
-	}
-	m := &message{kind: kind}
-	switch kind {
-	case msgHello:
-		m.height, err = oneUvarint(body)
-	case msgInv:
-		h, n := varint.Uvarint(body)
-		if n <= 0 || len(body) != n+hashx.Size {
-			return nil, fmt.Errorf("p2p: malformed inv")
-		}
-		m.height = h
-		copy(m.hash[:], body[n:])
-	case msgGetBlocks:
-		from, n := varint.Uvarint(body)
-		if n <= 0 {
-			return nil, fmt.Errorf("p2p: malformed getblocks")
-		}
-		count, n2 := varint.Uvarint(body[n:])
-		if n2 <= 0 || n+n2 != len(body) {
-			return nil, fmt.Errorf("p2p: malformed getblocks")
-		}
-		if count == 0 || count > maxBatch {
-			return nil, fmt.Errorf("p2p: getblocks count %d out of range", count)
-		}
-		m.height, m.count = from, count
-	case msgBlock:
-		h, n := varint.Uvarint(body)
-		if n <= 0 {
-			return nil, fmt.Errorf("p2p: malformed block message")
-		}
-		m.height = h
-		m.payload = body[n:]
-	default:
-		return nil, fmt.Errorf("p2p: unknown message kind %d", kind)
-	}
-	return m, err
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(int64(n))
+	return n, err
 }
 
-func oneUvarint(b []byte) (uint64, error) {
-	v, n := varint.Uvarint(b)
-	if n <= 0 || n != len(b) {
-		return 0, fmt.Errorf("p2p: malformed varint field")
-	}
-	return v, nil
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(int64(n))
+	return n, err
 }

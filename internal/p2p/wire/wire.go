@@ -1,0 +1,211 @@
+// Package wire defines the framed message codec shared by the gossip
+// protocol (internal/p2p) and the fast-bootstrap state sync
+// (internal/statesync). It is a leaf package — only encoding concerns
+// live here — so both sides of the protocol can speak the same frames
+// without an import cycle through the node types.
+//
+// Every frame is
+//
+//	kind byte | varint body length | body
+//
+// with the body bounded by MaxPayload in both directions: a writer
+// refuses to emit an oversized frame and a reader refuses to buffer
+// one, so the limit cannot be bypassed from either end.
+//
+// Kinds 1–4 are the original gossip protocol; kinds 5–8 carry the
+// statesync snapshot exchange. Hello frames additionally carry an
+// optional trailing feature byte (see Features) so capable peers can
+// discover each other while legacy nodes — which sent a bare varint —
+// keep interoperating.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"ebv/internal/hashx"
+	"ebv/internal/varint"
+)
+
+// Message kinds.
+const (
+	Hello byte = iota + 1
+	Inv
+	GetBlocks
+	Block
+	GetManifest
+	Manifest
+	GetChunk
+	Chunk
+)
+
+// MaxPayload bounds one message body (a block plus its proofs, or one
+// snapshot chunk). Enforced symmetrically by Write and Read.
+const MaxPayload = 32 << 20
+
+// MaxBatch bounds one getblocks request.
+const MaxBatch = 256
+
+// Feature bits carried in the hello trailer byte. A hello without the
+// trailer (every pre-statesync node) advertises no features.
+const (
+	// FeatureStateSync marks a peer that serves snapshot manifests and
+	// chunks (kinds 5–8).
+	FeatureStateSync byte = 1 << 0
+)
+
+// ErrUnknownKind reports a frame whose kind byte this version does not
+// understand. The frame's body has been fully consumed, so the caller
+// may log the kind and keep reading from the same connection — newer
+// peers with extra message types must not cost us the connection.
+var ErrUnknownKind = errors.New("wire: unknown message kind")
+
+// Message is one decoded wire message.
+type Message struct {
+	Kind     byte
+	Height   uint64 // hello: next height needed; inv/block: block height; getblocks: first height; getchunk/chunk: chunk index
+	Count    uint64 // getblocks: number of blocks
+	Hash     hashx.Hash
+	Features byte   // hello: feature bits
+	Payload  []byte // block: serialized block; manifest/chunk: snapshot bytes
+}
+
+// Write frames and writes m. Bodies larger than MaxPayload are
+// refused here, before any bytes hit the socket, mirroring the read
+// side's limit.
+func Write(w *bufio.Writer, m *Message) error {
+	var body []byte
+	switch m.Kind {
+	case Hello:
+		body = binary.AppendUvarint(body, m.Height)
+		body = append(body, m.Features)
+	case Inv:
+		body = binary.AppendUvarint(body, m.Height)
+		body = append(body, m.Hash[:]...)
+	case GetBlocks:
+		body = binary.AppendUvarint(body, m.Height)
+		body = binary.AppendUvarint(body, m.Count)
+	case Block:
+		body = binary.AppendUvarint(body, m.Height)
+		body = append(body, m.Payload...)
+	case GetManifest:
+		// Empty body.
+	case Manifest:
+		body = m.Payload
+	case GetChunk:
+		body = binary.AppendUvarint(body, m.Height)
+	case Chunk:
+		body = binary.AppendUvarint(body, m.Height)
+		body = append(body, m.Payload...)
+	default:
+		return fmt.Errorf("wire: cannot encode message kind %d", m.Kind)
+	}
+	if len(body) > MaxPayload {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
+	}
+	head := []byte{m.Kind}
+	head = binary.AppendUvarint(head, uint64(len(body)))
+	if _, err := w.Write(head); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// Read reads and decodes one message. On an unrecognized kind it
+// returns a Message holding just the kind together with
+// ErrUnknownKind; the body has been consumed and the stream is intact.
+func Read(r *bufio.Reader) (*Message, error) {
+	kind, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	size, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("wire: bad frame length: %w", err)
+	}
+	if size > MaxPayload {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("wire: truncated frame: %w", err)
+	}
+	m := &Message{Kind: kind}
+	switch kind {
+	case Hello:
+		h, n := varint.Uvarint(body)
+		switch {
+		case n <= 0:
+			return nil, fmt.Errorf("wire: malformed hello")
+		case n == len(body):
+			// Legacy peer: no feature byte, no features.
+		case n+1 == len(body):
+			m.Features = body[n]
+		default:
+			return nil, fmt.Errorf("wire: malformed hello")
+		}
+		m.Height = h
+	case Inv:
+		h, n := varint.Uvarint(body)
+		if n <= 0 || len(body) != n+hashx.Size {
+			return nil, fmt.Errorf("wire: malformed inv")
+		}
+		m.Height = h
+		copy(m.Hash[:], body[n:])
+	case GetBlocks:
+		from, n := varint.Uvarint(body)
+		if n <= 0 {
+			return nil, fmt.Errorf("wire: malformed getblocks")
+		}
+		count, n2 := varint.Uvarint(body[n:])
+		if n2 <= 0 || n+n2 != len(body) {
+			return nil, fmt.Errorf("wire: malformed getblocks")
+		}
+		if count == 0 || count > MaxBatch {
+			return nil, fmt.Errorf("wire: getblocks count %d out of range", count)
+		}
+		m.Height, m.Count = from, count
+	case Block:
+		h, n := varint.Uvarint(body)
+		if n <= 0 {
+			return nil, fmt.Errorf("wire: malformed block message")
+		}
+		m.Height = h
+		m.Payload = body[n:]
+	case GetManifest:
+		if len(body) != 0 {
+			return nil, fmt.Errorf("wire: malformed getmanifest")
+		}
+	case Manifest:
+		m.Payload = body
+	case GetChunk:
+		m.Height, err = oneUvarint(body)
+		if err != nil {
+			return nil, err
+		}
+	case Chunk:
+		h, n := varint.Uvarint(body)
+		if n <= 0 {
+			return nil, fmt.Errorf("wire: malformed chunk message")
+		}
+		m.Height = h
+		m.Payload = body[n:]
+	default:
+		return m, ErrUnknownKind
+	}
+	return m, nil
+}
+
+func oneUvarint(b []byte) (uint64, error) {
+	v, n := varint.Uvarint(b)
+	if n <= 0 || n != len(b) {
+		return 0, fmt.Errorf("wire: malformed varint field")
+	}
+	return v, nil
+}

@@ -1,0 +1,133 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+
+	"ebv/internal/hashx"
+)
+
+func roundTrip(t *testing.T, in *Message) *Message {
+	t.Helper()
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := Write(w, in); err != nil {
+		t.Fatalf("Write(kind %d): %v", in.Kind, err)
+	}
+	out, err := Read(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatalf("Read(kind %d): %v", in.Kind, err)
+	}
+	return out
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	hash := hashx.Sum([]byte("tip"))
+	cases := []*Message{
+		{Kind: Hello, Height: 42},
+		{Kind: Hello, Height: 42, Features: FeatureStateSync},
+		{Kind: Inv, Height: 7, Hash: hash},
+		{Kind: GetBlocks, Height: 3, Count: 16},
+		{Kind: Block, Height: 9, Payload: []byte("block bytes")},
+		{Kind: GetManifest},
+		{Kind: Manifest, Payload: []byte("manifest bytes")},
+		{Kind: GetChunk, Height: 5},
+		{Kind: Chunk, Height: 5, Payload: []byte("chunk bytes")},
+	}
+	for _, in := range cases {
+		out := roundTrip(t, in)
+		if out.Kind != in.Kind || out.Height != in.Height ||
+			out.Count != in.Count || out.Hash != in.Hash ||
+			out.Features != in.Features {
+			t.Fatalf("kind %d: round trip mismatch: %+v != %+v", in.Kind, out, in)
+		}
+		if !bytes.Equal(out.Payload, in.Payload) {
+			t.Fatalf("kind %d: payload mismatch", in.Kind)
+		}
+	}
+}
+
+// A pre-statesync node's hello is a bare varint with no feature byte;
+// it must still parse, advertising no features.
+func TestLegacyHelloNoFeatureByte(t *testing.T) {
+	body := binary.AppendUvarint(nil, 42)
+	frame := append([]byte{Hello, byte(len(body))}, body...)
+	m, err := Read(bufio.NewReader(bytes.NewReader(frame)))
+	if err != nil {
+		t.Fatalf("Read legacy hello: %v", err)
+	}
+	if m.Height != 42 || m.Features != 0 {
+		t.Fatalf("legacy hello decoded as height %d features %08b", m.Height, m.Features)
+	}
+}
+
+// An unknown kind must consume its body and return ErrUnknownKind so
+// the caller can skip the frame and keep the connection; the next
+// frame on the stream must still decode.
+func TestUnknownKindSkipsFrame(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{99, 3, 'x', 'y', 'z'}) // future message kind
+	w := bufio.NewWriter(&buf)
+	if err := Write(w, &Message{Kind: Inv, Height: 7, Hash: hashx.Sum([]byte("h"))}); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(&buf)
+	m, err := Read(r)
+	if !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("unknown kind: got err %v, want ErrUnknownKind", err)
+	}
+	if m == nil || m.Kind != 99 {
+		t.Fatalf("unknown kind: message %+v", m)
+	}
+	next, err := Read(r)
+	if err != nil || next.Kind != Inv || next.Height != 7 {
+		t.Fatalf("stream corrupted after unknown kind: %+v, %v", next, err)
+	}
+}
+
+func TestWriteRejectsOversizedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	err := Write(w, &Message{Kind: Chunk, Height: 0, Payload: make([]byte, MaxPayload+1)})
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized write: err = %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("oversized write leaked %d bytes onto the wire", buf.Len())
+	}
+}
+
+func TestReadRejectsOversizedFrame(t *testing.T) {
+	head := []byte{Chunk}
+	head = binary.AppendUvarint(head, MaxPayload+1)
+	_, err := Read(bufio.NewReader(bytes.NewReader(head)))
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized read: err = %v", err)
+	}
+}
+
+func TestMessageRejectsMalformed(t *testing.T) {
+	hash := hashx.Sum([]byte("x"))
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"truncated frame", []byte{Block, 10, 1, 2}},
+		{"inv short hash", append([]byte{Inv, 5, 1}, hash[:4]...)},
+		{"getblocks zero count", []byte{GetBlocks, 2, 1, 0}},
+		{"getblocks trailing junk", []byte{GetBlocks, 4, 1, 1, 9, 9}},
+		{"hello trailing junk", []byte{Hello, 3, 1, 0, 0}},
+		{"getmanifest with body", []byte{GetManifest, 1, 0}},
+		{"getchunk empty", []byte{GetChunk, 0}},
+		{"chunk empty", []byte{Chunk, 0}},
+	}
+	for _, tc := range cases {
+		if _, err := Read(bufio.NewReader(bytes.NewReader(tc.raw))); err == nil {
+			t.Errorf("%s: decoded without error", tc.name)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// BootstrapConfig models the time for one node to join the network,
+// comparing the two bootstrap paths the statesync subsystem offers:
+// full IBD (download every block, validate every block) against fast
+// sync (download headers plus the bit-vector snapshot, verify digests,
+// install). Transfer sizes and validation delays are supplied from
+// measurements — the bench ablation feeds real wire-byte counts in —
+// so, as with the propagation model, only the link bandwidth is
+// synthetic.
+type BootstrapConfig struct {
+	// Blocks is the chain length being joined.
+	Blocks int
+	// FullBytes is the total bytes a full IBD transfers (blocks with
+	// bodies and proofs).
+	FullBytes int64
+	// FastBytes is the total bytes a fast sync transfers (manifest
+	// with headers, plus chunk payloads).
+	FastBytes int64
+	// Bandwidth is the joining node's download bandwidth in bytes per
+	// second. Default 10 MB/s.
+	Bandwidth float64
+	// Validation samples the per-block validation delay paid on the
+	// full-IBD path. Default Fixed(0).
+	Validation ValidationModel
+	// Install is the one-shot cost of the fast-sync path: digest
+	// verification plus installing vectors and headers.
+	Install time.Duration
+	Seed    int64
+}
+
+// BootstrapTimes is the modeled join time of each path.
+type BootstrapTimes struct {
+	FullIBD  time.Duration
+	FastSync time.Duration
+}
+
+// Speedup returns FullIBD / FastSync.
+func (b BootstrapTimes) Speedup() float64 {
+	if b.FastSync <= 0 {
+		return 0
+	}
+	return float64(b.FullIBD) / float64(b.FastSync)
+}
+
+// Bootstrap evaluates the join-time model: each path pays its transfer
+// at the configured bandwidth, then its compute — per-block validation
+// for full IBD, the one-shot install for fast sync. The paper's §IV-E
+// observation is exactly this asymmetry: the status set a joining EBV
+// node needs is orders of magnitude smaller than the blocks that
+// produced it, and needs no replay.
+func Bootstrap(cfg BootstrapConfig) (BootstrapTimes, error) {
+	if cfg.Blocks <= 0 {
+		return BootstrapTimes{}, fmt.Errorf("simnet: bootstrap of %d blocks", cfg.Blocks)
+	}
+	if cfg.FullBytes < 0 || cfg.FastBytes < 0 {
+		return BootstrapTimes{}, fmt.Errorf("simnet: negative transfer size")
+	}
+	if cfg.Bandwidth <= 0 {
+		cfg.Bandwidth = 10 << 20
+	}
+	if cfg.Validation == nil {
+		cfg.Validation = Fixed(0)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	full := time.Duration(float64(cfg.FullBytes) / cfg.Bandwidth * float64(time.Second))
+	for i := 0; i < cfg.Blocks; i++ {
+		full += cfg.Validation.Sample(rng)
+	}
+	fast := time.Duration(float64(cfg.FastBytes)/cfg.Bandwidth*float64(time.Second)) + cfg.Install
+	return BootstrapTimes{FullIBD: full, FastSync: fast}, nil
+}

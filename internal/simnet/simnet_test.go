@@ -192,3 +192,41 @@ func BenchmarkRun(b *testing.B) {
 		}
 	}
 }
+
+func TestBootstrapModel(t *testing.T) {
+	cfg := BootstrapConfig{
+		Blocks:     10000,
+		FullBytes:  10000 * 200_000,  // 200 KB blocks
+		FastBytes:  10000*96 + 5<<20, // headers + a 5 MB snapshot
+		Bandwidth:  10 << 20,
+		Validation: Normal{Mean: 2 * time.Millisecond, StdDev: 500 * time.Microsecond},
+		Install:    300 * time.Millisecond,
+		Seed:       7,
+	}
+	bt, err := Bootstrap(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.FastSync >= bt.FullIBD {
+		t.Fatalf("fast sync %v not faster than full IBD %v", bt.FastSync, bt.FullIBD)
+	}
+	if bt.Speedup() < 2 {
+		t.Fatalf("implausible speedup %.2f for these parameters", bt.Speedup())
+	}
+	// Deterministic under a fixed seed.
+	again, _ := Bootstrap(cfg)
+	if again != bt {
+		t.Fatalf("%+v vs %+v", again, bt)
+	}
+	// Transfer-only sanity: with zero compute the ratio is the byte
+	// ratio.
+	cfg.Validation, cfg.Install = Fixed(0), 0
+	bt, _ = Bootstrap(cfg)
+	wantRatio := float64(cfg.FullBytes) / float64(cfg.FastBytes)
+	if got := bt.Speedup(); got < wantRatio*0.99 || got > wantRatio*1.01 {
+		t.Fatalf("transfer-only speedup %.3f, want ~%.3f", got, wantRatio)
+	}
+	if _, err := Bootstrap(BootstrapConfig{}); err == nil {
+		t.Fatal("zero blocks must error")
+	}
+}

@@ -1,0 +1,189 @@
+// Package statesync implements fast-bootstrap state sync: a chunked,
+// digest-verified, resumable snapshot protocol layered on the gossip
+// wire format (internal/p2p/wire).
+//
+// The paper's second headline benefit (§IV-E) is that an EBV full
+// node needs only the header chain plus the per-block bit vectors —
+// not the UTXO database — so a joining node can skip full block
+// replay entirely. Server side, a node exports a consistent snapshot
+// of its status set as a manifest plus on-demand chunks; client side,
+// FastSync validates the header chain, downloads chunks concurrently
+// from several peers with per-request timeouts, retry, and peer
+// failover, verifies every chunk digest against the manifest, persists
+// progress so a killed node resumes mid-download, installs the state,
+// and hands off to normal IBD/gossip from the snapshot tip.
+//
+// Trust model: chunk digests are bound to the manifest, and the
+// manifest is bound to the header chain the client itself validates
+// (linkage + proof-of-work), so no single lying peer can make a
+// client install state that honest peers did not produce — matching
+// how the paper pins bit vectors to block headers via the BVMR
+// commitment.
+package statesync
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ebv/internal/blockmodel"
+	"ebv/internal/hashx"
+	"ebv/internal/statusdb"
+	"ebv/internal/varint"
+)
+
+const (
+	// manifestVersion is the manifest wire-format version.
+	manifestVersion = 1
+
+	// headerSize is the encoded block header size (blockmodel).
+	headerSize = 96
+
+	// DefaultSpan is the number of heights packed into one chunk.
+	DefaultSpan = 1024
+
+	// MaxSpan bounds the span a client will accept. The largest legal
+	// vector encoding is ~8.2 KB (a dense 65536-bit vector; Encode
+	// picks the smaller form), so 2048 heights stay far below the
+	// 32 MiB frame limit even in the worst case.
+	MaxSpan = 2048
+)
+
+// Manifest describes one snapshot: the full header chain up to the
+// snapshot tip and a SHA-256 digest per chunk of packed bit vectors.
+// Chunk i covers heights [i*Span, min((i+1)*Span, tip+1)) in
+// statusdb.PackRange layout.
+//
+// Carrying the whole header chain makes the manifest self-contained:
+// the client validates linkage and proof-of-work locally and accepts
+// the snapshot only if its own validated chain commits to the tip —
+// headers-first sync folded into the manifest exchange.
+type Manifest struct {
+	Span    uint64
+	Headers []blockmodel.Header // heights 0..tip, in order
+	Digests []hashx.Hash        // one per chunk
+}
+
+// TipHeight returns the snapshot tip height.
+func (m *Manifest) TipHeight() uint64 { return uint64(len(m.Headers)) - 1 }
+
+// TipHash returns the snapshot tip's header hash.
+func (m *Manifest) TipHash() hashx.Hash { return m.Headers[len(m.Headers)-1].Hash() }
+
+// Chunks returns the number of chunks.
+func (m *Manifest) Chunks() uint64 { return uint64(len(m.Digests)) }
+
+// ChunkRange returns the height range [from, to) chunk i covers.
+func (m *Manifest) ChunkRange(i uint64) (from, to uint64) {
+	from = i * m.Span
+	to = from + m.Span
+	if max := uint64(len(m.Headers)); to > max {
+		to = max
+	}
+	return from, to
+}
+
+// chunkCount is ceil(heights/span).
+func chunkCount(heights, span uint64) uint64 {
+	return (heights + span - 1) / span
+}
+
+// Encode serializes the manifest: version byte, varint span, varint
+// header count, the headers (96 bytes each), then the chunk digests
+// (32 bytes each; their count is derived).
+func (m *Manifest) Encode() []byte {
+	out := make([]byte, 0, 16+len(m.Headers)*headerSize+len(m.Digests)*hashx.Size)
+	out = append(out, manifestVersion)
+	out = binary.AppendUvarint(out, m.Span)
+	out = binary.AppendUvarint(out, uint64(len(m.Headers)))
+	for _, h := range m.Headers {
+		out = h.Encode(out)
+	}
+	for _, d := range m.Digests {
+		out = append(out, d[:]...)
+	}
+	return out
+}
+
+// DecodeManifest parses and structurally validates a manifest:
+// version, span bounds, exact length, header linkage from the zero
+// hash at genesis, per-header height and proof-of-work, and the
+// derived digest count. A decoded manifest is therefore already a
+// self-consistent header chain; whether to *trust* it is decided by
+// comparing against locally validated state.
+func DecodeManifest(data []byte) (*Manifest, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("statesync: empty manifest")
+	}
+	if data[0] != manifestVersion {
+		return nil, fmt.Errorf("statesync: manifest version %d not supported", data[0])
+	}
+	data = data[1:]
+	span, n := varint.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("statesync: bad manifest span")
+	}
+	data = data[n:]
+	if span == 0 || span > MaxSpan {
+		return nil, fmt.Errorf("statesync: manifest span %d out of range [1,%d]", span, MaxSpan)
+	}
+	count, n := varint.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("statesync: bad manifest header count")
+	}
+	data = data[n:]
+	if count == 0 {
+		return nil, fmt.Errorf("statesync: manifest with no headers")
+	}
+	chunks := chunkCount(count, span)
+	want := count*headerSize + chunks*hashx.Size
+	if uint64(len(data)) != want {
+		return nil, fmt.Errorf("statesync: manifest body %d bytes, want %d", len(data), want)
+	}
+
+	m := &Manifest{
+		Span:    span,
+		Headers: make([]blockmodel.Header, count),
+		Digests: make([]hashx.Hash, chunks),
+	}
+	prev := hashx.ZeroHash
+	for i := uint64(0); i < count; i++ {
+		h, err := blockmodel.DecodeHeader(data[:headerSize])
+		if err != nil {
+			return nil, fmt.Errorf("statesync: manifest header %d: %w", i, err)
+		}
+		data = data[headerSize:]
+		if h.Height != i {
+			return nil, fmt.Errorf("statesync: manifest header %d declares height %d", i, h.Height)
+		}
+		if h.PrevBlock != prev {
+			return nil, fmt.Errorf("statesync: manifest header %d does not link", i)
+		}
+		if !h.MeetsTarget() {
+			return nil, fmt.Errorf("statesync: manifest header %d fails proof of work", i)
+		}
+		m.Headers[i] = h
+		prev = h.Hash()
+	}
+	for i := range m.Digests {
+		copy(m.Digests[i][:], data[:hashx.Size])
+		data = data[hashx.Size:]
+	}
+	return m, nil
+}
+
+// BuildManifest packs the exported vectors into chunks and digests
+// them. headers must cover heights 0..tip inclusive; vecs is
+// statusdb.ExportVectors output at that tip. It returns the manifest
+// and the chunk payloads (chunk i verifies against Digests[i]).
+func BuildManifest(headers []blockmodel.Header, vecs []statusdb.HeightVector, span uint64) (*Manifest, [][]byte) {
+	m := &Manifest{Span: span, Headers: headers}
+	chunks := chunkCount(uint64(len(headers)), span)
+	payloads := make([][]byte, chunks)
+	m.Digests = make([]hashx.Hash, chunks)
+	for i := uint64(0); i < chunks; i++ {
+		from, to := m.ChunkRange(i)
+		payloads[i] = statusdb.PackRange(nil, vecs, from, to)
+		m.Digests[i] = hashx.Sum(payloads[i])
+	}
+	return m, payloads
+}

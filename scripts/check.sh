@@ -28,4 +28,61 @@ echo "== benchmark smoke (1 iteration) =="
 # smoke pass and are exercised by their own tests instead.
 go test -run '^$' -bench . -benchtime 1x ./internal/...
 
+echo "== fast-sync smoke (two nodes over localhost) =="
+# A server node imports a generated chain and serves gossip +
+# snapshots; a fresh client bootstraps with -fastsync and must land on
+# the same tip and unspent count as a full-IBD node over the same
+# chain.
+tmp=$(mktemp -d)
+server_pid=""
+cleanup() {
+	[ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+go build -o "$tmp/bin/" ./cmd/...
+"$tmp/bin/chaingen" -blocks 300 -out "$tmp/chains" >/dev/null 2>&1
+"$tmp/bin/ebvgossip" -datadir "$tmp/server" -import "$tmp/chains/inter/chain" \
+	-listen 127.0.0.1:0 -quiet 2>"$tmp/server.log" &
+server_pid=$!
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+	addr=$(sed -n 's/^listening on \([^ ]*\).*/\1/p' "$tmp/server.log")
+	[ -n "$addr" ] && break
+	sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+	echo "check.sh: gossip server did not come up" >&2
+	cat "$tmp/server.log" >&2
+	exit 1
+fi
+"$tmp/bin/ebvnode" -fastsync "$addr" -datadir "$tmp/client" >"$tmp/client.out" 2>/dev/null
+kill "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+"$tmp/bin/ebvnode" -chain "$tmp/chains/inter/chain" -datadir "$tmp/ref" >"$tmp/ref.out" 2>/dev/null
+fast_blocks=$(grep '^  blocks:' "$tmp/client.out")
+ref_blocks=$(grep '^  blocks:' "$tmp/ref.out")
+fast_unspent=$(grep -o '[0-9]* unspent' "$tmp/client.out")
+ref_unspent=$(grep -o '[0-9]* unspent' "$tmp/ref.out")
+if [ -z "$fast_blocks" ] || [ "$fast_blocks" != "$ref_blocks" ] ||
+	[ -z "$fast_unspent" ] || [ "$fast_unspent" != "$ref_unspent" ]; then
+	echo "check.sh: fast-synced node disagrees with full IBD" >&2
+	echo "  fast: $fast_blocks / $fast_unspent" >&2
+	echo "  ref:  $ref_blocks / $ref_unspent" >&2
+	exit 1
+fi
+echo "fast sync matches full IBD ($fast_blocks, $fast_unspent)"
+
+echo "== bootstrap bench smoke =="
+"$tmp/bin/ebvbench" -exp ablation-bootstrap -quick -blocks 200 \
+	-datadir "$tmp/bench" -artifactdir "$tmp" >/dev/null 2>&1
+if [ ! -f "$tmp/BENCH_bootstrap.json" ]; then
+	echo "check.sh: ablation-bootstrap wrote no BENCH_bootstrap.json" >&2
+	exit 1
+fi
+echo "BENCH_bootstrap.json written"
+
 echo "check.sh: all checks passed"
