@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"ebv/internal/chainstore"
+	"ebv/internal/hashx"
 	"ebv/internal/node"
 	"ebv/internal/p2p"
 	"ebv/internal/statesync"
@@ -42,6 +43,8 @@ func main() {
 		workers   = flag.Int("workers", 1, "parallel proof-verification workers per block (>1 enables the pipeline)")
 		vcache    = flag.Int("vcache", 1<<16, "verified-proof cache entries (0 disables); relayed blocks whose proofs were already verified skip EV and SV")
 		fastsync  = flag.Bool("fastsync", false, "bootstrap from the -connect peers via state-sync snapshots before gossiping")
+		trustGen  = flag.String("trustgenesis", "", "hex genesis header hash a fast-sync snapshot must build on (anchor for an empty datadir)")
+		minBits   = flag.Uint("minbits", 0, "minimum per-header proof-of-work bits a fast-sync snapshot must declare")
 	)
 	flag.Parse()
 
@@ -61,10 +64,18 @@ func main() {
 			fail(fmt.Errorf("-fastsync needs at least one -connect peer"))
 		}
 		nodeCfg.FastSync = &statesync.Config{
-			Peers: peers,
+			Peers:   peers,
+			MinBits: uint32(*minBits),
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, format+"\n", args...)
 			},
+		}
+		if *trustGen != "" {
+			h, err := hashx.FromString(*trustGen)
+			if err != nil {
+				fail(fmt.Errorf("-trustgenesis: %w", err))
+			}
+			nodeCfg.FastSync.TrustedGenesis = h
 		}
 	}
 	n, err := node.NewEBVNode(nodeCfg)

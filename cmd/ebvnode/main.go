@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"ebv/internal/chainstore"
+	"ebv/internal/hashx"
 	"ebv/internal/node"
 	"ebv/internal/statesync"
 )
@@ -32,6 +33,8 @@ func main() {
 		workers  = flag.Int("workers", 1, "parallel proof-verification workers per block (ebv mode; >1 enables the pipeline)")
 		vcache   = flag.Int("vcache", 0, "verified-proof cache entries (ebv mode; 0 disables)")
 		fastsync = flag.String("fastsync", "", "comma-separated peer addresses to fast-bootstrap from (ebv mode; -chain then replays any remaining blocks)")
+		trustGen = flag.String("trustgenesis", "", "hex genesis header hash a fast-sync snapshot must build on (anchor for an empty datadir)")
+		minBits  = flag.Uint("minbits", 0, "minimum per-header proof-of-work bits a fast-sync snapshot must declare")
 	)
 	flag.Parse()
 	if *chainDir == "" && *fastsync == "" {
@@ -79,10 +82,18 @@ func main() {
 				}
 			}
 			cfg.FastSync = &statesync.Config{
-				Peers: peers,
+				Peers:   peers,
+				MinBits: uint32(*minBits),
 				Logf: func(format string, args ...any) {
 					fmt.Fprintf(os.Stderr, format+"\n", args...)
 				},
+			}
+			if *trustGen != "" {
+				h, err := hashx.FromString(*trustGen)
+				if err != nil {
+					fail(fmt.Errorf("-trustgenesis: %w", err))
+				}
+				cfg.FastSync.TrustedGenesis = h
 			}
 		}
 		n, err := node.NewEBVNode(cfg)

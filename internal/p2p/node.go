@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ebv/internal/chainstore"
 	"ebv/internal/hashx"
 	"ebv/internal/p2p/wire"
 )
@@ -301,6 +302,15 @@ func (n *Node) handleMessage(p *peer, m *wire.Message) error {
 		for h := m.Height; h < m.Height+m.Count && h < next; h++ {
 			raw, err := n.chain.BlockBytes(h)
 			if err != nil {
+				// A fast-synced node holds header-only history below its
+				// snapshot tip: asking for those bodies is a normal IBD
+				// request, not an offence. End the batch and keep the
+				// connection, so the requester fails over to peers that
+				// hold the bodies while gossip of new blocks continues.
+				if errors.Is(err, chainstore.ErrNoBody) {
+					n.logf("peer %s: no body for block %d (fast-synced history), ending batch", p.id, h)
+					return nil
+				}
 				return fmt.Errorf("serving block %d: %w", h, err)
 			}
 			if err := p.send(&wire.Message{Kind: wire.Block, Height: h, Payload: raw}); err != nil {

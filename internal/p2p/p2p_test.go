@@ -643,6 +643,76 @@ func TestSnapshotServingAndFeatureBit(t *testing.T) {
 	}
 }
 
+// A fast-synced node stores header-only history below its snapshot
+// tip. A fresh peer's getblocks for those heights is a normal IBD
+// request, not an offence: the batch must end gracefully and the
+// connection survive, so the requester can fail over to peers with
+// bodies while gossip of new blocks continues.
+func TestGetBlocksOnHeaderOnlyHistoryKeepsPeer(t *testing.T) {
+	_, src := buildEBVChain(t, 30)
+	tip, _ := src.TipHeight()
+
+	// A store shaped like a fast-synced node: headers only below
+	// tip-4, real bodies from there up.
+	store, err := chainstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	for h := uint64(0); h <= tip; h++ {
+		hdr, _ := src.Header(h)
+		if h < tip-4 {
+			err = store.AppendHeader(hdr)
+		} else {
+			raw, _ := src.BlockBytes(h)
+			err = store.Append(hdr, raw)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	serving := NewNode(StaticChain{Store: store}, Config{})
+	if _, err := serving.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer serving.Close()
+
+	conn, err := dialRaw(serving.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.close()
+	if err := conn.send(&wire.Message{Kind: wire.Hello, Height: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.read(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "peer registered", func() bool { return serving.PeerCount() == 1 })
+
+	// Fresh IBD: ask from genesis. The node holds no body there — it
+	// must answer nothing and keep the connection.
+	if err := conn.send(&wire.Message{Kind: wire.GetBlocks, Height: 0, Count: 8}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if serving.PeerCount() != 1 {
+		t.Fatal("getblocks on header-only history must not drop the peer")
+	}
+
+	// Heights with bodies are still served on the same connection.
+	if err := conn.send(&wire.Message{Kind: wire.GetBlocks, Height: tip - 4, Count: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for h := tip - 4; h < tip-2; h++ {
+		got, err := conn.read()
+		if err != nil || got.Kind != wire.Block || got.Height != h {
+			t.Fatalf("want block %d, got %+v, %v", h, got, err)
+		}
+	}
+}
+
 // Byte counters must see traffic in both directions.
 func TestByteCounters(t *testing.T) {
 	_, src := buildEBVChain(t, 30)

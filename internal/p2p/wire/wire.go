@@ -15,8 +15,11 @@
 // Kinds 1–4 are the original gossip protocol; kinds 5–8 carry the
 // statesync snapshot exchange. Hello frames additionally carry an
 // optional trailing feature byte (see Features) so capable peers can
-// discover each other while legacy nodes — which sent a bare varint —
-// keep interoperating.
+// discover each other. The trailer is written only when at least one
+// feature is advertised, so a node advertising none emits exactly the
+// legacy hello and interoperates with pre-feature binaries in both
+// directions; a node advertising a feature can only handshake with
+// peers new enough to accept the trailer.
 package wire
 
 import (
@@ -81,7 +84,13 @@ func Write(w *bufio.Writer, m *Message) error {
 	switch m.Kind {
 	case Hello:
 		body = binary.AppendUvarint(body, m.Height)
-		body = append(body, m.Features)
+		// The trailer is omitted when no features are advertised: legacy
+		// decoders require the body to be exactly one varint, so a
+		// featureless hello stays byte-compatible with pre-feature nodes.
+		// Advertising any feature requires an upgraded peer.
+		if m.Features != 0 {
+			body = append(body, m.Features)
+		}
 	case Inv:
 		body = binary.AppendUvarint(body, m.Height)
 		body = append(body, m.Hash[:]...)

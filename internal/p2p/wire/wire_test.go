@@ -65,6 +65,23 @@ func TestLegacyHelloNoFeatureByte(t *testing.T) {
 	}
 }
 
+// A featureless hello must be byte-identical to the legacy encoding
+// (bare varint body, no trailer): pre-feature decoders require the
+// varint to consume the whole body and would reject a trailing byte,
+// so this is what keeps new-to-old handshakes working.
+func TestFeaturelessHelloMatchesLegacyEncoding(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := Write(w, &Message{Kind: Hello, Height: 42}); err != nil {
+		t.Fatal(err)
+	}
+	body := binary.AppendUvarint(nil, 42)
+	want := append([]byte{Hello, byte(len(body))}, body...)
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("featureless hello % x, legacy form % x", buf.Bytes(), want)
+	}
+}
+
 // An unknown kind must consume its body and return ErrUnknownKind so
 // the caller can skip the frame and keep the connection; the next
 // frame on the stream must still decode.

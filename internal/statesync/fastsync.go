@@ -37,6 +37,16 @@ type Config struct {
 	// PeerFailLimit is how many failures (dial, timeout, bad digest,
 	// unavailable) retire a peer for the rest of the sync. Default 3.
 	PeerFailLimit int
+	// TrustedGenesis, when non-zero, requires the manifest's genesis
+	// header hash to equal it — the bootstrap anchor for a fresh node,
+	// which has no local headers to compare a manifest against.
+	TrustedGenesis hashx.Hash
+	// MinBits, when non-zero, requires every manifest header to declare
+	// at least this many leading-zero proof-of-work bits. Per-header
+	// PoW alone checks a header against its own Bits field, so without
+	// a floor a fabricated Bits=0 chain costs nothing to mine
+	// (blockmodel treats Bits=0 as PoW disabled).
+	MinBits uint32
 	// Logf, if set, receives progress lines.
 	Logf func(format string, args ...any)
 	// OnChunk, if set, is called after each chunk is verified and
@@ -105,6 +115,18 @@ func FastSync(chain *chainstore.Store, status *statusdb.DB, cfg Config) (*Result
 	// manifest disagrees with local state is penalized and the next
 	// peer tried; only the fetch loop running dry aborts the sync.
 	checkLocal := func(m *Manifest) error {
+		if cfg.TrustedGenesis != hashx.ZeroHash && m.Headers[0].Hash() != cfg.TrustedGenesis {
+			return fmt.Errorf("snapshot genesis %s does not match trusted genesis %s",
+				m.Headers[0].Hash().Short(), cfg.TrustedGenesis.Short())
+		}
+		if cfg.MinBits > 0 {
+			for i := range m.Headers {
+				if m.Headers[i].Bits < cfg.MinBits {
+					return fmt.Errorf("header %d declares %d difficulty bits, below required %d",
+						i, m.Headers[i].Bits, cfg.MinBits)
+				}
+			}
+		}
 		tip := m.TipHeight()
 		if uint64(chain.Count()) > tip+1 {
 			return fmt.Errorf("local chain (%d blocks) ahead of snapshot tip %d", chain.Count(), tip)

@@ -223,6 +223,15 @@ func TestManifestRoundTripAndRejects(t *testing.T) {
 	huge := *m
 	huge.Span = statesync.MaxSpan + 1
 	bad = append(bad, huge.Encode())
+	// Overflow attack: with span 1, count 2^57+1 makes a naive size
+	// check (count*96 + chunks*32, computed mod 2^64) wrap to 128, so
+	// this ~140-byte frame would pass it and the header allocation
+	// would panic. It must be rejected by the count bound instead.
+	evil := []byte{1}                          // version
+	evil = binary.AppendUvarint(evil, 1)       // span
+	evil = binary.AppendUvarint(evil, 1<<57+1) // header count
+	evil = append(evil, make([]byte, 128)...)
+	bad = append(bad, evil)
 	for i, b := range bad {
 		if _, err := statesync.DecodeManifest(b); err == nil {
 			t.Fatalf("malformed manifest %d accepted", i)
@@ -434,6 +443,77 @@ func TestManifestContradictingLocalChainIsRejected(t *testing.T) {
 		t.Fatalf("unspent %d != ground truth %d", client.Status.UnspentCount(), g.UTXOCount())
 	}
 	_ = serverNode
+}
+
+// A fresh node has no local headers to compare a manifest against, so
+// a fabricated chain (free to mine with Bits=0) passes structural
+// validation. Config.TrustedGenesis anchors the bootstrap: snapshots
+// not building on the expected genesis are rejected, failing over to
+// a peer serving the real chain or failing closed without one.
+func TestTrustedGenesisAnchorsEmptyChainBootstrap(t *testing.T) {
+	g, src := buildChain(t, 48)
+	tip, _ := src.TipHeight()
+	addr, _ := newServedNode(t, src, tip+1, 8)
+
+	// A self-consistent fabricated chain from a different genesis.
+	forged := make([]blockmodel.Header, tip+1)
+	prev := hashx.ZeroHash
+	for h := uint64(0); h <= tip; h++ {
+		forged[h] = blockmodel.Header{Height: h, PrevBlock: prev, MerkleRoot: hashx.Sum([]byte{byte(h)})}
+		prev = forged[h].Hash()
+	}
+	fm, _ := statesync.BuildManifest(forged, nil, 8)
+	forgedBytes := fm.Encode()
+	evil := startEvil(t, func(m *wire.Message, _ net.Conn, w *bufio.Writer) error {
+		switch m.Kind {
+		case wire.GetManifest:
+			return wire.Write(w, &wire.Message{Kind: wire.Manifest, Payload: forgedBytes})
+		case wire.GetChunk:
+			return wire.Write(w, &wire.Message{Kind: wire.Chunk, Height: m.Height})
+		}
+		return nil
+	})
+
+	genesis, _ := src.Header(0)
+
+	// Only the liar available to an anchored client: fail closed.
+	chain, status, dir := newClientStores(t)
+	cfg := clientConfig(dir, evil)
+	cfg.TrustedGenesis = genesis.Hash()
+	if _, err := statesync.FastSync(chain, status, cfg); err == nil {
+		t.Fatal("forged chain must not pass a trusted-genesis anchor")
+	}
+	if chain.Count() != 0 || status.VectorCount() != 0 {
+		t.Fatal("failed sync must leave state untouched")
+	}
+
+	// Liar plus honest peer: the liar is skipped, the real chain lands.
+	chain2, status2, dir2 := newClientStores(t)
+	cfg2 := clientConfig(dir2, evil, addr)
+	cfg2.TrustedGenesis = genesis.Hash()
+	res, err := statesync.FastSync(chain2, status2, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TipHeight != tip || res.TipHash != src.TipHash() {
+		t.Fatalf("synced to %d, want the real chain", res.TipHeight)
+	}
+	if int(status2.UnspentCount()) != g.UTXOCount() {
+		t.Fatalf("unspent %d != ground truth %d", status2.UnspentCount(), g.UTXOCount())
+	}
+
+	// The difficulty floor is enforced the same way: this test chain is
+	// mined with Bits=0, so MinBits=1 must reject even the honest
+	// snapshot rather than install unanchored state.
+	chain3, status3, dir3 := newClientStores(t)
+	cfg3 := clientConfig(dir3, addr)
+	cfg3.MinBits = 1
+	if _, err := statesync.FastSync(chain3, status3, cfg3); err == nil {
+		t.Fatal("MinBits floor must reject a Bits=0 snapshot")
+	}
+	if chain3.Count() != 0 {
+		t.Fatal("rejected sync must leave state untouched")
+	}
 }
 
 func TestPeerDisconnectMidChunkFailsOver(t *testing.T) {

@@ -14,11 +14,19 @@
 // and hands off to normal IBD/gossip from the snapshot tip.
 //
 // Trust model: chunk digests are bound to the manifest, and the
-// manifest is bound to the header chain the client itself validates
-// (linkage + proof-of-work), so no single lying peer can make a
-// client install state that honest peers did not produce — matching
-// how the paper pins bit vectors to block headers via the BVMR
-// commitment.
+// manifest is bound to a header chain the client validates for
+// linkage and per-header proof-of-work, then checks against whatever
+// anchor it has — previously validated local headers when any exist,
+// and/or a configured trusted genesis hash and difficulty floor
+// (Config.TrustedGenesis, Config.MinBits). Given an anchor, a lying
+// peer cannot make the client install state honest peers did not
+// produce. A fresh node syncing without an anchor trusts the first
+// responsive peer's chain, exactly like plain headers-first IBD:
+// per-header PoW checks a header against its own Bits field, so a
+// fabricated Bits=0 chain costs nothing to mine. This mirrors how the
+// paper pins bit vectors to block headers via the BVMR commitment —
+// the binding is only as strong as the client's anchor to the honest
+// chain.
 package statesync
 
 import (
@@ -133,6 +141,14 @@ func DecodeManifest(data []byte) (*Manifest, error) {
 	data = data[n:]
 	if count == 0 {
 		return nil, fmt.Errorf("statesync: manifest with no headers")
+	}
+	// Bound count by the bytes actually present before any arithmetic
+	// on it: count is attacker-controlled, and both count*headerSize
+	// and chunkCount's heights+span-1 wrap for values near 2^64 — a
+	// tiny frame could otherwise pass the size check and panic in
+	// make() below. This bound also caps chunks, since chunks <= count.
+	if count > uint64(len(data))/headerSize {
+		return nil, fmt.Errorf("statesync: manifest declares %d headers, body holds %d bytes", count, len(data))
 	}
 	chunks := chunkCount(count, span)
 	want := count*headerSize + chunks*hashx.Size
