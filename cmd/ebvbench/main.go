@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"ebv/internal/bench"
@@ -22,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id(s), comma-separated: fig1,fig4,fig5,fig14,fig14full,fig15,fig16,fig17,fig18, ablation-cache,ablation-dbcache,ablation-simcost,ablation-latency,ablation-vector,ablation-parallel,ablation-bootstrap, related-proofs,net-ibd; 'all' = figures, 'everything' = figures+ablations")
+		exp      = flag.String("exp", "all", "experiment id(s), comma-separated: fig1,fig4,fig5,fig14,fig14full,fig15,fig16,fig17,fig18, ablation-cache,ablation-dbcache,ablation-simcost,ablation-latency,ablation-vector,ablation-parallel,ablation-bootstrap,ablation-ibdpipe, related-proofs,net-ibd; 'all' = figures, 'everything' = figures+ablations")
 		blocks   = flag.Int("blocks", 0, "chain height (default preset)")
 		txScale  = flag.Float64("txscale", 0, "tx-per-block scale factor (default preset)")
 		seed     = flag.Int64("seed", 1, "workload seed")
@@ -36,6 +38,9 @@ func main() {
 		quick    = flag.Bool("quick", false, "small preset for smoke runs")
 		workers  = flag.Int("workers", 0, "override worker counts swept by ablation-parallel (0 = {1,2,4,NumCPU})")
 		vcache   = flag.Int("vcache", 0, "verified-proof cache entries for every EBV node (0 disables; ablation-cache sweeps its own sizes)")
+		depth    = flag.Int("depth", 0, "cross-block IBD pipeline depth for every EBV node (0 disables; ablation-ibdpipe sweeps its own depths)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
 	)
 	flag.Parse()
 
@@ -77,6 +82,23 @@ func main() {
 	if *vcache > 0 {
 		opts.VerifyCache = *vcache
 	}
+	if *depth > 0 {
+		opts.PipelineDepth = *depth
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ebvbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ebvbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	start := time.Now()
 	env, err := bench.NewEnv(opts, os.Stderr)
@@ -91,4 +113,18 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "done in %s\n", time.Since(start).Round(time.Millisecond))
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ebvbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ebvbench:", err)
+			os.Exit(1)
+		}
+	}
 }

@@ -31,6 +31,7 @@ func main() {
 		latency  = flag.Duration("latency", 0, "injected disk latency per cache miss (bitcoin mode)")
 		period   = flag.Int("period", 1000, "blocks per progress report")
 		workers  = flag.Int("workers", 1, "parallel proof-verification workers per block (ebv mode; >1 enables the pipeline)")
+		depth    = flag.Int("depth", 0, "cross-block pipeline depth: how many future blocks may preverify ahead of the commit (ebv mode; 0 disables)")
 		vcache   = flag.Int("vcache", 0, "verified-proof cache entries (ebv mode; 0 disables)")
 		fastsync = flag.String("fastsync", "", "comma-separated peer addresses to fast-bootstrap from (ebv mode; -chain then replays any remaining blocks)")
 		trustGen = flag.String("trustgenesis", "", "hex genesis header hash a fast-sync snapshot must build on (anchor for an empty datadir)")
@@ -73,6 +74,7 @@ func main() {
 		cfg := node.Config{
 			Dir: *dataDir, Optimize: true,
 			ParallelValidation: *workers, VerifyCacheSize: *vcache,
+			PipelineDepth: *depth,
 		}
 		if *fastsync != "" {
 			var peers []string
@@ -95,6 +97,9 @@ func main() {
 				}
 				cfg.FastSync.TrustedGenesis = h
 			}
+			// With a local source chain, the snapshot-to-tip gap
+			// replays through the pipelined catch-up inside NewEBVNode.
+			cfg.CatchUpSource = src
 		}
 		n, err := node.NewEBVNode(cfg)
 		if err != nil {
@@ -106,7 +111,12 @@ func main() {
 			fmt.Printf("  snapshot tip %d (%d chunks, %d resumed, %d bytes received)\n",
 				fs.TipHeight, fs.Chunks, fs.ChunksResumed, fs.BytesReceived)
 		}
-		if src != nil {
+		if cu := n.CatchUpResult; cu != nil && cu.Blocks > 0 {
+			fmt.Printf("EBV catch-up complete in %s\n", cu.Wall.Round(time.Millisecond))
+			fmt.Printf("  blocks %d-%d (%d blocks, %d inputs)\n",
+				cu.StartHeight, cu.EndHeight, cu.Blocks, cu.Breakdown.Inputs)
+		}
+		if src != nil && n.CatchUpResult == nil {
 			res, err := node.RunIBDEBV(src, n, *period, progress)
 			if err != nil {
 				fail(err)

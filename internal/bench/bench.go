@@ -72,6 +72,10 @@ type Options struct {
 	// cache of that many entries. 0 keeps caching off; ablation-cache
 	// sweeps its own sizes regardless.
 	VerifyCache int
+	// PipelineDepth, when > 0, runs every EBV node's IBD through the
+	// cross-block pipeline at that depth; ablation-ibdpipe sweeps its
+	// own depths regardless. 0 keeps one-block-at-a-time replay.
+	PipelineDepth int
 	// ArtifactDir is where experiments that emit machine-readable
 	// results (BENCH_cache.json) write them. Default "." (the current
 	// directory).
@@ -274,6 +278,7 @@ func (e *Env) EBVNodeConfig(dir string) node.Config {
 		Scheme:             e.Opts.Scheme(),
 		ParallelValidation: e.Opts.Workers,
 		VerifyCacheSize:    e.Opts.VerifyCache,
+		PipelineDepth:      e.Opts.PipelineDepth,
 	}
 }
 

@@ -32,6 +32,7 @@ func Experiments() []Experiment {
 		{"ablation-vector", "Sparse-vector optimization detail", (*Env).AblationVector},
 		{"ablation-parallel", "EBV window validation vs parallel pipeline workers", (*Env).AblationParallel},
 		{"ablation-bootstrap", "Joining node: full IBD vs fast-bootstrap state sync", (*Env).AblationBootstrap},
+		{"ablation-ibdpipe", "Cross-block pipelined IBD vs depth and workers", (*Env).AblationIBDPipe},
 		{"related-proofs", "Proof size/churn: EBV vs accumulator designs", (*Env).RelatedProofs},
 		{"net-ibd", "Networked IBD over the gossip protocol", (*Env).NetIBD},
 	}

@@ -221,6 +221,57 @@ func (v *EBVValidator) uvInput(body *txmodel.InputBody) error {
 	return nil
 }
 
+// uvProbes holds one block's batched Unspent Validation answers, in
+// the scan order of collectSpends. Nothing mutates the status database
+// between a block's probes and its commit, so probing everything up
+// front under one read lock returns exactly what per-input IsUnspent
+// calls at scan time would; check surfaces each verdict with uvInput's
+// error mapping, preserving error selection input for input.
+type uvProbes struct {
+	spends []statusdb.Spend
+	res    []statusdb.ProbeResult
+}
+
+// collectSpends flattens the block's spends in validation scan order:
+// every non-coinbase transaction's bodies, in block order. The
+// coinbase is skipped — its bodies (it should have none) are never
+// examined by the scan either.
+func collectSpends(b *blockmodel.EBVBlock) []statusdb.Spend {
+	spends := make([]statusdb.Spend, 0, b.TotalInputs())
+	for ti, tx := range b.Txs {
+		if ti == 0 {
+			continue
+		}
+		for bi := range tx.Bodies {
+			body := &tx.Bodies[bi]
+			spends = append(spends, statusdb.Spend{Height: body.Height, Pos: body.AbsPosition()})
+		}
+	}
+	return spends
+}
+
+// probeUV runs the block's batched Unspent Validation — one read lock
+// for the whole block instead of one per input — charging the probe
+// pass to the UV counter.
+func (v *EBVValidator) probeUV(spends []statusdb.Spend, bd *Breakdown) *uvProbes {
+	w := newStopwatch()
+	res := v.status.IsUnspentBatch(spends)
+	w.lap(&bd.UV)
+	return &uvProbes{spends: spends, res: res}
+}
+
+// check returns input i's UV verdict with uvInput's exact error text.
+func (p *uvProbes) check(i int) error {
+	r := p.res[i]
+	if r.Err != nil {
+		return fmt.Errorf("%w: %v", ErrBadProof, r.Err)
+	}
+	if !r.Unspent {
+		return fmt.Errorf("%w: height %d position %d", ErrSpentOutput, p.spends[i].Height, p.spends[i].Pos)
+	}
+	return nil
+}
+
 // svTask is one deferred script validation.
 type svTask struct {
 	unlock, lock []byte
@@ -264,10 +315,15 @@ func (v *EBVValidator) ConnectBlock(b *blockmodel.EBVBlock) (*Breakdown, error) 
 	}
 	w.lap(&bd.Other)
 
-	spends := make([]statusdb.Spend, 0, bd.Inputs)
+	// UV runs as one batched probe — a single status-database read
+	// lock for the whole block — whose per-input verdicts the scan
+	// below consumes in order, so error selection is unchanged.
+	uv := v.probeUV(collectSpends(b), bd)
+	idx := 0
 	seen := make(map[statusdb.Spend]struct{}, bd.Inputs)
 	var totalFees uint64
 	var deferred []svTask // parallel-SV mode: scripts checked after the scan
+	w = newStopwatch()
 
 	for ti, tx := range b.Txs {
 		if ti == 0 {
@@ -289,7 +345,7 @@ func (v *EBVValidator) ConnectBlock(b *blockmodel.EBVBlock) (*Breakdown, error) 
 		var inSum uint64
 		for bi := range tx.Bodies {
 			body := &tx.Bodies[bi]
-			sp := statusdb.Spend{Height: body.Height, Pos: body.AbsPosition()}
+			sp := uv.spends[idx]
 			if _, dup := seen[sp]; dup {
 				w.lap(&bd.UV)
 				return bd, fmt.Errorf("%w: height %d position %d", ErrDuplicateSpend, sp.Height, sp.Pos)
@@ -298,8 +354,8 @@ func (v *EBVValidator) ConnectBlock(b *blockmodel.EBVBlock) (*Breakdown, error) 
 			w.lap(&bd.UV)
 
 			// Verified-proof cache: a hit skips the EV fold and the
-			// script execution below; the UV probe and everything after
-			// it still run — they read mutable chain state.
+			// script execution below; the UV verdict and everything
+			// after it still apply — they read mutable chain state.
 			key, keyOK := v.cacheKey(body, sigHash)
 			var out *txmodel.TxOut
 			hit := false
@@ -307,16 +363,18 @@ func (v *EBVValidator) ConnectBlock(b *blockmodel.EBVBlock) (*Breakdown, error) 
 				out, hit = v.cacheProbe(key, body, bd)
 			}
 			if hit {
-				uw := newStopwatch()
-				err := v.uvInput(body)
-				uw.lap(&bd.UV)
-				if err != nil {
+				if err := uv.check(idx); err != nil {
 					return bd, fmt.Errorf("tx %d input %d: %w", ti, bi, err)
 				}
 			} else {
+				ew := newStopwatch()
 				var err error
-				out, err = v.validateInputEVUV(body, bd)
+				out, err = v.evInput(body)
+				ew.lap(&bd.EV)
 				if err != nil {
+					return bd, fmt.Errorf("tx %d input %d: %w", ti, bi, err)
+				}
+				if err := uv.check(idx); err != nil {
 					return bd, fmt.Errorf("tx %d input %d: %w", ti, bi, err)
 				}
 				if v.parallel > 1 {
@@ -353,7 +411,7 @@ func (v *EBVValidator) ConnectBlock(b *blockmodel.EBVBlock) (*Breakdown, error) 
 				return bd, fmt.Errorf("%w: tx %d", ErrOverflow, ti)
 			}
 			inSum += out.Value
-			spends = append(spends, sp)
+			idx++
 			w.lap(&bd.Other)
 		}
 
@@ -400,8 +458,9 @@ func (v *EBVValidator) ConnectBlock(b *blockmodel.EBVBlock) (*Breakdown, error) 
 
 	// Status update: insert the block's all-ones vector, clear the
 	// spent bits (paper §IV-E1). Counted under Other — it is block
-	// storage work, not input checking.
-	if err := v.status.Connect(b.Header.Height, bd.Outputs, spends); err != nil {
+	// storage work, not input checking. Every input passed, so the
+	// collected spends are exactly the spends to apply.
+	if err := v.status.Connect(b.Header.Height, bd.Outputs, uv.spends); err != nil {
 		w.lap(&bd.Other)
 		return bd, fmt.Errorf("%w: %v", ErrInvalidBlock, err)
 	}
@@ -409,7 +468,11 @@ func (v *EBVValidator) ConnectBlock(b *blockmodel.EBVBlock) (*Breakdown, error) 
 	return bd, nil
 }
 
-func (v *EBVValidator) checkStructure(b *blockmodel.EBVBlock) error {
+// checkLink verifies b extends the header source's tip. It is part of
+// checkStructure, and ConnectPreverified re-runs it alone against the
+// committed chain — the header view a Preverify saw may have included
+// speculative, since-discarded predecessors.
+func (v *EBVValidator) checkLink(b *blockmodel.EBVBlock) error {
 	tip, hasTip := v.headers.TipHeight()
 	switch {
 	case !hasTip:
@@ -423,6 +486,13 @@ func (v *EBVValidator) checkStructure(b *blockmodel.EBVBlock) error {
 		if b.Header.PrevBlock != prev.Hash() {
 			return fmt.Errorf("%w: prev hash mismatch", ErrBadLink)
 		}
+	}
+	return nil
+}
+
+func (v *EBVValidator) checkStructure(b *blockmodel.EBVBlock) error {
+	if err := v.checkLink(b); err != nil {
+		return err
 	}
 	if len(b.Txs) == 0 || !b.Txs[0].Tidy.IsCoinbase() {
 		return ErrNoCoinbase

@@ -42,16 +42,19 @@ import (
 // rests on. workers <= 1 degenerates to a sequential loop with early
 // exit, sharing the code path so both modes behave identically.
 func runWorkers(workers, n int, fn func(i int) bool) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
+	// Single-task or single-worker calls run inline on the calling
+	// goroutine: no goroutines, no WaitGroup, no atomics — a
+	// one-transaction block pays nothing for the pool machinery.
+	if n <= 1 || workers <= 1 {
 		for i := 0; i < n; i++ {
 			if !fn(i) {
 				return
 			}
 		}
 		return
+	}
+	if workers > n {
+		workers = n
 	}
 	var (
 		next     atomic.Int64
@@ -182,46 +185,111 @@ func (v *EBVValidator) verifyTx(tx *txmodel.EBVTx) *txVerdict {
 	return tv
 }
 
-// connectBlockParallel is ConnectBlock for pipeline mode. The
-// Breakdown stays honest under concurrency: the fan-out phase is
-// charged at its wall-clock duration, apportioned across EV, SV and
-// Other in proportion to the summed worker time each phase consumed —
-// so Total() still approximates real elapsed time instead of summed
-// worker time.
-func (v *EBVValidator) connectBlockParallel(b *blockmodel.EBVBlock) (*Breakdown, error) {
-	bd := &Breakdown{Txs: len(b.Txs), Inputs: b.TotalInputs(), Outputs: b.TotalOutputs()}
-	w := newStopwatch()
+// Preverified carries stage A's output for one block: the structure
+// verdict's bookkeeping plus one proof-verification verdict per
+// transaction, ready for the sequential reduce (ConnectPreverified).
+// A Preverified is consumed exactly once; its Breakdown accumulates
+// across both stages.
+type Preverified struct {
+	verdicts []*txVerdict
+	bd       Breakdown
+}
 
-	if err := v.checkStructure(b); err != nil {
+// Breakdown exposes the work recorded so far — pipeline drivers report
+// it for blocks whose stage A failed and that never reach stage B.
+func (p *Preverified) Breakdown() *Breakdown { return &p.bd }
+
+// Preverify runs stage A of the cross-block pipeline for one block:
+// the structure check and the proof-verification fan-out —
+// consistency binding, sighash, per-input EV Merkle folds and SV
+// script execution, all verified-proof-cache aware — on up to workers
+// goroutines. hs, when non-nil, replaces the validator's own header
+// view; a pipeline passes an overlay that already includes the
+// headers of preverified-but-uncommitted predecessors, which is what
+// lets block N+K verify before block N commits. Nothing here reads or
+// writes the status database, so any number of Preverify calls may
+// run while earlier blocks connect. The live-state checks — UV,
+// duplicate spends, maturity, value conservation, the commit — happen
+// in ConnectPreverified, in height order.
+func (v *EBVValidator) Preverify(b *blockmodel.EBVBlock, hs HeaderSource, workers int) (*Preverified, error) {
+	sv := *v // shallow copy: swap only the header view
+	if hs != nil {
+		sv.headers = hs
+	}
+	pv := &Preverified{bd: Breakdown{Txs: len(b.Txs), Inputs: b.TotalInputs(), Outputs: b.TotalOutputs()}}
+	bd := &pv.bd
+	w := newStopwatch()
+	if err := sv.checkStructure(b); err != nil {
 		w.lap(&bd.Other)
-		return bd, err
+		return pv, err
 	}
 	w.lap(&bd.Other)
 
 	// Fan out: one task per non-coinbase transaction. verdicts[0]
 	// stays nil — the coinbase is covered by structure + subsidy.
-	verdicts := make([]*txVerdict, len(b.Txs))
-	var poolWall time.Duration
+	pv.verdicts = make([]*txVerdict, len(b.Txs))
 	if len(b.Txs) > 1 {
+		var poolWall time.Duration
 		pw := newStopwatch()
-		runWorkers(v.pipeline, len(b.Txs)-1, func(i int) bool {
-			tv := v.verifyTx(b.Txs[i+1])
-			verdicts[i+1] = tv
+		runWorkers(workers, len(b.Txs)-1, func(i int) bool {
+			tv := sv.verifyTx(b.Txs[i+1])
+			pv.verdicts[i+1] = tv
 			return tv.ok()
 		})
 		pw.lap(&poolWall)
-		v.chargePool(bd, verdicts, poolWall)
+		sv.chargePool(bd, pv.verdicts, poolWall)
 	}
-	w = newStopwatch()
+	return pv, nil
+}
 
-	// Sequential reduce: replicate the sequential path's exact check
-	// order over the verdicts so the first failure — and its message —
-	// is identical. Worker-failed transactions cancel the pool past
-	// their index, so a nil verdict can only sit beyond the index this
-	// scan stops at; the guard below is belt and braces.
-	spends := make([]statusdb.Spend, 0, bd.Inputs)
+// ConnectPreverified runs stage B for a block whose proofs Preverify
+// already checked: it re-verifies the linkage against the committed
+// tip (stage A may have verified against speculative predecessors
+// that never connected), then performs the sequential reduce and the
+// status-database commit. Acceptance, rejection, and the reported
+// error are bit-for-bit identical to ConnectBlock on the same state.
+// The returned Breakdown aggregates both stages.
+func (v *EBVValidator) ConnectPreverified(b *blockmodel.EBVBlock, pv *Preverified) (*Breakdown, error) {
+	bd := &pv.bd
+	w := newStopwatch()
+	if err := v.checkLink(b); err != nil {
+		w.lap(&bd.Other)
+		return bd, err
+	}
+	w.lap(&bd.Other)
+	return bd, v.reduceAndConnect(b, pv.verdicts, bd)
+}
+
+// connectBlockParallel is ConnectBlock for pipeline mode: stage A and
+// stage B back to back on the caller's state. The Breakdown stays
+// honest under concurrency: the fan-out phase is charged at its
+// wall-clock duration, apportioned across EV, SV and Other in
+// proportion to the summed worker time each phase consumed — so
+// Total() still approximates real elapsed time instead of summed
+// worker time.
+func (v *EBVValidator) connectBlockParallel(b *blockmodel.EBVBlock) (*Breakdown, error) {
+	pv, err := v.Preverify(b, nil, v.pipeline)
+	bd := &pv.bd
+	if err != nil {
+		return bd, err
+	}
+	return bd, v.reduceAndConnect(b, pv.verdicts, bd)
+}
+
+// reduceAndConnect is the shared stage B body: the sequential reduce
+// over worker verdicts, replicating the sequential path's exact check
+// order — batched UV probes consumed in scan order, duplicate-spend
+// detection, maturity, value conservation, subsidy — so the first
+// failure and its message are identical, followed by the bit-vector
+// commit. Worker-failed transactions cancel the pool past their
+// index, so a nil verdict can only sit beyond the index the scan
+// stops at; the guard below is belt and braces.
+func (v *EBVValidator) reduceAndConnect(b *blockmodel.EBVBlock, verdicts []*txVerdict, bd *Breakdown) error {
+	uv := v.probeUV(collectSpends(b), bd)
+	idx := 0
 	seen := make(map[statusdb.Spend]struct{}, bd.Inputs)
 	var totalFees uint64
+	w := newStopwatch()
 
 	for ti, tx := range b.Txs {
 		if ti == 0 {
@@ -230,75 +298,72 @@ func (v *EBVValidator) connectBlockParallel(b *blockmodel.EBVBlock) (*Breakdown,
 		tv := verdicts[ti]
 		if tv == nil {
 			w.lap(&bd.Other)
-			return bd, fmt.Errorf("%w: tx %d skipped by cancelled pool", ErrInvalidBlock, ti)
+			return fmt.Errorf("%w: tx %d skipped by cancelled pool", ErrInvalidBlock, ti)
 		}
 		if tv.coinbase {
 			w.lap(&bd.Other)
-			return bd, fmt.Errorf("%w: tx %d", ErrExtraCoinbase, ti)
+			return fmt.Errorf("%w: tx %d", ErrExtraCoinbase, ti)
 		}
 		if tv.consErr != nil {
 			w.lap(&bd.Other)
-			return bd, fmt.Errorf("%w: tx %d: %v", ErrBadProof, ti, tv.consErr)
+			return fmt.Errorf("%w: tx %d: %v", ErrBadProof, ti, tv.consErr)
 		}
 
 		var inSum uint64
 		for bi := range tx.Bodies {
 			body := &tx.Bodies[bi]
 			iv := &tv.inputs[bi]
-			sp := statusdb.Spend{Height: body.Height, Pos: body.AbsPosition()}
+			sp := uv.spends[idx]
 			if _, dup := seen[sp]; dup {
 				w.lap(&bd.UV)
-				return bd, fmt.Errorf("%w: height %d position %d", ErrDuplicateSpend, sp.Height, sp.Pos)
+				return fmt.Errorf("%w: height %d position %d", ErrDuplicateSpend, sp.Height, sp.Pos)
 			}
 			seen[sp] = struct{}{}
 			w.lap(&bd.UV)
 
-			// EV ran on the workers; UV runs here, against the live
-			// bit-vector set, in the same EV-then-UV-then-SV order the
-			// sequential path checks.
+			// EV ran on the workers; the UV verdict applies here, in
+			// the same EV-then-UV-then-SV order the sequential path
+			// checks.
 			if iv.evErr != nil {
 				w = newStopwatch()
-				return bd, fmt.Errorf("tx %d input %d: %w", ti, bi, iv.evErr)
+				return fmt.Errorf("tx %d input %d: %w", ti, bi, iv.evErr)
 			}
-			uw := newStopwatch()
-			err := v.uvInput(body)
-			uw.lap(&bd.UV)
-			if err != nil {
+			if err := uv.check(idx); err != nil {
 				w = newStopwatch()
-				return bd, fmt.Errorf("tx %d input %d: %w", ti, bi, err)
+				return fmt.Errorf("tx %d input %d: %w", ti, bi, err)
 			}
 			if iv.svErr != nil {
 				w = newStopwatch()
-				return bd, fmt.Errorf("tx %d input %d: %w: %v", ti, bi, ErrScriptFailed, iv.svErr)
+				return fmt.Errorf("tx %d input %d: %w: %v", ti, bi, ErrScriptFailed, iv.svErr)
 			}
 			w = newStopwatch()
 
 			if body.PrevTx.IsCoinbase() && b.Header.Height-body.Height < txmodel.CoinbaseMaturity {
 				w.lap(&bd.Other)
-				return bd, fmt.Errorf("%w: tx %d input %d", ErrImmature, ti, bi)
+				return fmt.Errorf("%w: tx %d input %d", ErrImmature, ti, bi)
 			}
 			if inSum+iv.out.Value < inSum {
 				w.lap(&bd.Other)
-				return bd, fmt.Errorf("%w: tx %d", ErrOverflow, ti)
+				return fmt.Errorf("%w: tx %d", ErrOverflow, ti)
 			}
 			inSum += iv.out.Value
-			spends = append(spends, sp)
+			idx++
 			w.lap(&bd.Other)
 		}
 
 		outSum, ok := tx.OutputSum()
 		if !ok {
 			w.lap(&bd.Other)
-			return bd, fmt.Errorf("%w: tx %d", ErrOverflow, ti)
+			return fmt.Errorf("%w: tx %d", ErrOverflow, ti)
 		}
 		if outSum > inSum {
 			w.lap(&bd.Other)
-			return bd, fmt.Errorf("%w: tx %d spends %d, creates %d", ErrValueImbalance, ti, inSum, outSum)
+			return fmt.Errorf("%w: tx %d spends %d, creates %d", ErrValueImbalance, ti, inSum, outSum)
 		}
 		fee := inSum - outSum
 		if totalFees+fee < totalFees {
 			w.lap(&bd.Other)
-			return bd, fmt.Errorf("%w: fees", ErrOverflow)
+			return fmt.Errorf("%w: fees", ErrOverflow)
 		}
 		totalFees += fee
 		w.lap(&bd.Other)
@@ -307,20 +372,22 @@ func (v *EBVValidator) connectBlockParallel(b *blockmodel.EBVBlock) (*Breakdown,
 	cbSum, ok := b.Txs[0].OutputSum()
 	if !ok {
 		w.lap(&bd.Other)
-		return bd, fmt.Errorf("%w: coinbase", ErrOverflow)
+		return fmt.Errorf("%w: coinbase", ErrOverflow)
 	}
 	if cbSum > blockmodel.Subsidy(b.Header.Height)+totalFees {
 		w.lap(&bd.Other)
-		return bd, fmt.Errorf("%w: claims %d, allowed %d", ErrBadSubsidy, cbSum, blockmodel.Subsidy(b.Header.Height)+totalFees)
+		return fmt.Errorf("%w: claims %d, allowed %d", ErrBadSubsidy, cbSum, blockmodel.Subsidy(b.Header.Height)+totalFees)
 	}
 	w.lap(&bd.Other)
 
-	if err := v.status.Connect(b.Header.Height, bd.Outputs, spends); err != nil {
+	// Every input passed, so the collected spends are exactly the
+	// spends to apply.
+	if err := v.status.Connect(b.Header.Height, bd.Outputs, uv.spends); err != nil {
 		w.lap(&bd.Other)
-		return bd, fmt.Errorf("%w: %v", ErrInvalidBlock, err)
+		return fmt.Errorf("%w: %v", ErrInvalidBlock, err)
 	}
 	w.lap(&bd.Other)
-	return bd, nil
+	return nil
 }
 
 // chargePool distributes the fan-out phase's wall-clock duration

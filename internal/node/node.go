@@ -8,6 +8,7 @@ package node
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -17,6 +18,7 @@ import (
 	"ebv/internal/chainstore"
 	"ebv/internal/core"
 	"ebv/internal/kvstore"
+	"ebv/internal/pipeline"
 	"ebv/internal/script"
 	"ebv/internal/sig"
 	"ebv/internal/statesync"
@@ -60,12 +62,25 @@ type Config struct {
 	// and SV script execution at block validation. 0 disables the
 	// cache (the seed behavior).
 	VerifyCacheSize int
+	// PipelineDepth, when > 0, replays IBD through the cross-block
+	// pipeline (internal/pipeline): structure checks and EV+SV proof
+	// verification of up to PipelineDepth future blocks overlap the
+	// sequential UV probes and commit of the current one. Applies to
+	// RunIBDEBV and the post-fast-sync catch-up; 0 keeps
+	// one-block-at-a-time replay. Failure behavior is identical to the
+	// sequential path (same first error at the same height).
+	PipelineDepth int
 	// FastSync, when non-nil with peers configured, bootstraps an
 	// empty EBV node from peer snapshots inside NewEBVNode before the
 	// validator comes up (and resumes an interrupted bootstrap found
 	// under Dir). Dir and SnapshotPath are derived from the node's own
 	// layout; the remaining fields pass through to statesync.FastSync.
 	FastSync *statesync.Config
+	// CatchUpSource, when set together with FastSync, is replayed into
+	// the node right after the bootstrap installs (statesync.CatchUp):
+	// the blocks between the snapshot's base height and the source tip
+	// run through the validation pipeline before NewEBVNode returns.
+	CatchUpSource *chainstore.Store
 }
 
 func (c Config) scheme() sig.Scheme {
@@ -199,7 +214,12 @@ type EBVNode struct {
 	// FastSyncResult is set when this node bootstrapped (or resumed a
 	// bootstrap) via Config.FastSync.
 	FastSyncResult *statesync.Result
-	statusPth      string
+	// CatchUpResult is set when the node replayed a Config.CatchUpSource
+	// tail right after its fast-sync bootstrap.
+	CatchUpResult *statesync.CatchUpResult
+	statusPth     string
+	pipeDepth     int
+	pipeWorkers   int
 }
 
 // NewEBVNode creates or reopens an EBV node under cfg.Dir. A snapshot
@@ -255,6 +275,19 @@ func NewEBVNode(cfg Config) (*EBVNode, error) {
 		opts = append(opts, core.WithVerificationCache(vcache.New(cfg.VerifyCacheSize)))
 	}
 	n.Validator = core.NewEBVValidator(status, script.NewEngine(cfg.scheme()), chain, opts...)
+	n.pipeDepth = cfg.PipelineDepth
+	n.pipeWorkers = cfg.ParallelValidation
+	// A bootstrapped node is current only up to the snapshot's base
+	// height; replay the remaining blocks through the pipeline before
+	// handing the node out.
+	if cfg.FastSync != nil && cfg.CatchUpSource != nil {
+		res, err := statesync.CatchUp(cfg.CatchUpSource, chain, n.Validator, cfg.PipelineDepth, cfg.ParallelValidation, cfg.FastSync.Logf)
+		if err != nil {
+			chain.Close()
+			return nil, fmt.Errorf("node: catch-up: %w", err)
+		}
+		n.CatchUpResult = res
+	}
 	// Disconnects recreate fully spent vectors; resolve output counts
 	// from the stored blocks, memoized (reorgs are rare and shallow).
 	counts := make(map[uint64]int)
@@ -358,8 +391,14 @@ func RunIBDBitcoin(src *chainstore.Store, node *BitcoinNode, periodLen int, prog
 }
 
 // RunIBDEBV replays the EBV chain in src into node, resuming from the
-// node's tip.
+// node's tip. A node configured with PipelineDepth > 0 replays through
+// the cross-block pipeline — proof verification of future blocks
+// overlaps the commit of past ones — with identical results and
+// identical failure reporting.
 func RunIBDEBV(src *chainstore.Store, node *EBVNode, periodLen int, progress func(PeriodStats)) (*IBDResult, error) {
+	if node.pipeDepth > 0 {
+		return runIBDEBVPipelined(src, node, periodLen, progress)
+	}
 	return runIBD(src, nextHeight(node.Chain), periodLen, progress, func(raw []byte) (*core.Breakdown, error) {
 		blk, err := blockmodel.DecodeEBVBlock(raw)
 		if err != nil {
@@ -367,6 +406,63 @@ func RunIBDEBV(src *chainstore.Store, node *EBVNode, periodLen int, progress fun
 		}
 		return node.SubmitBlock(blk)
 	})
+}
+
+// runIBDEBVPipelined mirrors runIBD's per-period accounting around
+// pipeline.Run. The error contract matches runIBD exactly: source read
+// errors return unwrapped, validation errors return wrapped with their
+// height, the failing block's partial work lands in Total, and the
+// partial period is not flushed.
+func runIBDEBVPipelined(src *chainstore.Store, node *EBVNode, periodLen int, progress func(PeriodStats)) (*IBDResult, error) {
+	if periodLen <= 0 {
+		periodLen = 1 << 62
+	}
+	res := &IBDResult{}
+	startHeight := nextHeight(node.Chain)
+	tip, ok := src.TipHeight()
+	if !ok || startHeight > tip {
+		return res, nil
+	}
+	cur := PeriodStats{}
+	start := time.Now()
+	periodStart := start
+	periodStartHeight := startHeight
+	err := pipeline.Run(src, node.Chain, node.Validator, startHeight, pipeline.Config{
+		Depth:   node.pipeDepth,
+		Workers: node.pipeWorkers,
+		Progress: func(h uint64, bd *core.Breakdown) {
+			cur.Breakdown.Add(bd)
+			res.Total.Add(bd)
+			if (h+1)%uint64(periodLen) == 0 || h == tip {
+				cur.StartHeight = periodStartHeight
+				cur.EndHeight = h
+				cur.Wall = time.Since(periodStart)
+				res.Periods = append(res.Periods, cur)
+				if progress != nil {
+					progress(cur)
+				}
+				cur = PeriodStats{}
+				periodStart = time.Now()
+				periodStartHeight = h + 1
+			}
+		},
+	})
+	if err != nil {
+		var be *pipeline.BlockError
+		if errors.As(err, &be) {
+			if be.Breakdown != nil {
+				cur.Breakdown.Add(be.Breakdown)
+				res.Total.Add(be.Breakdown)
+			}
+			if be.Fetch {
+				return res, be.Err
+			}
+			return res, fmt.Errorf("ibd at height %d: %w", be.Height, be.Err)
+		}
+		return res, err
+	}
+	res.Wall = time.Since(start)
+	return res, nil
 }
 
 // nextHeight returns the first height a node still needs.

@@ -542,3 +542,103 @@ func TestBitcoinDisconnectWithoutUndoFails(t *testing.T) {
 		t.Fatal("failed disconnect must not truncate")
 	}
 }
+
+// TestPipelinedIBDMatchesSequential runs the same EBV chain through a
+// sequential node and a pipelined one (PipelineDepth > 0) and demands
+// identical state, identical totals, and identical period structure.
+func TestPipelinedIBDMatchesSequential(t *testing.T) {
+	g, _, ebvChain := buildChains(t, 180)
+
+	seq, err := NewEBVNode(Config{Dir: t.TempDir(), Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seq.Close()
+	pipe, err := NewEBVNode(Config{Dir: t.TempDir(), Optimize: true, PipelineDepth: 4, ParallelValidation: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Close()
+
+	resSeq, err := RunIBDEBV(ebvChain, seq, 50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls int
+	resPipe, err := RunIBDEBV(ebvChain, pipe, 50, func(PeriodStats) { calls++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if int(pipe.Status.UnspentCount()) != g.UTXOCount() {
+		t.Fatalf("pipelined unspent count %d != %d", pipe.Status.UnspentCount(), g.UTXOCount())
+	}
+	if seq.Status.UnspentCount() != pipe.Status.UnspentCount() {
+		t.Fatalf("state divergence: %d vs %d unspent", seq.Status.UnspentCount(), pipe.Status.UnspentCount())
+	}
+	if seq.Chain.TipHash() != pipe.Chain.TipHash() || pipe.Chain.Count() != 180 {
+		t.Fatalf("chain divergence: count %d", pipe.Chain.Count())
+	}
+	if resSeq.Total.Inputs != resPipe.Total.Inputs || resSeq.Total.Txs != resPipe.Total.Txs {
+		t.Fatalf("totals differ: %d/%d inputs, %d/%d txs",
+			resSeq.Total.Inputs, resPipe.Total.Inputs, resSeq.Total.Txs, resPipe.Total.Txs)
+	}
+	if len(resPipe.Periods) != 4 || calls != 4 {
+		t.Fatalf("period structure: %d periods, %d progress calls", len(resPipe.Periods), calls)
+	}
+	for i, p := range resPipe.Periods {
+		if p.StartHeight != resSeq.Periods[i].StartHeight || p.EndHeight != resSeq.Periods[i].EndHeight {
+			t.Fatalf("period %d bounds: %+v vs %+v", i, p, resSeq.Periods[i])
+		}
+		if p.Breakdown.Inputs != resSeq.Periods[i].Breakdown.Inputs {
+			t.Fatalf("period %d inputs: %d vs %d", i, p.Breakdown.Inputs, resSeq.Periods[i].Breakdown.Inputs)
+		}
+	}
+	if resPipe.Wall <= 0 {
+		t.Fatal("pipelined run must report wall time")
+	}
+}
+
+// TestPipelinedIBDFailsLikeSequential corrupts one mid-chain block and
+// checks the pipelined driver reports the identical wrapped error and
+// stops at the identical tip.
+func TestPipelinedIBDFailsLikeSequential(t *testing.T) {
+	_, _, ebvChain := buildChains(t, 60)
+	corrupt, err := chainstore.Open(filepath.Join(t.TempDir(), "bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer corrupt.Close()
+	for h := uint64(0); h < 60; h++ {
+		raw, _ := ebvChain.BlockBytes(h)
+		hdr, _ := ebvChain.Header(h)
+		if h == 40 {
+			raw = raw[:len(raw)-3]
+		}
+		if err := corrupt.Append(hdr, raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	run := func(depth int) (string, uint64) {
+		n, err := NewEBVNode(Config{Dir: t.TempDir(), Optimize: true, PipelineDepth: depth, ParallelValidation: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		_, ibdErr := RunIBDEBV(corrupt, n, 0, nil)
+		if ibdErr == nil {
+			t.Fatal("corrupt chain must abort IBD")
+		}
+		tip, _ := n.Chain.TipHeight()
+		return ibdErr.Error(), tip
+	}
+	seqMsg, seqTip := run(0)
+	pipeMsg, pipeTip := run(4)
+	if seqMsg != pipeMsg {
+		t.Fatalf("error divergence:\n  sequential: %s\n  pipelined:  %s", seqMsg, pipeMsg)
+	}
+	if seqTip != 39 || pipeTip != 39 {
+		t.Fatalf("tips after failure: %d / %d, want 39", seqTip, pipeTip)
+	}
+}

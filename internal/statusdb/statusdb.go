@@ -156,6 +156,33 @@ func (d *DB) Connect(height uint64, nOutputs int, spends []Spend) error {
 func (d *DB) IsUnspent(height uint64, pos uint32) (bool, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
+	return d.probeLocked(height, pos)
+}
+
+// ProbeResult is one spend's answer from IsUnspentBatch, with exactly
+// the semantics of an IsUnspent call for the same (height, pos).
+type ProbeResult struct {
+	Unspent bool
+	Err     error
+}
+
+// IsUnspentBatch probes every spend under a single read lock — the
+// per-block Unspent Validation pattern, where taking the RLock once
+// per input would serialize the validator against concurrent readers
+// for no benefit: nothing mutates the set between a block's probes.
+// res[i] answers spends[i] exactly as IsUnspent would.
+func (d *DB) IsUnspentBatch(spends []Spend) []ProbeResult {
+	res := make([]ProbeResult, len(spends))
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for i, s := range spends {
+		res[i].Unspent, res[i].Err = d.probeLocked(s.Height, s.Pos)
+	}
+	return res
+}
+
+// probeLocked is IsUnspent's body; the caller holds at least d.mu.RLock.
+func (d *DB) probeLocked(height uint64, pos uint32) (bool, error) {
 	if !d.hasTip || height > d.tip {
 		return false, fmt.Errorf("%w: %d", ErrUnknownBlock, height)
 	}

@@ -375,3 +375,59 @@ func TestDisconnectErrors(t *testing.T) {
 		t.Fatal("set must be empty after genesis disconnect")
 	}
 }
+
+// TestIsUnspentBatchMatchesSingle proves the batched probe answers
+// every spend exactly as a standalone IsUnspent call would, across all
+// answer shapes: unspent, spent, fully spent (deleted) vector, height
+// above the tip, position out of range, and the empty set.
+func TestIsUnspentBatchMatchesSingle(t *testing.T) {
+	d := New(true)
+	if got := d.IsUnspentBatch([]Spend{{Height: 0, Pos: 0}}); got[0].Err == nil {
+		t.Fatal("empty set must report unknown height")
+	}
+	if got := d.IsUnspentBatch(nil); len(got) != 0 {
+		t.Fatalf("empty batch: %v", got)
+	}
+
+	if err := d.Connect(0, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect(1, 1, []Spend{{Height: 0, Pos: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// Fully spend block 1 so its vector is deleted.
+	if err := d.Connect(2, 2, []Spend{{Height: 1, Pos: 0}}); err != nil {
+		t.Fatal(err)
+	}
+
+	probes := []Spend{
+		{Height: 0, Pos: 0},   // unspent
+		{Height: 0, Pos: 1},   // spent
+		{Height: 1, Pos: 0},   // deleted vector: spent, no error
+		{Height: 9, Pos: 0},   // above tip: error
+		{Height: 0, Pos: 400}, // out of range: error
+		{Height: 2, Pos: 1},   // unspent in the tip block
+	}
+	batch := d.IsUnspentBatch(probes)
+	if len(batch) != len(probes) {
+		t.Fatalf("batch length %d, want %d", len(batch), len(probes))
+	}
+	for i, s := range probes {
+		unspent, err := d.IsUnspent(s.Height, s.Pos)
+		if batch[i].Unspent != unspent {
+			t.Fatalf("probe %d (%v): batch unspent=%v, single=%v", i, s, batch[i].Unspent, unspent)
+		}
+		if (batch[i].Err == nil) != (err == nil) {
+			t.Fatalf("probe %d (%v): batch err=%v, single err=%v", i, s, batch[i].Err, err)
+		}
+		if err != nil && batch[i].Err.Error() != err.Error() {
+			t.Fatalf("probe %d (%v): error text divergence:\n  batch:  %v\n  single: %v", i, s, batch[i].Err, err)
+		}
+	}
+	if !errors.Is(batch[3].Err, ErrUnknownBlock) {
+		t.Fatalf("above-tip probe: %v", batch[3].Err)
+	}
+	if !errors.Is(batch[4].Err, ErrOutOfRange) {
+		t.Fatalf("out-of-range probe: %v", batch[4].Err)
+	}
+}

@@ -62,7 +62,9 @@ fi
 kill "$server_pid" 2>/dev/null || true
 wait "$server_pid" 2>/dev/null || true
 server_pid=""
-"$tmp/bin/ebvnode" -chain "$tmp/chains/inter/chain" -datadir "$tmp/ref" >"$tmp/ref.out" 2>/dev/null
+# The reference node replays through the cross-block pipeline (-depth),
+# so the smoke also proves the pipelined IBD path agrees with fast sync.
+"$tmp/bin/ebvnode" -chain "$tmp/chains/inter/chain" -depth 4 -workers 2 -datadir "$tmp/ref" >"$tmp/ref.out" 2>/dev/null
 fast_blocks=$(grep '^  blocks:' "$tmp/client.out")
 ref_blocks=$(grep '^  blocks:' "$tmp/ref.out")
 fast_unspent=$(grep -o '[0-9]* unspent' "$tmp/client.out")
@@ -84,5 +86,14 @@ if [ ! -f "$tmp/BENCH_bootstrap.json" ]; then
 	exit 1
 fi
 echo "BENCH_bootstrap.json written"
+
+echo "== ibd pipeline bench smoke =="
+"$tmp/bin/ebvbench" -exp ablation-ibdpipe -quick -blocks 200 \
+	-datadir "$tmp/bench" -artifactdir "$tmp" >/dev/null 2>&1
+if [ ! -f "$tmp/BENCH_ibdpipe.json" ]; then
+	echo "check.sh: ablation-ibdpipe wrote no BENCH_ibdpipe.json" >&2
+	exit 1
+fi
+echo "BENCH_ibdpipe.json written"
 
 echo "check.sh: all checks passed"
