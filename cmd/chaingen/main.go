@@ -24,12 +24,19 @@ import (
 
 func main() {
 	var (
-		blocks  = flag.Int("blocks", 2000, "chain height to generate")
-		txScale = flag.Float64("txscale", 0.02, "tx-per-block scale factor")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		out     = flag.String("out", "chains", "output directory")
+		blocks       = flag.Int("blocks", 2000, "chain height to generate")
+		txScale      = flag.Float64("txscale", 0.02, "tx-per-block scale factor")
+		seed         = flag.Int64("seed", 1, "workload seed")
+		out          = flag.String("out", "chains", "output directory")
+		forkAt       = flag.Int("forkat", 0, "also emit a competing branch diverging at this height into out/branch (0 = off)")
+		branchBlocks = flag.Int("branchblocks", 4, "branch length beyond the fork point")
+		branchSeed   = flag.Int64("branchseed", 1337, "workload reseed applied at the fork point")
 	)
 	flag.Parse()
+	if *forkAt > 0 && *forkAt+*branchBlocks > *blocks {
+		fail(fmt.Errorf("-forkat %d + -branchblocks %d exceeds -blocks %d (branch params must match the main chain)",
+			*forkAt, *branchBlocks, *blocks))
+	}
 
 	p := workload.DefaultParams()
 	p.Blocks = *blocks
@@ -69,6 +76,49 @@ func main() {
 		gen.TotalTxs, gen.TotalInputs, gen.TotalOutputs, gen.UTXOCount())
 	fmt.Printf("classic chain: %s\nEBV chain:     %s\n",
 		filepath.Join(*out, "classic"), filepath.Join(*out, "inter", "chain"))
+
+	if *forkAt > 0 {
+		emitBranch(*out, p, *forkAt, *branchBlocks, *branchSeed)
+	}
+}
+
+// emitBranch renders a second chain with identical parameters —
+// byte-identical through forkAt-1 — then reseeds the workload so it
+// diverges into a competing branch of forkBlocks blocks. Fork-choice
+// experiments feed one node each chain and heal the partition. Note
+// that a fork point below coinbase maturity (~100 blocks at default
+// parameters) yields no real divergence: those blocks are
+// coinbase-only and seed-independent.
+func emitBranch(out string, p workload.Params, forkAt, forkBlocks int, reseed int64) {
+	gen := workload.NewGenerator(p)
+	classic, err := chainstore.Open(filepath.Join(out, "branch", "classic"))
+	if err != nil {
+		fail(err)
+	}
+	defer classic.Close()
+	im, err := proof.NewIntermediary(filepath.Join(out, "branch", "inter"), gen.Resign)
+	if err != nil {
+		fail(err)
+	}
+	defer im.Close()
+
+	for h := 0; h < forkAt+forkBlocks; h++ {
+		if h == forkAt {
+			gen.Reseed(reseed)
+		}
+		cb, err := gen.NextBlock()
+		if err != nil {
+			fail(err)
+		}
+		if err := classic.Append(cb.Header, cb.Encode(nil)); err != nil {
+			fail(err)
+		}
+		if _, err := im.ProcessBlock(cb); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Printf("branch chain:  %s (diverges at height %d, %d branch blocks, reseed %d)\n",
+		filepath.Join(out, "branch"), forkAt, forkBlocks, reseed)
 }
 
 func fail(err error) {

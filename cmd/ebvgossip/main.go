@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"ebv/internal/chainstore"
+	"ebv/internal/forkchoice"
 	"ebv/internal/hashx"
 	"ebv/internal/node"
 	"ebv/internal/p2p"
@@ -46,6 +47,9 @@ func main() {
 		fastsync  = flag.Bool("fastsync", false, "bootstrap from the -connect peers via state-sync snapshots before gossiping")
 		trustGen  = flag.String("trustgenesis", "", "hex genesis header hash a fast-sync snapshot must build on (anchor for an empty datadir)")
 		minBits   = flag.Uint("minbits", 0, "minimum per-header proof-of-work bits a fast-sync snapshot must declare")
+		forks     = flag.Bool("forkchoice", true, "accept competing branches and reorg to the heaviest (off: tip extensions only)")
+		maxReorg  = flag.Int("maxreorg", 0, "deepest reorg the fork-choice engine will execute (0 = default 128)")
+		sideBlks  = flag.Int("sideblocks", 0, "side-block/orphan bodies kept for fork choice (0 = default 256)")
 	)
 	flag.Parse()
 
@@ -108,6 +112,17 @@ func main() {
 	cfg := p2p.Config{
 		ListenAddr: *listen,
 		Snapshots:  statesync.NewServer(n.Chain, n.Status),
+	}
+	if *forks {
+		// Reorg and eviction events always reach stderr — a chain switch
+		// is operationally significant even under -quiet.
+		cfg.Forks = n.EnableForkChoice(forkchoice.Config{
+			MaxReorgDepth: *maxReorg,
+			MaxSideBlocks: *sideBlks,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
 	}
 	if !*quiet {
 		cfg.OnBlock = func(h uint64, from string) {

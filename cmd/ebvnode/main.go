@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"ebv/internal/chainstore"
+	"ebv/internal/forkchoice"
 	"ebv/internal/hashx"
 	"ebv/internal/node"
 	"ebv/internal/statesync"
@@ -36,6 +37,9 @@ func main() {
 		fastsync = flag.String("fastsync", "", "comma-separated peer addresses to fast-bootstrap from (ebv mode; -chain then replays any remaining blocks)")
 		trustGen = flag.String("trustgenesis", "", "hex genesis header hash a fast-sync snapshot must build on (anchor for an empty datadir)")
 		minBits  = flag.Uint("minbits", 0, "minimum per-header proof-of-work bits a fast-sync snapshot must declare")
+		branch   = flag.String("branch", "", "competing chain directory (chaingen -forkat output) to feed through fork choice after the IBD")
+		maxReorg = flag.Int("maxreorg", 0, "deepest reorg the fork-choice engine will execute (0 = default 128)")
+		sideBlks = flag.Int("sideblocks", 0, "side-block/orphan bodies kept for fork choice (0 = default 256)")
 	)
 	flag.Parse()
 	if *chainDir == "" && *fastsync == "" {
@@ -135,6 +139,11 @@ func main() {
 		}
 		fmt.Printf("  status-data memory: %.2f MB (bit-vector set, %d vectors, %d unspent)\n",
 			float64(n.StatusMemUsage())/(1<<20), n.Status.VectorCount(), n.Status.UnspentCount())
+		if *branch != "" {
+			eng := n.EnableForkChoice(forkCfg(*maxReorg, *sideBlks))
+			feedBranch(*branch, n, eng)
+			fmt.Printf("  tip after branch: %d (%s)\n", n.Chain.Count()-1, n.Chain.TipHash().Short())
+		}
 	case "bitcoin":
 		n, err := node.NewBitcoinNode(node.Config{
 			Dir: *dataDir, MemLimit: *memLimit << 20, ReadLatency: *latency,
@@ -157,9 +166,60 @@ func main() {
 			n.UTXO.Count(), float64(n.UTXO.SizeBytes())/(1<<20), st.CacheHits, st.CacheMisses)
 		fmt.Printf("  status-data memory: %.2f MB (memtable + cache + table metadata)\n",
 			float64(n.StatusMemUsage())/(1<<20))
+		if *branch != "" {
+			eng := n.EnableForkChoice(forkCfg(*maxReorg, *sideBlks))
+			feedBranch(*branch, n, eng)
+			fmt.Printf("  tip after branch: %d (%s)\n", n.Chain.Count()-1, n.Chain.TipHash().Short())
+		}
 	default:
 		fail(fmt.Errorf("unknown mode %q", *mode))
 	}
+}
+
+func forkCfg(maxReorg, sideBlocks int) forkchoice.Config {
+	return forkchoice.Config{
+		MaxReorgDepth: maxReorg,
+		MaxSideBlocks: sideBlocks,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+}
+
+// accepter is the AcceptBlock surface both node types share.
+type accepter interface {
+	AcceptBlock(raw []byte, peer string) (forkchoice.Verdict, error)
+}
+
+// feedBranch replays a competing chain (shared prefix included — those
+// blocks come back as duplicates) through the fork-choice engine and
+// reports what happened. The heavier branch wins; ties keep the
+// current chain.
+func feedBranch(dir string, n accepter, eng *forkchoice.Engine) {
+	src, err := chainstore.Open(dir)
+	if err != nil {
+		fail(err)
+	}
+	defer src.Close()
+	fmt.Fprintf(os.Stderr, "feeding %d branch blocks from %s\n", src.Count(), dir)
+	tally := map[forkchoice.Verdict]int{}
+	for h := uint64(0); h < uint64(src.Count()); h++ {
+		raw, err := src.BlockBytes(h)
+		if err != nil {
+			fail(err)
+		}
+		v, err := n.AcceptBlock(raw, "branch")
+		if err != nil {
+			fail(fmt.Errorf("branch block %d: %w", h, err))
+		}
+		tally[v]++
+	}
+	st := eng.Stats()
+	fmt.Printf("branch fed: %d duplicate, %d side-stored, %d reorged, %d connected\n",
+		tally[forkchoice.Duplicate], tally[forkchoice.SideStored],
+		tally[forkchoice.Reorged], tally[forkchoice.Connected])
+	fmt.Printf("  fork choice: %d reorgs (deepest %d), %d side blocks held\n",
+		st.Reorgs, st.DeepestReorg, st.SideBlocks)
 }
 
 func fail(err error) {

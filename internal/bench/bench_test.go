@@ -378,3 +378,42 @@ func TestAblationBootstrapRuns(t *testing.T) {
 		t.Fatalf("fast sync must transfer less than full IBD: %+v", last)
 	}
 }
+
+func TestAblationReorgRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run")
+	}
+	e := newTestEnv(t)
+	var out bytes.Buffer
+	if err := RunByID(e, "ablation-reorg", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "reorg cost vs depth") {
+		t.Fatalf("missing ablation-reorg output:\n%s", out.String())
+	}
+	data, err := os.ReadFile(filepath.Join(e.Opts.ArtifactDir, "BENCH_reorg.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []struct {
+		Depth        int    `json:"depth"`
+		System       string `json:"system"`
+		DisconnectNS int64  `json:"disconnect_ns"`
+		ReconnectNS  int64  `json:"reconnect_ns"`
+	}
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatal(err)
+	}
+	// Two systems per depth, every phase measured on real work.
+	if len(rows) != 8 {
+		t.Fatalf("want 4 depths x 2 systems, got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.System != "ebv" && r.System != "bitcoin" {
+			t.Fatalf("unknown system %q", r.System)
+		}
+		if r.DisconnectNS <= 0 || r.ReconnectNS <= 0 {
+			t.Fatalf("unmeasured phase: %+v", r)
+		}
+	}
+}

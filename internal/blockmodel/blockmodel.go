@@ -70,6 +70,11 @@ type Header struct {
 // headerSize is the fixed encoded size of a header.
 const headerSize = 4 + 8 + hashx.Size + hashx.Size + 8 + 4 + 8
 
+// HeaderSize is the fixed encoded size of a header, exported for
+// callers that peel a header off a serialized block (fork choice
+// decodes headers before committing to full block validation).
+const HeaderSize = headerSize
+
 // Encode appends the fixed-width header serialization to dst.
 func (h *Header) Encode(dst []byte) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, h.Version)

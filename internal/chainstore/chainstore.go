@@ -29,6 +29,12 @@ var ErrUnknownHeight = errors.New("chainstore: unknown height")
 // headers but no block bodies.
 var ErrNoBody = errors.New("chainstore: block body not stored")
 
+// ErrTruncateNoBody is returned by Truncate when the cut would land in
+// (or expose as tip) header-only fast-synced history: those blocks
+// cannot be disconnected or re-validated, so a reorg must never cross
+// them.
+var ErrTruncateNoBody = errors.New("chainstore: cannot truncate into header-only history")
+
 // indexRecordSize: header (96 bytes) + offset (8) + length (8).
 const indexRecordSize = 96 + 16
 
@@ -40,6 +46,7 @@ type Store struct {
 	headers []blockmodel.Header
 	offsets []int64
 	lengths []int64
+	byHash  map[hashx.Hash]uint64 // block hash -> height, for fork-point search
 	dataEnd int64
 }
 
@@ -57,7 +64,7 @@ func Open(dir string) (*Store, error) {
 		data.Close()
 		return nil, fmt.Errorf("chainstore: %w", err)
 	}
-	s := &Store{data: data, index: index}
+	s := &Store{data: data, index: index, byHash: make(map[hashx.Hash]uint64)}
 	if err := s.loadIndex(); err != nil {
 		data.Close()
 		index.Close()
@@ -90,6 +97,7 @@ func (s *Store) loadIndex() error {
 		s.headers = append(s.headers, h)
 		s.offsets = append(s.offsets, int64(binary.LittleEndian.Uint64(buf[96:])))
 		s.lengths = append(s.lengths, int64(binary.LittleEndian.Uint64(buf[104:])))
+		s.byHash[h.Hash()] = h.Height
 	}
 	if n > 0 {
 		s.dataEnd = s.offsets[n-1] + s.lengths[n-1]
@@ -125,6 +133,7 @@ func (s *Store) Append(header blockmodel.Header, blockBytes []byte) error {
 	s.headers = append(s.headers, header)
 	s.offsets = append(s.offsets, off)
 	s.lengths = append(s.lengths, int64(len(blockBytes)))
+	s.byHash[header.Hash()] = header.Height
 	s.dataEnd = off + int64(len(blockBytes))
 	return nil
 }
@@ -155,6 +164,7 @@ func (s *Store) AppendHeader(header blockmodel.Header) error {
 	s.headers = append(s.headers, header)
 	s.offsets = append(s.offsets, s.dataEnd)
 	s.lengths = append(s.lengths, 0)
+	s.byHash[header.Hash()] = header.Height
 	return nil
 }
 
@@ -243,7 +253,10 @@ func (s *Store) Close() error {
 
 // Truncate drops blocks so that count blocks remain (reorg support).
 // The data file keeps any orphaned bytes; they are overwritten by the
-// next Append.
+// next Append. Truncating so that the surviving tip would be a
+// header-only record (fast-synced history) is refused with
+// ErrTruncateNoBody: that history cannot be disconnected or
+// re-validated, so no reorg may cut into it.
 func (s *Store) Truncate(count int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -253,8 +266,17 @@ func (s *Store) Truncate(count int) error {
 	if count == len(s.headers) {
 		return nil
 	}
+	if count > 0 && s.lengths[count-1] == 0 {
+		return fmt.Errorf("%w: height %d has no stored body", ErrTruncateNoBody, count-1)
+	}
+	if count == 0 && s.lengths[0] == 0 {
+		return fmt.Errorf("%w: height 0 has no stored body", ErrTruncateNoBody)
+	}
 	if err := s.index.Truncate(int64(count) * indexRecordSize); err != nil {
 		return fmt.Errorf("chainstore: %w", err)
+	}
+	for _, h := range s.headers[count:] {
+		delete(s.byHash, h.Hash())
 	}
 	s.headers = s.headers[:count]
 	s.offsets = s.offsets[:count]
@@ -264,4 +286,60 @@ func (s *Store) Truncate(count int) error {
 		s.dataEnd = s.offsets[count-1] + s.lengths[count-1]
 	}
 	return nil
+}
+
+// HeightByHash returns the height of the block with the given header
+// hash, when it is part of the stored (active) chain.
+func (s *Store) HeightByHash(h hashx.Hash) (uint64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	height, ok := s.byHash[h]
+	return height, ok
+}
+
+// Locator returns a block locator for the stored chain: the tip hash,
+// the nine hashes below it, then exponentially spaced hashes back to
+// genesis. A peer resolves it with LocatorFork to find the highest
+// block both chains share, so headers after the fork point can be
+// served in one round even when the requester sits on a side branch.
+func (s *Store) Locator() []hashx.Hash {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := len(s.headers)
+	if n == 0 {
+		return nil
+	}
+	var loc []hashx.Hash
+	step := 1
+	for i := n - 1; i >= 0; i -= step {
+		loc = append(loc, s.headers[i].Hash())
+		if len(loc) > 10 {
+			step *= 2
+		}
+		if i == 0 {
+			break
+		}
+		if i-step < 0 {
+			i = step // land exactly on genesis next iteration
+		}
+	}
+	if last := s.headers[0].Hash(); loc[len(loc)-1] != last {
+		loc = append(loc, last)
+	}
+	return loc
+}
+
+// LocatorFork resolves a peer's block locator against this chain: it
+// returns the height of the first (highest) locator hash found here.
+// ok is false when no locator entry is known, in which case headers
+// should be served from genesis.
+func (s *Store) LocatorFork(loc []hashx.Hash) (uint64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, h := range loc {
+		if height, ok := s.byHash[h]; ok {
+			return height, true
+		}
+	}
+	return 0, false
 }

@@ -1,0 +1,120 @@
+package forkchoice
+
+import (
+	"ebv/internal/blockmodel"
+	"ebv/internal/hashx"
+)
+
+// sideItem is one stored competing block: either a side block (its
+// ancestry down to the active chain is known) or an orphan (parent
+// still unknown).
+type sideItem struct {
+	hash   hashx.Hash
+	header blockmodel.Header
+	raw    []byte
+	peer   string // who delivered it (orphan accounting)
+	seq    uint64 // insertion order, for eviction
+	orphan bool
+}
+
+// sideStore holds the raw bytes of competing blocks, bounded two ways:
+// a global capacity, and a per-peer cap on *orphan* contributions so a
+// single peer spraying unconnectable blocks can only ever evict its
+// own, never another peer's (or a resolved side branch).
+type sideStore struct {
+	capacity    int
+	peerOrphans int
+
+	items map[hashx.Hash]*sideItem
+	seq   uint64
+}
+
+func newSideStore(capacity, peerOrphans int) *sideStore {
+	return &sideStore{
+		capacity:    capacity,
+		peerOrphans: peerOrphans,
+		items:       make(map[hashx.Hash]*sideItem),
+	}
+}
+
+func (s *sideStore) has(h hashx.Hash) bool {
+	_, ok := s.items[h]
+	return ok
+}
+
+func (s *sideStore) get(h hashx.Hash) (*sideItem, bool) {
+	it, ok := s.items[h]
+	return it, ok
+}
+
+func (s *sideStore) remove(h hashx.Hash) {
+	delete(s.items, h)
+}
+
+// add inserts a block, evicting if needed. It returns whether the
+// block was stored and the hashes it displaced, so the engine can
+// prune its header index. The caller has already rejected duplicates.
+func (s *sideStore) add(it *sideItem) (stored bool, evicted []hashx.Hash) {
+	if it.orphan && s.orphanCount(it.peer) >= s.peerOrphans {
+		// The peer is over its orphan budget: it displaces its own
+		// oldest orphan, nobody else's.
+		evicted = s.evict(evicted, s.oldest(func(o *sideItem) bool { return o.orphan && o.peer == it.peer }))
+	}
+	if len(s.items) >= s.capacity {
+		// Prefer shedding orphans (unconnectable, least likely to win)
+		// before side blocks with known ancestry.
+		victim := s.oldest(func(o *sideItem) bool { return o.orphan })
+		if victim == nil {
+			victim = s.oldest(func(o *sideItem) bool { return true })
+		}
+		if victim == nil {
+			return false, evicted
+		}
+		evicted = s.evict(evicted, victim)
+	}
+	s.seq++
+	it.seq = s.seq
+	s.items[it.hash] = it
+	return true, evicted
+}
+
+func (s *sideStore) orphanCount(peer string) int {
+	n := 0
+	for _, it := range s.items {
+		if it.orphan && it.peer == peer {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *sideStore) oldest(match func(*sideItem) bool) *sideItem {
+	var best *sideItem
+	for _, it := range s.items {
+		if match(it) && (best == nil || it.seq < best.seq) {
+			best = it
+		}
+	}
+	return best
+}
+
+func (s *sideStore) evict(acc []hashx.Hash, it *sideItem) []hashx.Hash {
+	if it == nil {
+		return acc
+	}
+	delete(s.items, it.hash)
+	return append(acc, it.hash)
+}
+
+// orphansByParent returns the stored orphans waiting on parent.
+func (s *sideStore) orphansByParent(parent hashx.Hash) []*sideItem {
+	var out []*sideItem
+	for _, it := range s.items {
+		if it.orphan && it.header.PrevBlock == parent {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+func (s *sideStore) len() int { return len(s.items) }

@@ -1,0 +1,148 @@
+package mempool
+
+import (
+	"fmt"
+	"sync"
+
+	"ebv/internal/blockmodel"
+	"ebv/internal/core"
+	"ebv/internal/hashx"
+	"ebv/internal/txmodel"
+)
+
+// ClassicPool is the baseline's mempool: classic transactions
+// validated against the UTXO set, with outpoint-level conflict
+// tracking. Its reorg story is the classic one — a transaction from a
+// disconnected block references outputs by (txid, index), which stay
+// meaningful on the winning branch, so BlockDisconnected re-admits
+// whatever still validates. Contrast Pool.BlockDisconnected, where
+// EBV's positional proofs force stale drops instead.
+type ClassicPool struct {
+	cfg       Config
+	validator *core.BitcoinValidator
+
+	mu         sync.Mutex
+	entries    map[hashx.Hash]*txmodel.Tx
+	spent      map[txmodel.OutPoint]hashx.Hash
+	readmitted int
+}
+
+// NewClassic creates a classic pool admitting against the given
+// validator's UTXO set.
+func NewClassic(validator *core.BitcoinValidator, cfg Config) *ClassicPool {
+	return &ClassicPool{
+		cfg:       cfg.withDefaults(),
+		validator: validator,
+		entries:   make(map[hashx.Hash]*txmodel.Tx),
+		spent:     make(map[txmodel.OutPoint]hashx.Hash),
+	}
+}
+
+// Len returns the number of pooled transactions.
+func (p *ClassicPool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.entries)
+}
+
+// Get returns a pooled transaction by id.
+func (p *ClassicPool) Get(id hashx.Hash) (*txmodel.Tx, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tx, ok := p.entries[id]
+	return tx, ok
+}
+
+// Add validates tx against the UTXO set and admits it.
+func (p *ClassicPool) Add(tx *txmodel.Tx) (hashx.Hash, error) {
+	if err := p.validator.ValidateTx(tx); err != nil {
+		return hashx.ZeroHash, err
+	}
+	id := tx.TxID()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.entries[id]; ok {
+		return id, ErrDuplicate
+	}
+	if len(p.entries) >= p.cfg.MaxTxs {
+		return hashx.ZeroHash, ErrPoolFull
+	}
+	for i := range tx.Inputs {
+		if other, ok := p.spent[tx.Inputs[i].PrevOut]; ok {
+			return hashx.ZeroHash, fmt.Errorf("%w: output %s already spent by %s",
+				ErrConflict, tx.Inputs[i].PrevOut, other.Short())
+		}
+	}
+	p.entries[id] = tx
+	for i := range tx.Inputs {
+		p.spent[tx.Inputs[i].PrevOut] = id
+	}
+	return id, nil
+}
+
+func (p *ClassicPool) removeLocked(id hashx.Hash, tx *txmodel.Tx) {
+	delete(p.entries, id)
+	for i := range tx.Inputs {
+		if p.spent[tx.Inputs[i].PrevOut] == id {
+			delete(p.spent, tx.Inputs[i].PrevOut)
+		}
+	}
+}
+
+// BlockConnected removes pooled transactions included in (or
+// conflicting with) a newly connected block.
+func (p *ClassicPool) BlockConnected(b *blockmodel.ClassicBlock) int {
+	claimed := make(map[txmodel.OutPoint]struct{})
+	for i, tx := range b.Txs {
+		if i == 0 {
+			continue
+		}
+		for j := range tx.Inputs {
+			claimed[tx.Inputs[j].PrevOut] = struct{}{}
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	dropped := 0
+	for id, tx := range p.entries {
+		for i := range tx.Inputs {
+			if _, ok := claimed[tx.Inputs[i].PrevOut]; ok {
+				p.removeLocked(id, tx)
+				dropped++
+				break
+			}
+		}
+	}
+	return dropped
+}
+
+// BlockDisconnected re-admits the disconnected block's transactions.
+// A classic transaction survives a reorg whenever its inputs still
+// exist on the winning branch; ones that spent outputs the reorg
+// erased (e.g. created by another losing-branch transaction already
+// dropped) simply fail validation and are discarded. Returns how many
+// were re-admitted and how many were dropped.
+func (p *ClassicPool) BlockDisconnected(b *blockmodel.ClassicBlock) (readmitted, dropped int) {
+	for i, tx := range b.Txs {
+		if i == 0 {
+			continue // the coinbase's outputs no longer exist; nothing to re-admit
+		}
+		if _, err := p.Add(tx); err != nil {
+			dropped++
+			continue
+		}
+		readmitted++
+	}
+	p.mu.Lock()
+	p.readmitted += readmitted
+	p.mu.Unlock()
+	return readmitted, dropped
+}
+
+// Readmitted returns how many losing-branch transactions have been
+// re-admitted across all reorgs.
+func (p *ClassicPool) Readmitted() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.readmitted
+}

@@ -33,6 +33,14 @@ var (
 	ErrPoolFull  = errors.New("mempool: pool is full")
 )
 
+// ErrStaleProof marks an EBV transaction from a disconnected block
+// that cannot be re-admitted: its input bodies carry (height,
+// position) proofs anchored in the branch that just lost — the paper's
+// fake-position hazard in reverse — so re-admitting it would pool a
+// transaction whose proofs no longer match any stored header. The
+// owner must rebuild proofs against the winning branch and resubmit.
+var ErrStaleProof = errors.New("mempool: proof stale after reorg")
+
 // Config bounds the pool.
 type Config struct {
 	// MaxTxs caps the number of pooled transactions. Default 10000.
@@ -61,9 +69,10 @@ type Pool struct {
 	cfg       Config
 	validator *core.EBVValidator
 
-	mu      sync.Mutex
-	entries map[hashx.Hash]*entry
-	spent   map[statusdb.Spend]hashx.Hash // output -> pooled spender
+	mu         sync.Mutex
+	entries    map[hashx.Hash]*entry
+	spent      map[statusdb.Spend]hashx.Hash // output -> pooled spender
+	staleDrops int
 }
 
 // New creates a pool admitting against the given validator's chain
@@ -227,6 +236,43 @@ func (p *Pool) BlockConnected(b *blockmodel.EBVBlock) int {
 		}
 	}
 	return dropped
+}
+
+// BlockDisconnected handles a reorg's disconnect of b. Unlike the
+// classic pool, the block's own transactions are NOT re-admitted:
+// every EBV input body proves (height, position) coordinates against
+// a stored header of the losing branch, and after the switch those
+// headers are gone or replaced. Each one is counted as a stale-proof
+// drop (see ErrStaleProof). Pooled transactions whose cached spends
+// point at outputs created at or above the disconnected height are
+// evicted for the same reason. Returns how many block transactions
+// were dropped as stale.
+func (p *Pool) BlockDisconnected(b *blockmodel.EBVBlock) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	stale := len(b.Txs) - 1 // every non-coinbase tx had proofs into the lost branch
+	if stale < 0 {
+		stale = 0
+	}
+	p.staleDrops += stale
+	for _, e := range p.entries {
+		for _, sp := range e.spends {
+			if sp.Height >= b.Header.Height {
+				p.removeLocked(e)
+				p.staleDrops++
+				break
+			}
+		}
+	}
+	return stale
+}
+
+// StaleProofDrops returns how many transactions have been dropped (or
+// refused re-admission) because their proofs went stale in a reorg.
+func (p *Pool) StaleProofDrops() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.staleDrops
 }
 
 // Revalidate re-runs chain-state validation on every pooled

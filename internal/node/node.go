@@ -17,6 +17,8 @@ import (
 	"ebv/internal/blockmodel"
 	"ebv/internal/chainstore"
 	"ebv/internal/core"
+	"ebv/internal/forkchoice"
+	"ebv/internal/hashx"
 	"ebv/internal/kvstore"
 	"ebv/internal/pipeline"
 	"ebv/internal/script"
@@ -95,7 +97,10 @@ type BitcoinNode struct {
 	Chain     *chainstore.Store
 	UTXO      *utxoset.Set
 	Validator *core.BitcoinValidator
-	db        *kvstore.DB
+	// Forks, when set via EnableForkChoice, routes competing-branch
+	// blocks through the reorg engine.
+	Forks *forkchoice.Engine
+	db    *kvstore.DB
 }
 
 // NewBitcoinNode creates or reopens a baseline node under cfg.Dir.
@@ -217,9 +222,12 @@ type EBVNode struct {
 	// CatchUpResult is set when the node replayed a Config.CatchUpSource
 	// tail right after its fast-sync bootstrap.
 	CatchUpResult *statesync.CatchUpResult
-	statusPth     string
-	pipeDepth     int
-	pipeWorkers   int
+	// Forks, when set via EnableForkChoice, routes competing-branch
+	// blocks through the reorg engine.
+	Forks       *forkchoice.Engine
+	statusPth   string
+	pipeDepth   int
+	pipeWorkers int
 }
 
 // NewEBVNode creates or reopens an EBV node under cfg.Dir. A snapshot
@@ -289,10 +297,17 @@ func NewEBVNode(cfg Config) (*EBVNode, error) {
 		n.CatchUpResult = res
 	}
 	// Disconnects recreate fully spent vectors; resolve output counts
-	// from the stored blocks, memoized (reorgs are rare and shallow).
-	counts := make(map[uint64]int)
+	// from the stored blocks, memoized by header hash — a reorg can
+	// replace the block at a height, so a height-keyed memo would serve
+	// the abandoned branch's count.
+	counts := make(map[hashx.Hash]int)
 	n.Validator.SetBlockOutputsFunc(func(height uint64) int {
-		if c, ok := counts[height]; ok {
+		hdr, ok := chain.Header(height)
+		if !ok {
+			return 0
+		}
+		key := hdr.Hash()
+		if c, ok := counts[key]; ok {
 			return c
 		}
 		raw, err := chain.BlockBytes(height)
@@ -303,8 +318,8 @@ func NewEBVNode(cfg Config) (*EBVNode, error) {
 		if err != nil {
 			return 0
 		}
-		counts[height] = blk.TotalOutputs()
-		return counts[height]
+		counts[key] = blk.TotalOutputs()
+		return counts[key]
 	})
 	return n, nil
 }

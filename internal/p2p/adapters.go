@@ -3,7 +3,6 @@ package p2p
 import (
 	"errors"
 
-	"ebv/internal/blockmodel"
 	"ebv/internal/chainstore"
 	"ebv/internal/hashx"
 	"ebv/internal/node"
@@ -23,13 +22,11 @@ func (c EBVChain) TipHash() hashx.Hash { return c.Node.Chain.TipHash() }
 // BlockBytes implements Chain.
 func (c EBVChain) BlockBytes(h uint64) ([]byte, error) { return c.Node.Chain.BlockBytes(h) }
 
-// SubmitRaw implements Chain: decode, validate, store.
+// SubmitRaw implements Chain: decode, validate, store. With a
+// fork-choice engine attached to the node, competing branches park or
+// reorg instead of erroring.
 func (c EBVChain) SubmitRaw(raw []byte) error {
-	blk, err := blockmodel.DecodeEBVBlock(raw)
-	if err != nil {
-		return err
-	}
-	_, err = c.Node.SubmitBlock(blk)
+	_, err := c.Node.AcceptBlock(raw, "")
 	return err
 }
 
@@ -47,13 +44,10 @@ func (c BitcoinChain) TipHash() hashx.Hash { return c.Node.Chain.TipHash() }
 // BlockBytes implements Chain.
 func (c BitcoinChain) BlockBytes(h uint64) ([]byte, error) { return c.Node.Chain.BlockBytes(h) }
 
-// SubmitRaw implements Chain.
+// SubmitRaw implements Chain. With a fork-choice engine attached to
+// the node, competing branches park or reorg instead of erroring.
 func (c BitcoinChain) SubmitRaw(raw []byte) error {
-	blk, err := blockmodel.DecodeClassicBlock(raw)
-	if err != nil {
-		return err
-	}
-	_, err = c.Node.SubmitBlock(blk)
+	_, err := c.Node.AcceptBlock(raw, "")
 	return err
 }
 

@@ -4,12 +4,15 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math/big"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ebv/internal/blockmodel"
 	"ebv/internal/chainstore"
+	"ebv/internal/forkchoice"
 	"ebv/internal/hashx"
 	"ebv/internal/p2p/wire"
 )
@@ -53,7 +56,17 @@ type Config struct {
 	// Snapshots, if set, serves state snapshots to fast-syncing peers
 	// and advertises wire.FeatureStateSync in the handshake.
 	Snapshots SnapshotProvider
+	// Forks, if set, routes inbound blocks through the fork-choice
+	// engine — competing branches park or reorg instead of dropping
+	// the peer — serves getheaders/getdata, and advertises
+	// wire.FeatureForkChoice plus cumulative tip work in the handshake.
+	Forks *forkchoice.Engine
 }
+
+// maxHeadersServed caps one headers response (2000 × 96 bytes stays
+// far below wire.MaxPayload); the requester comes back with a fresh
+// locator if it still trails.
+const maxHeadersServed = 2000
 
 // Node gossips blocks with its peers.
 type Node struct {
@@ -119,6 +132,9 @@ func (n *Node) features() byte {
 	var f byte
 	if n.cfg.Snapshots != nil {
 		f |= wire.FeatureStateSync
+	}
+	if n.cfg.Forks != nil {
+		f |= wire.FeatureForkChoice
 	}
 	return f
 }
@@ -230,9 +246,13 @@ func (n *Node) handleConn(raw net.Conn) {
 		n.mu.Unlock()
 	}()
 
-	// Handshake: exchange tips and feature bits.
+	// Handshake: exchange tips, feature bits, and (between fork-choice
+	// peers) cumulative tip work.
 	tip, ok := n.chain.TipHeight()
 	hello := &wire.Message{Kind: wire.Hello, Height: tipField(tip, ok), Features: n.features()}
+	if n.cfg.Forks != nil {
+		hello.TipWork = n.cfg.Forks.TipWork()
+	}
 	if err := p.send(hello); err != nil {
 		return
 	}
@@ -243,7 +263,15 @@ func (n *Node) handleConn(raw net.Conn) {
 	}
 	p.features = first.Features
 	n.logf("peer %s connected (tip %d, ours %d, features %08b)", p.id, first.Height, hello.Height, first.Features)
-	if first.Height > hello.Height {
+	if n.cfg.Forks != nil && first.Features&wire.FeatureForkChoice != 0 {
+		// Work, not height, decides who syncs: a peer on a heavier
+		// branch may even be shorter.
+		theirs := new(big.Int).SetBytes(first.TipWork)
+		ours := new(big.Int).SetBytes(hello.TipWork)
+		if theirs.Cmp(ours) > 0 {
+			n.sendGetHeaders(p)
+		}
+	} else if first.Height > hello.Height {
 		n.requestFrom(p, hello.Height) // hello.Height == next needed height encoding
 	}
 
@@ -284,11 +312,44 @@ func (n *Node) requestFrom(p *peer, from uint64) {
 	_ = p.send(&wire.Message{Kind: wire.GetBlocks, Height: from, Count: wire.MaxBatch})
 }
 
+// sendGetHeaders asks p for headers above our chain, identified by a
+// block locator, so a competing branch can be discovered and fetched.
+func (n *Node) sendGetHeaders(p *peer) {
+	if n.cfg.Forks == nil {
+		return
+	}
+	loc := n.cfg.Forks.Locator()
+	if len(loc) == 0 {
+		// Empty chain: a locator of just the zero hash matches nothing,
+		// so the peer serves from its genesis.
+		loc = []hashx.Hash{hashx.ZeroHash}
+	}
+	if len(loc) > wire.MaxLocator {
+		loc = loc[:wire.MaxLocator]
+	}
+	_ = p.send(&wire.Message{Kind: wire.GetHeaders, Hashes: loc})
+}
+
 // handleMessage processes one inbound message.
 func (n *Node) handleMessage(p *peer, m *wire.Message) error {
 	switch m.Kind {
 	case wire.Inv:
 		next := tipField(n.chain.TipHeight())
+		if n.cfg.Forks != nil {
+			switch {
+			case n.cfg.Forks.Knows(m.Hash):
+				// Already have it (any branch).
+			case m.Height == next:
+				// Plausible tip extension: pull by height.
+				n.requestFrom(p, next)
+			case p.features&wire.FeatureForkChoice != 0:
+				// Behind, or a competing branch: resolve via headers.
+				n.sendGetHeaders(p)
+			default:
+				n.requestFrom(p, next)
+			}
+			return nil
+		}
 		switch {
 		case m.Height < next:
 			// Already have it.
@@ -320,6 +381,9 @@ func (n *Node) handleMessage(p *peer, m *wire.Message) error {
 		return nil
 
 	case wire.Block:
+		if n.cfg.Forks != nil {
+			return n.handleBlockForkChoice(p, m)
+		}
 		next := tipField(n.chain.TipHeight())
 		if m.Height < next {
 			return nil // duplicate
@@ -341,6 +405,68 @@ func (n *Node) handleMessage(p *peer, m *wire.Message) error {
 		n.announce(m.Height, p.id)
 		// If the peer is ahead, keep pulling.
 		n.requestFrom(p, m.Height+1)
+		return nil
+
+	case wire.GetHeaders:
+		// Serve headers above the highest locator hash we share. A node
+		// without a fork-choice engine answers empty (it has no locator
+		// machinery); the requester just moves on.
+		var payload []byte
+		if n.cfg.Forks != nil {
+			start := uint64(0)
+			if fork, ok := n.cfg.Forks.LocatorFork(m.Hashes); ok {
+				start = fork + 1
+			}
+			if tip, ok := n.cfg.Forks.TipHeight(); ok {
+				for h := start; h <= tip && len(payload) < maxHeadersServed*blockmodel.HeaderSize; h++ {
+					hdr, ok := n.cfg.Forks.HeaderAt(h)
+					if !ok {
+						break
+					}
+					payload = hdr.Encode(payload)
+				}
+			}
+		}
+		return p.send(&wire.Message{Kind: wire.Headers, Payload: payload})
+
+	case wire.Headers:
+		if n.cfg.Forks == nil || len(m.Payload) == 0 {
+			return nil
+		}
+		if len(m.Payload)%blockmodel.HeaderSize != 0 {
+			return fmt.Errorf("headers payload of %d bytes is not a header multiple", len(m.Payload))
+		}
+		// Fetch the bodies we lack, in height order, one batch at a
+		// time; once they connect (or reorg), the pull continues by
+		// height or a fresh getheaders round.
+		var want []hashx.Hash
+		for off := 0; off < len(m.Payload) && len(want) < wire.MaxBatch; off += blockmodel.HeaderSize {
+			hdr, err := blockmodel.DecodeHeader(m.Payload[off : off+blockmodel.HeaderSize])
+			if err != nil {
+				return err
+			}
+			if h := hdr.Hash(); !n.cfg.Forks.Knows(h) {
+				want = append(want, h)
+			}
+		}
+		if len(want) == 0 {
+			return nil
+		}
+		return p.send(&wire.Message{Kind: wire.GetData, Hashes: want})
+
+	case wire.GetData:
+		if n.cfg.Forks == nil {
+			return nil
+		}
+		for _, h := range m.Hashes {
+			raw, height, ok := n.cfg.Forks.BlockByHash(h)
+			if !ok {
+				continue // evicted or never had it; peer re-resolves via headers
+			}
+			if err := p.send(&wire.Message{Kind: wire.Block, Height: height, Payload: raw}); err != nil {
+				return err
+			}
+		}
 		return nil
 
 	case wire.GetManifest:
@@ -380,6 +506,43 @@ func (n *Node) handleMessage(p *peer, m *wire.Message) error {
 	default:
 		return fmt.Errorf("unknown message kind %d", m.Kind)
 	}
+}
+
+// handleBlockForkChoice routes an inbound block through the engine.
+func (n *Node) handleBlockForkChoice(p *peer, m *wire.Message) error {
+	v, err := n.cfg.Forks.ProcessBlock(m.Payload, p.id)
+	if err != nil {
+		// Policy refusals — a reorg past our depth cap, past fast-synced
+		// header-only history, or through an evicted side block — are
+		// our limits, not the peer's offence: log and keep the
+		// connection.
+		if errors.Is(err, forkchoice.ErrReorgTooDeep) ||
+			errors.Is(err, forkchoice.ErrReorgPastSnapshot) ||
+			errors.Is(err, forkchoice.ErrSideBlockMissing) {
+			n.logf("peer %s: block %d refused: %v", p.id, m.Height, err)
+			return nil
+		}
+		// Anything else means the block (or its branch) is invalid:
+		// drop the peer, same as the non-fork-choice path.
+		return fmt.Errorf("invalid block %d: %w", m.Height, err)
+	}
+	switch v {
+	case forkchoice.Connected, forkchoice.Reorged:
+		tip, _ := n.chain.TipHeight()
+		if n.cfg.OnBlock != nil {
+			n.cfg.OnBlock(tip, p.id)
+		}
+		n.announce(tip, p.id)
+		// If the peer is ahead on what is now our branch, keep pulling.
+		n.requestFrom(p, tip+1)
+	case forkchoice.Orphaned:
+		// Unknown parent: instead of dropping the block on the floor,
+		// ask the sender for headers so the gap (or its branch) can be
+		// resolved.
+		n.sendGetHeaders(p)
+	}
+	// Duplicate and SideStored need no response.
+	return nil
 }
 
 // announce sends an inv for height to every peer except the source.

@@ -13,13 +13,18 @@
 // one, so the limit cannot be bypassed from either end.
 //
 // Kinds 1–4 are the original gossip protocol; kinds 5–8 carry the
-// statesync snapshot exchange. Hello frames additionally carry an
-// optional trailing feature byte (see Features) so capable peers can
-// discover each other. The trailer is written only when at least one
-// feature is advertised, so a node advertising none emits exactly the
-// legacy hello and interoperates with pre-feature binaries in both
+// statesync snapshot exchange; kinds 9–11 carry the fork-choice
+// headers exchange (locator-based getheaders/headers plus getdata for
+// block bodies by hash). Hello frames additionally carry an optional
+// trailing feature byte (see Features) so capable peers can discover
+// each other. The trailer is written only when at least one feature is
+// advertised, so a node advertising none emits exactly the legacy
+// hello and interoperates with pre-feature binaries in both
 // directions; a node advertising a feature can only handshake with
-// peers new enough to accept the trailer.
+// peers new enough to accept the trailer. A hello advertising
+// FeatureForkChoice appends one more field after the trailer: the
+// node's cumulative tip work as length-prefixed big-endian bytes, so
+// peers can detect a heavier branch before exchanging a single header.
 package wire
 
 import (
@@ -43,14 +48,26 @@ const (
 	Manifest
 	GetChunk
 	Chunk
+	GetHeaders
+	Headers
+	GetData
 )
 
 // MaxPayload bounds one message body (a block plus its proofs, or one
 // snapshot chunk). Enforced symmetrically by Write and Read.
 const MaxPayload = 32 << 20
 
-// MaxBatch bounds one getblocks request.
+// MaxBatch bounds one getblocks or getdata request.
 const MaxBatch = 256
+
+// MaxLocator bounds one getheaders locator. A locator over a chain of
+// height h has ~10 + log2(h) entries, so 64 covers any realistic
+// chain with a wide margin.
+const MaxLocator = 64
+
+// MaxTipWork bounds the hello tip-work field: cumulative work is a
+// sum of 2^Bits terms, far below 2^512 for any feasible chain.
+const MaxTipWork = 64
 
 // Feature bits carried in the hello trailer byte. A hello without the
 // trailer (every pre-statesync node) advertises no features.
@@ -58,6 +75,11 @@ const (
 	// FeatureStateSync marks a peer that serves snapshot manifests and
 	// chunks (kinds 5–8).
 	FeatureStateSync byte = 1 << 0
+	// FeatureForkChoice marks a peer that runs a fork-choice engine:
+	// it understands getheaders/headers/getdata (kinds 9–11), accepts
+	// competing-branch blocks, and appends its cumulative tip work to
+	// its hello.
+	FeatureForkChoice byte = 1 << 1
 )
 
 // ErrUnknownKind reports a frame whose kind byte this version does not
@@ -72,8 +94,10 @@ type Message struct {
 	Height   uint64 // hello: next height needed; inv/block: block height; getblocks: first height; getchunk/chunk: chunk index
 	Count    uint64 // getblocks: number of blocks
 	Hash     hashx.Hash
-	Features byte   // hello: feature bits
-	Payload  []byte // block: serialized block; manifest/chunk: snapshot bytes
+	Features byte         // hello: feature bits
+	TipWork  []byte       // hello (FeatureForkChoice): cumulative tip work, big-endian
+	Hashes   []hashx.Hash // getheaders: block locator; getdata: wanted block hashes
+	Payload  []byte       // block: serialized block; headers: concatenated fixed-width headers; manifest/chunk: snapshot bytes
 }
 
 // Write frames and writes m. Bodies larger than MaxPayload are
@@ -90,6 +114,15 @@ func Write(w *bufio.Writer, m *Message) error {
 		// Advertising any feature requires an upgraded peer.
 		if m.Features != 0 {
 			body = append(body, m.Features)
+		}
+		// FeatureForkChoice adds the cumulative tip-work field; other
+		// features leave the hello at exactly varint + trailer.
+		if m.Features&FeatureForkChoice != 0 {
+			if len(m.TipWork) > MaxTipWork {
+				return fmt.Errorf("wire: tip work of %d bytes exceeds limit", len(m.TipWork))
+			}
+			body = binary.AppendUvarint(body, uint64(len(m.TipWork)))
+			body = append(body, m.TipWork...)
 		}
 	case Inv:
 		body = binary.AppendUvarint(body, m.Height)
@@ -109,6 +142,22 @@ func Write(w *bufio.Writer, m *Message) error {
 	case Chunk:
 		body = binary.AppendUvarint(body, m.Height)
 		body = append(body, m.Payload...)
+	case GetHeaders, GetData:
+		limit := MaxLocator
+		if m.Kind == GetData {
+			limit = MaxBatch
+		}
+		if len(m.Hashes) == 0 || len(m.Hashes) > limit {
+			return fmt.Errorf("wire: %d hashes out of range for kind %d", len(m.Hashes), m.Kind)
+		}
+		body = binary.AppendUvarint(body, uint64(len(m.Hashes)))
+		for i := range m.Hashes {
+			body = append(body, m.Hashes[i][:]...)
+		}
+	case Headers:
+		// The payload is a run of fixed-width headers; the header width
+		// is the block model's concern, not the codec's.
+		body = m.Payload
 	default:
 		return fmt.Errorf("wire: cannot encode message kind %d", m.Kind)
 	}
@@ -154,10 +203,18 @@ func Read(r *bufio.Reader) (*Message, error) {
 			return nil, fmt.Errorf("wire: malformed hello")
 		case n == len(body):
 			// Legacy peer: no feature byte, no features.
-		case n+1 == len(body):
-			m.Features = body[n]
 		default:
-			return nil, fmt.Errorf("wire: malformed hello")
+			m.Features = body[n]
+			rest := body[n+1:]
+			if m.Features&FeatureForkChoice != 0 {
+				wl, wn := varint.Uvarint(rest)
+				if wn <= 0 || wl > MaxTipWork || uint64(len(rest)) != uint64(wn)+wl {
+					return nil, fmt.Errorf("wire: malformed hello tip work")
+				}
+				m.TipWork = rest[wn:]
+			} else if len(rest) != 0 {
+				return nil, fmt.Errorf("wire: malformed hello")
+			}
 		}
 		m.Height = h
 	case Inv:
@@ -205,6 +262,21 @@ func Read(r *bufio.Reader) (*Message, error) {
 		}
 		m.Height = h
 		m.Payload = body[n:]
+	case GetHeaders, GetData:
+		limit := uint64(MaxLocator)
+		if kind == GetData {
+			limit = MaxBatch
+		}
+		count, n := varint.Uvarint(body)
+		if n <= 0 || count == 0 || count > limit || uint64(len(body)) != uint64(n)+count*hashx.Size {
+			return nil, fmt.Errorf("wire: malformed hash list for kind %d", kind)
+		}
+		m.Hashes = make([]hashx.Hash, count)
+		for i := range m.Hashes {
+			copy(m.Hashes[i][:], body[n+i*hashx.Size:])
+		}
+	case Headers:
+		m.Payload = body
 	default:
 		return m, ErrUnknownKind
 	}

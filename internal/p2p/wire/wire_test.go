@@ -148,3 +148,82 @@ func TestMessageRejectsMalformed(t *testing.T) {
 		}
 	}
 }
+
+func TestForkChoiceHelloRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		nil,    // empty chain: zero work
+		{0x01}, // small work
+		{0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02, 0x03, 0x04, 0x05}, // > uint64
+	}
+	for _, work := range cases {
+		in := &Message{Kind: Hello, Height: 300, Features: FeatureForkChoice | FeatureStateSync, TipWork: work}
+		out := roundTrip(t, in)
+		if out.Height != 300 || out.Features != in.Features {
+			t.Fatalf("hello fields: %+v", out)
+		}
+		if !bytes.Equal(out.TipWork, work) {
+			t.Fatalf("tip work %x, want %x", out.TipWork, work)
+		}
+	}
+}
+
+func TestForkChoiceHelloMalformed(t *testing.T) {
+	// Feature bit set but tip-work field truncated.
+	body := binary.AppendUvarint(nil, 42)
+	body = append(body, FeatureForkChoice)
+	body = binary.AppendUvarint(body, 8) // claims 8 bytes of work
+	body = append(body, 0xAA)            // delivers 1
+	frame := append([]byte{Hello, byte(len(body))}, body...)
+	if _, err := Read(bufio.NewReader(bytes.NewReader(frame))); err == nil {
+		t.Fatal("truncated tip work must not parse")
+	}
+	// Oversized tip work refused on the write side.
+	var buf bytes.Buffer
+	err := Write(bufio.NewWriter(&buf), &Message{
+		Kind: Hello, Features: FeatureForkChoice, TipWork: make([]byte, MaxTipWork+1),
+	})
+	if err == nil {
+		t.Fatal("oversized tip work must not encode")
+	}
+}
+
+func TestHashListRoundTrip(t *testing.T) {
+	loc := []hashx.Hash{hashx.Sum([]byte("a")), hashx.Sum([]byte("b")), hashx.Sum([]byte("c"))}
+	for _, kind := range []byte{GetHeaders, GetData} {
+		out := roundTrip(t, &Message{Kind: kind, Hashes: loc})
+		if len(out.Hashes) != len(loc) {
+			t.Fatalf("kind %d: %d hashes, want %d", kind, len(out.Hashes), len(loc))
+		}
+		for i := range loc {
+			if out.Hashes[i] != loc[i] {
+				t.Fatalf("kind %d: hash %d mismatch", kind, i)
+			}
+		}
+	}
+}
+
+func TestHashListBounds(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := Write(w, &Message{Kind: GetHeaders}); err == nil {
+		t.Fatal("empty locator must not encode")
+	}
+	big := make([]hashx.Hash, MaxLocator+1)
+	if err := Write(w, &Message{Kind: GetHeaders, Hashes: big}); err == nil {
+		t.Fatal("oversized locator must not encode")
+	}
+	// A malformed count on the read side.
+	body := binary.AppendUvarint(nil, 2) // claims 2 hashes, delivers 0
+	frame := append([]byte{GetHeaders, byte(len(body))}, body...)
+	if _, err := Read(bufio.NewReader(bytes.NewReader(frame))); err == nil {
+		t.Fatal("truncated hash list must not parse")
+	}
+}
+
+func TestHeadersRoundTrip(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xAB}, 96*3)
+	out := roundTrip(t, &Message{Kind: Headers, Payload: payload})
+	if !bytes.Equal(out.Payload, payload) {
+		t.Fatal("headers payload mismatch")
+	}
+}

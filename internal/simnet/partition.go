@@ -1,0 +1,216 @@
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// This file models a network partition healing — the fork-choice
+// engine's load case. While split, each half mines its own branch at a
+// rate proportional to its node share; on heal the lighter half must
+// switch: every one of its nodes pays depth_lose disconnects plus
+// depth_win connects (the reorg executor's work), and the winning
+// branch still propagates hop by hop, validation on every hop, exactly
+// as in the base simulation. The per-block disconnect/connect delays
+// are supplied by ValidationModels, so experiments can plug in costs
+// measured from the real validators (EBV's bit restores vs the
+// baseline's undo records).
+
+// PartitionConfig describes one partition/heal episode.
+type PartitionConfig struct {
+	Config
+	// PartitionDuration is how long the halves stay split. Default 10
+	// minutes.
+	PartitionDuration time.Duration
+	// BlockInterval is the whole network's mean mining interval; each
+	// half mines at its node share of this rate. Default 1 minute.
+	BlockInterval time.Duration
+	// Disconnect and Connect sample the per-block costs of the switch
+	// on the losing half. Default to the Validation model.
+	Disconnect ValidationModel
+	Connect    ValidationModel
+}
+
+func (c PartitionConfig) withDefaults() PartitionConfig {
+	c.Config = c.Config.withDefaults()
+	if c.PartitionDuration <= 0 {
+		c.PartitionDuration = 10 * time.Minute
+	}
+	if c.BlockInterval <= 0 {
+		c.BlockInterval = time.Minute
+	}
+	if c.Disconnect == nil {
+		c.Disconnect = c.Validation
+	}
+	if c.Connect == nil {
+		c.Connect = c.Validation
+	}
+	return c
+}
+
+// PartitionResult holds one episode's outcome.
+type PartitionResult struct {
+	// DepthA and DepthB are the branch lengths mined during the split
+	// (half A is the lower node indices).
+	DepthA, DepthB int
+	// Winner is 0 if half A's branch won, 1 if half B's. Ties go to the
+	// half that mines the next block (the model's first-seen rule: a tie
+	// alone never reorgs).
+	Winner int
+	// ReorgCost is the mean per-node switch cost on the losing half:
+	// DepthLose disconnects plus DepthWin connects.
+	ReorgCost time.Duration
+	// HealTime is when the last losing-half node finished switching,
+	// measured from the heal (propagation plus switch cost).
+	HealTime time.Duration
+	// Converged reports that every losing-half node reached the winning
+	// branch.
+	Converged bool
+}
+
+// DepthLose returns the losing branch's length.
+func (r *PartitionResult) DepthLose() int {
+	if r.Winner == 0 {
+		return r.DepthB
+	}
+	return r.DepthA
+}
+
+// DepthWin returns the winning branch's length.
+func (r *PartitionResult) DepthWin() int {
+	if r.Winner == 0 {
+		return r.DepthA
+	}
+	return r.DepthB
+}
+
+// RunPartition simulates one partition/heal episode.
+func RunPartition(cfg PartitionConfig) (*PartitionResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes < 4 {
+		return nil, fmt.Errorf("simnet: partition needs at least 4 nodes, have %d", cfg.Nodes)
+	}
+	if cfg.Neighbors >= cfg.Nodes {
+		return nil, fmt.Errorf("simnet: %d neighbors with %d nodes", cfg.Neighbors, cfg.Nodes)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	adj, err := buildTopology(cfg.Config, rng)
+	if err != nil {
+		return nil, err
+	}
+	region := make([]int, cfg.Nodes)
+	for i := range region {
+		region[i] = i % cfg.Regions
+	}
+	linkDelay := func(a, b int) time.Duration {
+		base := cfg.InterRegion
+		if region[a] == region[b] {
+			base = cfg.IntraRegion
+		}
+		jitter := 0.8 + 0.4*rng.Float64()
+		return time.Duration(float64(base) * jitter)
+	}
+
+	// Mining during the split: expected blocks split by node share,
+	// each half's depth jittered ±20% like every other sampled quantity.
+	sizeA := cfg.Nodes / 2
+	sizeB := cfg.Nodes - sizeA
+	inA := func(i int) bool { return i < sizeA }
+	expected := float64(cfg.PartitionDuration) / float64(cfg.BlockInterval)
+	mine := func(share float64) int {
+		d := int(expected*share*(0.8+0.4*rng.Float64()) + 0.5)
+		if d < 0 {
+			d = 0
+		}
+		return d
+	}
+	res := &PartitionResult{
+		DepthA: mine(float64(sizeA) / float64(cfg.Nodes)),
+		DepthB: mine(float64(sizeB) / float64(cfg.Nodes)),
+	}
+	switch {
+	case res.DepthA > res.DepthB:
+		res.Winner = 0
+	case res.DepthB > res.DepthA:
+		res.Winner = 1
+	default:
+		// Equal work never reorgs (first-seen wins on both sides); the
+		// stalemate breaks when the next block lands, mined by a half
+		// chosen by node share.
+		if rng.Float64() < float64(sizeA)/float64(cfg.Nodes) {
+			res.DepthA++
+		} else {
+			res.DepthB++
+			res.Winner = 1
+		}
+	}
+	depthWin, depthLose := res.DepthWin(), res.DepthLose()
+
+	// The switch cost every losing-half node pays before it can forward
+	// the winning branch onward: disconnect its own blocks, connect the
+	// winner's.
+	switchCost := func() time.Duration {
+		var c time.Duration
+		for i := 0; i < depthLose; i++ {
+			c += cfg.Disconnect.Sample(rng)
+		}
+		for i := 0; i < depthWin; i++ {
+			c += cfg.Connect.Sample(rng)
+		}
+		return c
+	}
+
+	// Heal: winning-half nodes already hold their branch at t=0; the
+	// losing half learns of it over the rejoined links, each node
+	// switching before forwarding.
+	received := make([]bool, cfg.Nodes)
+	arrival := make([]time.Duration, cfg.Nodes)
+	var q eventQueue
+	heap.Init(&q)
+	var totalCost time.Duration
+	for i := 0; i < cfg.Nodes; i++ {
+		if inA(i) == (res.Winner == 0) {
+			received[i] = true
+			for _, p := range adj[i] {
+				if inA(p) != (res.Winner == 0) {
+					heap.Push(&q, event{at: linkDelay(i, p), node: p, from: i})
+				}
+			}
+		}
+	}
+	losers := 0
+	for q.Len() > 0 {
+		e := heap.Pop(&q).(event)
+		if received[e.node] {
+			continue
+		}
+		received[e.node] = true
+		losers++
+		cost := switchCost()
+		totalCost += cost
+		arrival[e.node] = e.at + cost
+		for _, p := range adj[e.node] {
+			if p == e.from || received[p] {
+				continue
+			}
+			heap.Push(&q, event{at: arrival[e.node] + linkDelay(e.node, p), node: p, from: e.node})
+		}
+	}
+	res.Converged = true
+	for _, ok := range received {
+		if !ok {
+			res.Converged = false
+		}
+	}
+	if losers > 0 {
+		res.ReorgCost = totalCost / time.Duration(losers)
+	}
+	for _, a := range arrival {
+		if a > res.HealTime {
+			res.HealTime = a
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,106 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPartitionHealConverges(t *testing.T) {
+	r, err := RunPartition(PartitionConfig{
+		Config:            Config{Seed: 7, Validation: Fixed(5 * time.Millisecond)},
+		PartitionDuration: 20 * time.Minute,
+		BlockInterval:     time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Converged {
+		t.Fatal("heal must reach every losing-half node")
+	}
+	if r.DepthA == 0 && r.DepthB == 0 {
+		t.Fatal("a 20-minute split must mine on both sides")
+	}
+	if r.DepthWin() <= r.DepthLose() {
+		t.Fatalf("winner must carry strictly more work: win %d lose %d", r.DepthWin(), r.DepthLose())
+	}
+	wantDeeper := 0
+	if r.DepthB > r.DepthA {
+		wantDeeper = 1
+	}
+	if r.Winner != wantDeeper {
+		t.Fatalf("winner %d but depths A=%d B=%d", r.Winner, r.DepthA, r.DepthB)
+	}
+	// Losing-half nodes pay the switch: depth_lose disconnects plus
+	// depth_win connects at 5ms each (Fixed model → exact).
+	want := time.Duration(r.DepthLose()+r.DepthWin()) * 5 * time.Millisecond
+	if r.ReorgCost != want {
+		t.Fatalf("reorg cost %v, want %v", r.ReorgCost, want)
+	}
+	if r.HealTime < r.ReorgCost {
+		t.Fatalf("heal time %v cannot undercut one node's switch %v", r.HealTime, r.ReorgCost)
+	}
+}
+
+// A tie in mined depth must not stand: the model breaks it with one
+// extra block (first-seen means equal work never reorgs), so the
+// winner always carries strictly more work.
+func TestPartitionTieBreaks(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		r, err := RunPartition(PartitionConfig{
+			Config:            Config{Seed: seed, Validation: Fixed(time.Millisecond)},
+			PartitionDuration: 2 * time.Minute,
+			BlockInterval:     time.Minute,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.DepthWin() == r.DepthLose() {
+			t.Fatalf("seed %d: tie survived: A=%d B=%d winner=%d", seed, r.DepthA, r.DepthB, r.Winner)
+		}
+		if !r.Converged {
+			t.Fatalf("seed %d: did not converge", seed)
+		}
+	}
+}
+
+// Costlier switches (the baseline's undo-record replay vs EBV's bit
+// restores) must surface as slower heals, all else equal.
+func TestPartitionSwitchCostDominatesHeal(t *testing.T) {
+	base := PartitionConfig{
+		Config:            Config{Seed: 11, Validation: Fixed(time.Millisecond)},
+		PartitionDuration: 30 * time.Minute,
+		BlockInterval:     time.Minute,
+	}
+	cheap := base
+	cheap.Disconnect = Fixed(time.Millisecond)
+	cheap.Connect = Fixed(time.Millisecond)
+	costly := base
+	costly.Disconnect = Fixed(50 * time.Millisecond)
+	costly.Connect = Fixed(50 * time.Millisecond)
+
+	rCheap, err := RunPartition(cheap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rCostly, err := RunPartition(costly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed → same topology, depths, and winner; only the switch
+	// model differs.
+	if rCheap.DepthA != rCostly.DepthA || rCheap.DepthB != rCostly.DepthB {
+		t.Fatalf("seeded runs diverged: %+v vs %+v", rCheap, rCostly)
+	}
+	if rCostly.HealTime <= rCheap.HealTime {
+		t.Fatalf("50x switch cost must slow the heal: %v vs %v", rCostly.HealTime, rCheap.HealTime)
+	}
+	if rCostly.ReorgCost <= rCheap.ReorgCost {
+		t.Fatalf("reorg cost must scale with the model: %v vs %v", rCostly.ReorgCost, rCheap.ReorgCost)
+	}
+}
+
+func TestPartitionRejectsTinyNetworks(t *testing.T) {
+	if _, err := RunPartition(PartitionConfig{Config: Config{Nodes: 3, Neighbors: 1}}); err == nil {
+		t.Fatal("3 nodes cannot partition")
+	}
+}

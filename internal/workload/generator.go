@@ -166,6 +166,14 @@ func (g *Generator) Resign(height uint64, txIdx, outIdx uint32, sigHash hashx.Ha
 // Scheme returns the signature scheme used by the generated history.
 func (g *Generator) Scheme() sig.Scheme { return g.p.Scheme }
 
+// Reseed switches the per-block RNG seed from the next block on. Two
+// generators with the same Params produce byte-identical prefixes;
+// reseeding one of them mid-stream makes it emit a *valid* history
+// that diverges there — the fork corpora the reorg tests replay.
+// (Output keys derive from creation coordinates, not the seed, so
+// spends of prefix outputs stay signable on both branches.)
+func (g *Generator) Reseed(seed int64) { g.p.Seed = seed }
+
 // plannedTx is a transaction plan before signing: which pool entries
 // it spends and the values of its outputs.
 type plannedTx struct {

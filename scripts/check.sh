@@ -35,13 +35,20 @@ echo "== fast-sync smoke (two nodes over localhost) =="
 # chain.
 tmp=$(mktemp -d)
 server_pid=""
+heavy_pid=""
+light_pid=""
 cleanup() {
 	[ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null
+	[ -n "$heavy_pid" ] && kill "$heavy_pid" 2>/dev/null
+	[ -n "$light_pid" ] && kill "$light_pid" 2>/dev/null
 	rm -rf "$tmp"
 }
 trap cleanup EXIT
 go build -o "$tmp/bin/" ./cmd/...
-"$tmp/bin/chaingen" -blocks 300 -out "$tmp/chains" >/dev/null 2>&1
+# -forkat also emits a competing branch (diverging at 240, 6 blocks)
+# that the fork-choice smokes below feed back against the main chain.
+"$tmp/bin/chaingen" -blocks 300 -forkat 240 -branchblocks 6 \
+	-out "$tmp/chains" >/dev/null 2>&1
 "$tmp/bin/ebvgossip" -datadir "$tmp/server" -import "$tmp/chains/inter/chain" \
 	-listen 127.0.0.1:0 -quiet 2>"$tmp/server.log" &
 server_pid=$!
@@ -77,6 +84,77 @@ if [ -z "$fast_blocks" ] || [ "$fast_blocks" != "$ref_blocks" ] ||
 	exit 1
 fi
 echo "fast sync matches full IBD ($fast_blocks, $fast_unspent)"
+
+echo "== fork-choice smoke (local reorg via -branch) =="
+# IBD the shorter branch chain, then feed the heavier main chain
+# through the fork-choice engine: exactly one reorg, six blocks deep.
+"$tmp/bin/ebvnode" -chain "$tmp/chains/branch/inter/chain" \
+	-branch "$tmp/chains/inter/chain" -datadir "$tmp/reorgnode" \
+	>"$tmp/reorg.out" 2>/dev/null
+if ! grep -q 'fork choice: 1 reorgs (deepest 6)' "$tmp/reorg.out"; then
+	echo "check.sh: -branch replay did not produce the expected reorg" >&2
+	cat "$tmp/reorg.out" >&2
+	exit 1
+fi
+echo "local fork choice reorged to the heavier chain (depth 6)"
+
+echo "== partition/heal smoke (two nodes over localhost) =="
+# A heavy node serves the 300-block main chain; a light node starts on
+# the 246-block branch and connects. Work comparison in the handshake
+# makes the light node fetch the heavier headers and switch branches.
+"$tmp/bin/ebvgossip" -datadir "$tmp/heavy" -import "$tmp/chains/inter/chain" \
+	-listen 127.0.0.1:0 -quiet 2>"$tmp/heavy.log" &
+heavy_pid=$!
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+	addr=$(sed -n 's/^listening on \([^ ]*\).*/\1/p' "$tmp/heavy.log")
+	[ -n "$addr" ] && break
+	sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+	echo "check.sh: heavy gossip node did not come up" >&2
+	cat "$tmp/heavy.log" >&2
+	exit 1
+fi
+# No -quiet: OnBlock lines on stdout expose the light node's tip, and
+# "block 299 accepted" marks full convergence onto the heavy chain.
+"$tmp/bin/ebvgossip" -datadir "$tmp/light" -import "$tmp/chains/branch/inter/chain" \
+	-connect "$addr" -listen 127.0.0.1:0 >"$tmp/light.out" 2>"$tmp/light.log" &
+light_pid=$!
+healed=""
+i=0
+while [ $i -lt 100 ]; do
+	if grep -q 'block 299 accepted' "$tmp/light.out" &&
+		grep -q 'reorg depth 6' "$tmp/light.log"; then
+		healed=yes
+		break
+	fi
+	sleep 0.1
+	i=$((i + 1))
+done
+kill "$heavy_pid" "$light_pid" 2>/dev/null || true
+wait "$heavy_pid" 2>/dev/null || true
+wait "$light_pid" 2>/dev/null || true
+heavy_pid=""
+light_pid=""
+if [ -z "$healed" ]; then
+	echo "check.sh: light node never reorged onto the heavy chain" >&2
+	cat "$tmp/light.log" >&2
+	tail -5 "$tmp/light.out" >&2
+	exit 1
+fi
+echo "partition healed over TCP (light node reorged to height 299)"
+
+echo "== reorg bench smoke =="
+"$tmp/bin/ebvbench" -exp ablation-reorg -quick -blocks 200 \
+	-datadir "$tmp/bench" -artifactdir "$tmp" >/dev/null 2>&1
+if [ ! -f "$tmp/BENCH_reorg.json" ]; then
+	echo "check.sh: ablation-reorg wrote no BENCH_reorg.json" >&2
+	exit 1
+fi
+echo "BENCH_reorg.json written"
 
 echo "== bootstrap bench smoke =="
 "$tmp/bin/ebvbench" -exp ablation-bootstrap -quick -blocks 200 \
