@@ -224,9 +224,10 @@ func (v *EBVValidator) uvInput(body *txmodel.InputBody) error {
 // uvProbes holds one block's batched Unspent Validation answers, in
 // the scan order of collectSpends. Nothing mutates the status database
 // between a block's probes and its commit, so probing everything up
-// front under one read lock returns exactly what per-input IsUnspent
-// calls at scan time would; check surfaces each verdict with uvInput's
-// error mapping, preserving error selection input for input.
+// front in one batch (grouped per shard, probed concurrently for
+// large blocks) returns exactly what per-input IsUnspent calls at
+// scan time would; check surfaces each verdict with uvInput's error
+// mapping, preserving error selection input for input.
 type uvProbes struct {
 	spends []statusdb.Spend
 	res    []statusdb.ProbeResult
@@ -250,9 +251,9 @@ func collectSpends(b *blockmodel.EBVBlock) []statusdb.Spend {
 	return spends
 }
 
-// probeUV runs the block's batched Unspent Validation — one read lock
-// for the whole block instead of one per input — charging the probe
-// pass to the UV counter.
+// probeUV runs the block's batched Unspent Validation — one shard-
+// grouped batch for the whole block instead of one lock round trip
+// per input — charging the probe pass to the UV counter.
 func (v *EBVValidator) probeUV(spends []statusdb.Spend, bd *Breakdown) *uvProbes {
 	w := newStopwatch()
 	res := v.status.IsUnspentBatch(spends)
@@ -315,8 +316,8 @@ func (v *EBVValidator) ConnectBlock(b *blockmodel.EBVBlock) (*Breakdown, error) 
 	}
 	w.lap(&bd.Other)
 
-	// UV runs as one batched probe — a single status-database read
-	// lock for the whole block — whose per-input verdicts the scan
+	// UV runs as one batched probe — shard-grouped status-database
+	// reads for the whole block — whose per-input verdicts the scan
 	// below consumes in order, so error selection is unchanged.
 	uv := v.probeUV(collectSpends(b), bd)
 	idx := 0

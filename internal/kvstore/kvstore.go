@@ -178,12 +178,16 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 		db.mu.RUnlock()
 		return nil, ErrClosed
 	}
-	mem := db.mem
+	// The memtable lookup must happen under the lock — its map is
+	// mutated in place by writers. The value and the tables can be
+	// used after release: stored value slices are never mutated once
+	// installed, and SSTables are immutable.
+	v, state := db.mem.get(key)
 	tables := db.tables
 	db.mu.RUnlock()
 
 	db.addStat(func(s *Stats) { s.Gets++ })
-	if v, state := mem.get(key); state != absent {
+	if state != absent {
 		db.addStat(func(s *Stats) { s.MemHits++ })
 		if state == deleted {
 			return nil, ErrNotFound

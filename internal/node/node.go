@@ -48,6 +48,10 @@ type Config struct {
 	// Optimize enables EBV's sparse-vector optimization (default via
 	// NewEBVNode is on; the Fig. 14 ablation turns it off).
 	Optimize bool
+	// StatusShards is the status database's shard count, rounded up
+	// to a power of two (statusdb.NewSharded). 0 picks the default;
+	// 1 degrades to the single-lock layout.
+	StatusShards int
 	// ParallelSV, when > 1, runs EBV Script Validation on that many
 	// goroutines per block (the paper's future-work direction; see
 	// core.WithParallelSV).
@@ -238,7 +242,7 @@ func NewEBVNode(cfg Config) (*EBVNode, error) {
 	if err != nil {
 		return nil, err
 	}
-	status := statusdb.New(cfg.Optimize)
+	status := statusdb.NewSharded(cfg.Optimize, cfg.StatusShards)
 	n := &EBVNode{Chain: chain, Status: status, statusPth: filepath.Join(cfg.Dir, "status.snapshot")}
 	if err := status.LoadFile(n.statusPth); err != nil && !os.IsNotExist(err) {
 		chain.Close()

@@ -1,0 +1,100 @@
+package statusdb
+
+import (
+	"fmt"
+
+	"ebv/internal/bitvec"
+)
+
+// CheckInvariants recomputes every shard's accounting from its live
+// vectors and verifies the store's structural invariants:
+//
+//   - every vector decodes, is non-empty, and has at least one 1-bit
+//     (all-zero vectors are deleted at commit; zero-output blocks
+//     never store one);
+//   - every height lives on the shard that owns its stripe and does
+//     not exceed the tip (an empty set holds no vectors at all);
+//   - each shard's memBytes/dense/ones counters equal the sums
+//     recomputed from its vectors, and the aggregate getters equal
+//     the sum over shards.
+//
+// It takes the commit mutex, so it sees a quiescent state even while
+// readers run; use it after every operation in soak tests and as a
+// post-load sanity gate. The first violation found is returned.
+func (d *DB) CheckInvariants() error {
+	d.commitMu.Lock()
+	defer d.commitMu.Unlock()
+	tip, hasTip := d.tip, d.hasTip
+	var totMem, totDense, totOnes int64
+	totVecs := 0
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.RLock()
+		var mem, dense, ones int64
+		var firstErr error
+		for h, enc := range s.vectors {
+			if got := d.shardIndex(h); got != i {
+				firstErr = fmt.Errorf("statusdb: invariant: height %d stored on shard %d, owned by %d", h, i, got)
+				break
+			}
+			if !hasTip {
+				firstErr = fmt.Errorf("statusdb: invariant: vector at height %d in an empty set", h)
+				break
+			}
+			if h > tip {
+				firstErr = fmt.Errorf("statusdb: invariant: height %d beyond tip %d", h, tip)
+				break
+			}
+			v, err := bitvec.Decode(enc)
+			if err != nil {
+				firstErr = fmt.Errorf("statusdb: invariant: corrupt vector at height %d: %v", h, err)
+				break
+			}
+			if v.Len() == 0 {
+				firstErr = fmt.Errorf("statusdb: invariant: zero-length vector stored at height %d", h)
+				break
+			}
+			if v.AllZero() {
+				firstErr = fmt.Errorf("statusdb: invariant: all-zero vector stored at height %d", h)
+				break
+			}
+			mem += int64(len(enc)) + vectorOverhead
+			dense += int64(v.DenseSize()) + vectorOverhead
+			ones += int64(v.Ones())
+		}
+		if firstErr == nil {
+			switch {
+			case mem != s.memBytes:
+				firstErr = fmt.Errorf("statusdb: invariant: shard %d memBytes %d, recomputed %d", i, s.memBytes, mem)
+			case dense != s.dense:
+				firstErr = fmt.Errorf("statusdb: invariant: shard %d dense %d, recomputed %d", i, s.dense, dense)
+			case ones != s.ones:
+				firstErr = fmt.Errorf("statusdb: invariant: shard %d ones %d, recomputed %d", i, s.ones, ones)
+			}
+		}
+		totMem += mem
+		totDense += dense
+		totOnes += ones
+		totVecs += len(s.vectors)
+		s.mu.RUnlock()
+		if firstErr != nil {
+			return firstErr
+		}
+	}
+	// The aggregate getters re-sum the per-shard counters just
+	// verified; holding commitMu keeps writers out, so they must
+	// agree with the recomputed totals.
+	if got := d.MemUsage(); got != totMem {
+		return fmt.Errorf("statusdb: invariant: MemUsage %d, recomputed %d", got, totMem)
+	}
+	if got := d.DenseUsage(); got != totDense {
+		return fmt.Errorf("statusdb: invariant: DenseUsage %d, recomputed %d", got, totDense)
+	}
+	if got := d.UnspentCount(); got != totOnes {
+		return fmt.Errorf("statusdb: invariant: UnspentCount %d, recomputed %d", got, totOnes)
+	}
+	if got := d.VectorCount(); got != totVecs {
+		return fmt.Errorf("statusdb: invariant: VectorCount %d, recomputed %d", got, totVecs)
+	}
+	return nil
+}

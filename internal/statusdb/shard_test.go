@@ -1,0 +1,326 @@
+package statusdb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// shardSweep is the shard counts the equivalence suites compare: the
+// single-lock baseline (1) against striped configurations, including
+// one that rounds up (3 → 4) and one wider than the test chains so
+// some shards stay empty.
+var shardSweep = []int{1, 2, 3, 8, 64}
+
+// dbSet runs the same operation against every shard configuration and
+// asserts identical behavior after each step.
+type dbSet struct {
+	t   *testing.T
+	dbs []*DB
+}
+
+func newDBSet(t *testing.T, optimize bool) *dbSet {
+	set := &dbSet{t: t}
+	for _, n := range shardSweep {
+		set.dbs = append(set.dbs, NewSharded(optimize, n))
+	}
+	return set
+}
+
+// do applies op to every DB and requires the exact same error text
+// from each; it returns the baseline's error.
+func (set *dbSet) do(desc string, op func(d *DB) error) error {
+	set.t.Helper()
+	base := op(set.dbs[0])
+	for i, d := range set.dbs[1:] {
+		err := op(d)
+		if (err == nil) != (base == nil) || (err != nil && err.Error() != base.Error()) {
+			set.t.Fatalf("%s: %d shards returned %v, 1 shard returned %v",
+				desc, d.Shards(), err, base)
+		}
+		_ = i
+	}
+	set.checkEqual(desc)
+	return base
+}
+
+// checkEqual asserts every configuration holds byte-identical state:
+// same snapshot stream, same aggregates, same invariants.
+func (set *dbSet) checkEqual(desc string) {
+	set.t.Helper()
+	var baseSnap bytes.Buffer
+	if err := set.dbs[0].Save(&baseSnap); err != nil {
+		set.t.Fatalf("%s: save baseline: %v", desc, err)
+	}
+	for _, d := range set.dbs[1:] {
+		var snap bytes.Buffer
+		if err := d.Save(&snap); err != nil {
+			set.t.Fatalf("%s: save %d shards: %v", desc, d.Shards(), err)
+		}
+		if !bytes.Equal(snap.Bytes(), baseSnap.Bytes()) {
+			set.t.Fatalf("%s: %d-shard snapshot differs from the single-lock baseline", desc, d.Shards())
+		}
+		if d.MemUsage() != set.dbs[0].MemUsage() || d.DenseUsage() != set.dbs[0].DenseUsage() ||
+			d.UnspentCount() != set.dbs[0].UnspentCount() || d.VectorCount() != set.dbs[0].VectorCount() {
+			set.t.Fatalf("%s: %d-shard aggregates diverged", desc, d.Shards())
+		}
+		if err := d.CheckInvariants(); err != nil {
+			set.t.Fatalf("%s: %d shards: %v", desc, d.Shards(), err)
+		}
+	}
+}
+
+// probeAll compares single and batched probes across configurations.
+func (set *dbSet) probeAll(desc string, probes []Spend) {
+	set.t.Helper()
+	base := set.dbs[0].IsUnspentBatch(probes)
+	for _, d := range set.dbs[1:] {
+		got := d.IsUnspentBatch(probes)
+		for i := range probes {
+			if got[i].Unspent != base[i].Unspent ||
+				(got[i].Err == nil) != (base[i].Err == nil) ||
+				(got[i].Err != nil && got[i].Err.Error() != base[i].Err.Error()) {
+				set.t.Fatalf("%s: probe %v: %d shards got (%v,%v), baseline (%v,%v)",
+					desc, probes[i], d.Shards(), got[i].Unspent, got[i].Err, base[i].Unspent, base[i].Err)
+			}
+			single, err := d.IsUnspent(probes[i].Height, probes[i].Pos)
+			if single != got[i].Unspent || (err == nil) != (got[i].Err == nil) {
+				set.t.Fatalf("%s: probe %v: batch and single disagree on %d shards", desc, probes[i], d.Shards())
+			}
+		}
+	}
+}
+
+// TestShardEquivalenceAdversarial drives every failure mode through
+// all shard configurations: the sharded commit must produce the same
+// first error (and identical state) as the single-lock baseline.
+func TestShardEquivalenceAdversarial(t *testing.T) {
+	set := newDBSet(t, true)
+
+	mustOK := func(desc string, op func(d *DB) error) {
+		t.Helper()
+		if err := set.do(desc, op); err != nil {
+			t.Fatalf("%s: %v", desc, err)
+		}
+	}
+	mustFail := func(desc string, op func(d *DB) error) {
+		t.Helper()
+		if err := set.do(desc, op); err == nil {
+			t.Fatalf("%s: expected failure", desc)
+		}
+	}
+
+	mustFail("connect before genesis", func(d *DB) error { return d.Connect(3, 4, nil) })
+	mustOK("genesis", func(d *DB) error { return d.Connect(0, 8, nil) })
+	mustFail("reconnect genesis", func(d *DB) error { return d.Connect(0, 8, nil) })
+	mustFail("skip height", func(d *DB) error { return d.Connect(5, 4, nil) })
+	mustFail("negative outputs", func(d *DB) error { return d.Connect(1, -1, nil) })
+	mustFail("self-spend", func(d *DB) error {
+		return d.Connect(1, 2, []Spend{{Height: 1, Pos: 0}})
+	})
+	mustFail("future spend", func(d *DB) error {
+		return d.Connect(1, 2, []Spend{{Height: 7, Pos: 0}})
+	})
+	mustOK("block 1", func(d *DB) error {
+		return d.Connect(1, 6, []Spend{{Height: 0, Pos: 1}, {Height: 0, Pos: 5}})
+	})
+	mustFail("double spend", func(d *DB) error {
+		return d.Connect(2, 2, []Spend{{Height: 0, Pos: 1}})
+	})
+	mustFail("intra-block duplicate", func(d *DB) error {
+		return d.Connect(2, 2, []Spend{{Height: 0, Pos: 2}, {Height: 0, Pos: 2}})
+	})
+	mustFail("out of range", func(d *DB) error {
+		return d.Connect(2, 2, []Spend{{Height: 0, Pos: 64}})
+	})
+	// Several invalid heights in one call: the reported error must be
+	// the lowest failing height on every configuration, regardless of
+	// which shards stage the work.
+	mustFail("multi-height failure", func(d *DB) error {
+		return d.Connect(2, 2, []Spend{
+			{Height: 1, Pos: 63}, // out of range at height 1
+			{Height: 0, Pos: 5},  // double spend at height 0 — must win
+		})
+	})
+	mustOK("zero-output block", func(d *DB) error { return d.Connect(2, 0, []Spend{{Height: 0, Pos: 0}}) })
+	mustOK("spend across heights", func(d *DB) error {
+		return d.Connect(3, 4, []Spend{{Height: 0, Pos: 2}, {Height: 1, Pos: 3}})
+	})
+
+	set.probeAll("post-corpus", []Spend{
+		{Height: 0, Pos: 0}, {Height: 0, Pos: 1}, {Height: 0, Pos: 99},
+		{Height: 1, Pos: 3}, {Height: 2, Pos: 0}, {Height: 3, Pos: 3},
+		{Height: 9, Pos: 0},
+	})
+
+	mustFail("disconnect below tip", func(d *DB) error { return d.Disconnect(1, nil) })
+	mustFail("restore unspent bit", func(d *DB) error {
+		return d.Disconnect(3, []Restore{{Height: 1, Pos: 0, NOutputs: 6}})
+	})
+	mustFail("restore wrong nOutputs", func(d *DB) error {
+		return d.Disconnect(3, []Restore{{Height: 0, Pos: 2, NOutputs: 5}})
+	})
+	mustFail("restore future height", func(d *DB) error {
+		return d.Disconnect(3, []Restore{{Height: 4, Pos: 0, NOutputs: 2}})
+	})
+	mustOK("disconnect block 3", func(d *DB) error {
+		return d.Disconnect(3, []Restore{{Height: 0, Pos: 2, NOutputs: 8}, {Height: 1, Pos: 3, NOutputs: 6}})
+	})
+	mustOK("disconnect zero-output block", func(d *DB) error {
+		return d.Disconnect(2, []Restore{{Height: 0, Pos: 0, NOutputs: 8}})
+	})
+	mustOK("disconnect block 1", func(d *DB) error {
+		return d.Disconnect(1, []Restore{{Height: 0, Pos: 1, NOutputs: 8}, {Height: 0, Pos: 5, NOutputs: 8}})
+	})
+	mustOK("disconnect genesis", func(d *DB) error { return d.Disconnect(0, nil) })
+}
+
+// TestShardEquivalenceRandomized replays a seeded random workload —
+// valid connects and disconnects with injected invalid operations —
+// through every shard configuration, asserting identical errors,
+// snapshots, aggregates, and probes after every step. Blocks are
+// large enough to cross the parallel staging and probe thresholds.
+func TestShardEquivalenceRandomized(t *testing.T) {
+	for _, optimize := range []bool{true, false} {
+		t.Run(fmt.Sprintf("optimize=%v", optimize), func(t *testing.T) {
+			testShardEquivalenceRandomized(t, optimize)
+		})
+	}
+}
+
+type blockRec struct {
+	height   uint64
+	nOutputs int
+	spends   []Spend
+}
+
+func testShardEquivalenceRandomized(t *testing.T, optimize bool) {
+	set := newDBSet(t, optimize)
+	rng := rand.New(rand.NewSource(42))
+
+	// Model: per-height output counts and unspent flags, plus the
+	// connected-block history for generating valid restores.
+	outs := map[uint64]int{}
+	unspent := map[uint64][]bool{}
+	var history []blockRec
+	next := uint64(0)
+
+	pickSpends := func(max int) []Spend {
+		var sp []Spend
+		taken := map[Spend]bool{}
+		for len(sp) < max {
+			if next == 0 {
+				break
+			}
+			h := uint64(rng.Intn(int(next)))
+			flags := unspent[h]
+			if len(flags) == 0 {
+				continue
+			}
+			p := uint32(rng.Intn(len(flags)))
+			s := Spend{Height: h, Pos: p}
+			if !flags[p] || taken[s] {
+				// Bounded retries; sparse sets may run dry.
+				if rng.Intn(4) == 0 {
+					break
+				}
+				continue
+			}
+			taken[s] = true
+			sp = append(sp, s)
+		}
+		return sp
+	}
+
+	for step := 0; step < 250; step++ {
+		switch r := rng.Intn(10); {
+		case r < 6: // valid connect, sometimes large enough to fan out
+			n := rng.Intn(20)
+			if rng.Intn(4) == 0 {
+				n = 200 + rng.Intn(200)
+			}
+			sp := pickSpends(rng.Intn(100) + 1)
+			if err := set.do("connect", func(d *DB) error { return d.Connect(next, n, sp) }); err != nil {
+				t.Fatalf("step %d: valid connect failed: %v", step, err)
+			}
+			for _, s := range sp {
+				unspent[s.Height][s.Pos] = false
+			}
+			outs[next] = n
+			flags := make([]bool, n)
+			for i := range flags {
+				flags[i] = true
+			}
+			unspent[next] = flags
+			history = append(history, blockRec{next, n, sp})
+			next++
+		case r < 8 && len(history) > 0: // valid disconnect of the tip
+			rec := history[len(history)-1]
+			restores := make([]Restore, 0, len(rec.spends))
+			for _, s := range rec.spends {
+				restores = append(restores, Restore{Height: s.Height, Pos: s.Pos, NOutputs: outs[s.Height]})
+			}
+			if err := set.do("disconnect", func(d *DB) error { return d.Disconnect(rec.height, restores) }); err != nil {
+				t.Fatalf("step %d: valid disconnect failed: %v", step, err)
+			}
+			for _, s := range rec.spends {
+				unspent[s.Height][s.Pos] = true
+			}
+			delete(unspent, rec.height)
+			delete(outs, rec.height)
+			history = history[:len(history)-1]
+			next = rec.height
+		default: // invalid operation: every config must agree on the error
+			bad := rng.Intn(4)
+			switch {
+			case bad == 0 && next > 0:
+				h := next + 1 + uint64(rng.Intn(5))
+				set.do("bad connect height", func(d *DB) error { return d.Connect(h, 4, nil) })
+			case bad == 1 && next > 0:
+				h := uint64(rng.Intn(int(next)))
+				p := uint32(100000 + rng.Intn(100))
+				set.do("bad spend", func(d *DB) error {
+					return d.Connect(next, 4, []Spend{{Height: h, Pos: p}})
+				})
+			case bad == 2 && len(history) > 0:
+				set.do("bad disconnect", func(d *DB) error {
+					return d.Disconnect(history[len(history)-1].height, []Restore{{Height: 0, Pos: 0, NOutputs: 1 << 20}})
+				})
+			default:
+				set.do("future spend", func(d *DB) error {
+					return d.Connect(next, 4, []Spend{{Height: next + 3, Pos: 0}})
+				})
+			}
+		}
+		if step%25 == 0 && next > 0 {
+			var probes []Spend
+			for i := 0; i < 300; i++ {
+				probes = append(probes, Spend{
+					Height: uint64(rng.Intn(int(next) + 2)),
+					Pos:    uint32(rng.Intn(260)),
+				})
+			}
+			set.probeAll("random probes", probes)
+		}
+	}
+
+	// Export/import round trip lands every configuration on the same
+	// state again.
+	tip, ok, vecs := set.dbs[0].ExportVectors()
+	if !ok {
+		return
+	}
+	for _, d := range set.dbs {
+		d2 := NewSharded(true, d.Shards())
+		if err := d2.ImportVectors(tip, vecs); err != nil {
+			t.Fatalf("import into %d shards: %v", d.Shards(), err)
+		}
+		if d2.UnspentCount() != set.dbs[0].UnspentCount() || d2.MemUsage() != set.dbs[0].MemUsage() {
+			t.Fatalf("import into %d shards diverged", d.Shards())
+		}
+		if err := d2.CheckInvariants(); err != nil {
+			t.Fatalf("imported %d shards: %v", d.Shards(), err)
+		}
+	}
+}

@@ -8,8 +8,32 @@
 // of the optimized encodings.
 //
 // The whole set fits comfortably in memory (that is the point of the
-// paper), so the store is a map guarded by an RWMutex. Save/Load
-// provide persistence across restarts.
+// paper), but a single lock over it serializes every probe, commit,
+// and snapshot. The store is therefore sharded: heights are striped
+// across NewSharded's shard count, each shard holding its own map,
+// RWMutex, and accounting counters. Commits stage their mutations per
+// shard — concurrently for large blocks — under read locks, and only
+// after every shard validates are the write locks taken and the
+// staged entries applied, so the all-or-nothing failure contract of
+// the unsharded store is preserved exactly.
+//
+// Consistency model: writers (Connect, Disconnect, Load,
+// ImportVectors) are serialized by a commit mutex and never fail after
+// the first byte of state changes. Readers never block each other and
+// only contend with a writer on the shards it touches. A single probe
+// is linearizable; a batch of probes overlapping an in-flight commit
+// may observe some of its spends applied and others not (each bit
+// individually reads either the pre- or post-commit value, and the new
+// block's outputs stay invisible until the tip advances, which happens
+// last). Aggregates (MemUsage, UnspentCount, ...) sum per-shard
+// counters without a stop-the-world lock and may transiently reflect a
+// partially applied commit. Snapshots (Save, ExportVectors) are exact:
+// they exclude writers for a brief pointer-copy walk and serialize
+// outside all locks.
+//
+// Stored encodings are immutable: every mutation installs a freshly
+// allocated encoding, so a snapshot's shallow copies stay stable after
+// the locks are released.
 package statusdb
 
 import (
@@ -41,30 +65,99 @@ var (
 // header, height key) charged to MemUsage.
 const vectorOverhead = 32
 
+// Sharding parameters.
+const (
+	// DefaultShards is the shard count New uses. Equivalence is
+	// unconditional — any shard count produces byte-identical state —
+	// so the default favors multi-core probe and commit throughput.
+	DefaultShards = 8
+	// MaxShards bounds NewSharded's shard count.
+	MaxShards = 256
+	// shardShift groups runs of 1<<shardShift consecutive heights on
+	// the same shard before striping. 0 stripes adjacent heights
+	// round-robin, which spreads both a block's spends (they cluster
+	// in recent heights) and batched probes evenly.
+	shardShift = 0
+)
+
+// Work thresholds below which staging and batch probes stay on the
+// calling goroutine: fan-out costs a goroutine per shard, which only
+// pays for itself on blocks with enough spends.
+const (
+	parallelStageMin = 64
+	parallelProbeMin = 256
+)
+
 // Spend identifies one output consumed by a new block.
 type Spend struct {
 	Height uint64
 	Pos    uint32
 }
 
-// DB is the bit-vector set. The zero value is not usable; call New.
-type DB struct {
+// shard is one stripe of the set: its own lock, encoded-vector map,
+// and accounting counters. The padding keeps hot shards on distinct
+// cache lines.
+type shard struct {
 	mu       sync.RWMutex
 	vectors  map[uint64][]byte // height -> encoded vector (absent = fully spent)
-	optimize bool
-	tip      uint64
-	hasTip   bool
-	memBytes int64 // sum of encoded sizes + overhead
-	dense    int64 // what the footprint would be without optimization
-	ones     int64 // total unspent outputs tracked
+	memBytes int64             // sum of encoded sizes + overhead
+	dense    int64             // what the footprint would be without optimization
+	ones     int64             // unspent outputs tracked by this shard
+	_        [56]byte
 }
 
-// New returns an empty bit-vector set. optimize selects the paper's
-// sparse-vector optimization; pass false to measure the "EBV without
-// optimization" ablation of Fig. 14.
-func New(optimize bool) *DB {
-	return &DB{vectors: make(map[uint64][]byte), optimize: optimize}
+// DB is the bit-vector set. The zero value is not usable; call New or
+// NewSharded.
+type DB struct {
+	optimize bool
+	mask     uint64
+	shards   []shard
+
+	// commitMu serializes the writers and is the consistency point
+	// for snapshots and invariant checks. Lock order: commitMu →
+	// shard locks (ascending index) → tipMu.
+	commitMu sync.Mutex
+
+	// tipMu guards tip/hasTip for readers; writers additionally hold
+	// commitMu, so they may read the tip fields without tipMu.
+	tipMu  sync.RWMutex
+	tip    uint64
+	hasTip bool
 }
+
+// New returns an empty bit-vector set with DefaultShards shards.
+// optimize selects the paper's sparse-vector optimization; pass false
+// to measure the "EBV without optimization" ablation of Fig. 14.
+func New(optimize bool) *DB { return NewSharded(optimize, 0) }
+
+// NewSharded returns an empty bit-vector set striped over the given
+// number of shards, rounded up to a power of two in [1, MaxShards];
+// 0 selects DefaultShards. Shard count affects only concurrency —
+// state, errors, and snapshots are identical for every setting.
+func NewSharded(optimize bool, shards int) *DB {
+	n := shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	if n > MaxShards {
+		n = MaxShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	d := &DB{optimize: optimize, mask: uint64(p - 1), shards: make([]shard, p)}
+	for i := range d.shards {
+		d.shards[i].vectors = make(map[uint64][]byte)
+	}
+	return d
+}
+
+// Shards returns the shard count the set was built with.
+func (d *DB) Shards() int { return len(d.shards) }
+
+// shardIndex maps a height to the shard that owns it.
+func (d *DB) shardIndex(h uint64) int { return int((h >> shardShift) & d.mask) }
 
 func (d *DB) encode(v *bitvec.Vector) []byte {
 	if d.optimize {
@@ -73,17 +166,144 @@ func (d *DB) encode(v *bitvec.Vector) []byte {
 	return v.EncodeDense()
 }
 
+// stagedEntry is one height's validated pending mutation: the new
+// encoding (nil = delete the vector) plus the accounting deltas its
+// application adds to the owning shard.
+type stagedEntry struct {
+	h                uint64
+	enc              []byte
+	mem, dense, ones int64
+}
+
+// stageErr couples a staging error with the height it failed at, so
+// error selection is deterministic (lowest failing height) no matter
+// how many shards stage concurrently or in what order they finish.
+type stageErr struct {
+	err error
+	h   uint64
+}
+
+// shardHeights splits ascending-sorted heights into per-shard work
+// lists (ascending within each shard).
+func (d *DB) shardHeights(heights []uint64) [][]uint64 {
+	perShard := make([][]uint64, len(d.shards))
+	for _, h := range heights {
+		si := d.shardIndex(h)
+		perShard[si] = append(perShard[si], h)
+	}
+	return perShard
+}
+
+func sortedKeys[V any](m map[uint64]V) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for h := range m {
+		keys = append(keys, h)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// stageShards runs fn over every shard with work — concurrently when
+// parallel is set and more than one shard is touched — and merges the
+// results. Staging is read-only (fn takes the shard's read lock), so
+// an error leaves the set untouched. When several shards fail, the
+// error at the lowest height wins: within a height fn reports its
+// first failure in input order, and exactly one shard owns a height,
+// so the selection is total and independent of scheduling.
+func (d *DB) stageShards(perShard [][]uint64, parallel bool, fn func(si int, heights []uint64) ([]stagedEntry, stageErr)) ([][]stagedEntry, error) {
+	staged := make([][]stagedEntry, len(d.shards))
+	var touched []int
+	for si := range perShard {
+		if len(perShard[si]) > 0 {
+			touched = append(touched, si)
+		}
+	}
+	errs := make([]stageErr, len(d.shards))
+	if parallel && len(touched) > 1 {
+		var wg sync.WaitGroup
+		for _, si := range touched {
+			wg.Add(1)
+			go func(si int) {
+				defer wg.Done()
+				staged[si], errs[si] = fn(si, perShard[si])
+			}(si)
+		}
+		wg.Wait()
+	} else {
+		for _, si := range touched {
+			staged[si], errs[si] = fn(si, perShard[si])
+		}
+	}
+	var first stageErr
+	for _, se := range errs {
+		if se.err != nil && (first.err == nil || se.h < first.h) {
+			first = se
+		}
+	}
+	if first.err != nil {
+		return nil, first.err
+	}
+	return staged, nil
+}
+
+// apply commits staged entries shard by shard under the write locks.
+// Application is pure writes and cannot fail; together with the
+// staging pass never mutating, this is the two-phase structure that
+// preserves the unsharded store's all-or-nothing contract.
+func (d *DB) apply(staged [][]stagedEntry) {
+	for si := range staged {
+		if len(staged[si]) == 0 {
+			continue
+		}
+		s := &d.shards[si]
+		s.mu.Lock()
+		for _, e := range staged[si] {
+			if e.enc == nil {
+				delete(s.vectors, e.h)
+			} else {
+				s.vectors[e.h] = e.enc
+			}
+			s.memBytes += e.mem
+			s.dense += e.dense
+			s.ones += e.ones
+		}
+		s.mu.Unlock()
+	}
+}
+
+// setTip publishes a new tip. The tip moves only after every shard's
+// apply: readers cannot see a block's outputs before its spends and
+// vector are fully in place. Caller holds commitMu.
+func (d *DB) setTip(tip uint64, has bool) {
+	d.tipMu.Lock()
+	d.tip, d.hasTip = tip, has
+	d.tipMu.Unlock()
+}
+
+func (d *DB) snapshotTip() (uint64, bool) {
+	d.tipMu.RLock()
+	defer d.tipMu.RUnlock()
+	return d.tip, d.hasTip
+}
+
 // Connect applies one block atomically: it registers the new block's
 // all-ones vector of nOutputs bits, then clears the bit of every
 // spend. It fails without side effects on unknown heights,
 // out-of-range positions, double spends (including duplicates within
-// the same call), and non-monotonic heights.
+// the same call), and non-monotonic heights. When several heights are
+// invalid, the reported error is the one at the lowest height (within
+// a height, the first failing spend in input order).
+//
+// Spends are staged per shard — concurrently for large blocks — and
+// committed only after every shard validates. A zero-output block
+// stores no vector at all, so "absent = fully spent" holds for it
+// from birth; it still advances the tip.
 func (d *DB) Connect(height uint64, nOutputs int, spends []Spend) error {
 	if nOutputs < 0 || nOutputs > bitvec.MaxLen {
 		return fmt.Errorf("%w: %d outputs at height %d", ErrOutOfRange, nOutputs, height)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.commitMu.Lock()
+	defer d.commitMu.Unlock()
 	if d.hasTip && height != d.tip+1 {
 		return fmt.Errorf("statusdb: connect height %d after tip %d", height, d.tip)
 	}
@@ -91,8 +311,6 @@ func (d *DB) Connect(height uint64, nOutputs int, spends []Spend) error {
 		return fmt.Errorf("statusdb: first block must be height 0, got %d", height)
 	}
 
-	// Group spends by height and apply on decoded copies; commit only
-	// if everything checks out.
 	byHeight := make(map[uint64][]uint32)
 	for _, s := range spends {
 		if s.Height >= height {
@@ -101,62 +319,89 @@ func (d *DB) Connect(height uint64, nOutputs int, spends []Spend) error {
 		}
 		byHeight[s.Height] = append(byHeight[s.Height], s.Pos)
 	}
-	touched := make(map[uint64]*bitvec.Vector, len(byHeight))
-	for h, positions := range byHeight {
-		enc, ok := d.vectors[h]
-		if !ok {
-			// Height below the tip with no vector: fully spent block.
-			return fmt.Errorf("%w: height %d position %d", ErrDoubleSpend, h, positions[0])
-		}
-		v, err := bitvec.Decode(enc)
-		if err != nil {
-			return fmt.Errorf("statusdb: corrupt vector at height %d: %v", h, err)
-		}
-		for _, p := range positions {
-			if int(p) >= v.Len() {
-				return fmt.Errorf("%w: height %d position %d (block has %d outputs)", ErrOutOfRange, h, p, v.Len())
-			}
-			if !v.Clear(int(p)) {
-				return fmt.Errorf("%w: height %d position %d", ErrDoubleSpend, h, p)
-			}
-		}
-		touched[h] = v
+
+	perShard := d.shardHeights(sortedKeys(byHeight))
+	staged, err := d.stageShards(perShard, len(spends) >= parallelStageMin,
+		func(si int, heights []uint64) ([]stagedEntry, stageErr) {
+			return d.stageConnectShard(si, heights, byHeight)
+		})
+	if err != nil {
+		return err
 	}
 
-	// Commit: rewrite touched vectors, then insert the new block's.
-	for h, v := range touched {
-		old := d.vectors[h]
-		d.memBytes -= int64(len(old)) + vectorOverhead
-		d.dense -= int64(v.DenseSize()) + vectorOverhead
-		d.ones -= int64(len(byHeight[h]))
-		// d.ones accounting: cleared len(byHeight[h]) bits from v.
-		if v.AllZero() {
-			delete(d.vectors, h)
-			continue
-		}
-		enc := d.encode(v)
-		d.vectors[h] = enc
-		d.memBytes += int64(len(enc)) + vectorOverhead
-		d.dense += int64(v.DenseSize()) + vectorOverhead
+	if nOutputs > 0 {
+		nv := bitvec.NewAllSet(nOutputs)
+		enc := d.encode(nv)
+		si := d.shardIndex(height)
+		staged[si] = append(staged[si], stagedEntry{
+			h:     height,
+			enc:   enc,
+			mem:   int64(len(enc)) + vectorOverhead,
+			dense: int64(nv.DenseSize()) + vectorOverhead,
+			ones:  int64(nOutputs),
+		})
 	}
-	nv := bitvec.NewAllSet(nOutputs)
-	enc := d.encode(nv)
-	d.vectors[height] = enc
-	d.memBytes += int64(len(enc)) + vectorOverhead
-	d.dense += int64(nv.DenseSize()) + vectorOverhead
-	d.ones += int64(nOutputs)
-	d.tip = height
-	d.hasTip = true
+
+	d.apply(staged)
+	d.setTip(height, true)
 	return nil
 }
 
+// stageConnectShard validates and stages one shard's spends under its
+// read lock: decode each touched vector, clear the bits in input
+// order, and record the replacement encoding (nil when fully spent)
+// with its accounting deltas.
+func (d *DB) stageConnectShard(si int, heights []uint64, byHeight map[uint64][]uint32) ([]stagedEntry, stageErr) {
+	s := &d.shards[si]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]stagedEntry, 0, len(heights))
+	for _, h := range heights {
+		positions := byHeight[h]
+		enc, ok := s.vectors[h]
+		if !ok {
+			// Height below the tip with no vector: fully spent block.
+			return nil, stageErr{fmt.Errorf("%w: height %d position %d", ErrDoubleSpend, h, positions[0]), h}
+		}
+		v, err := bitvec.Decode(enc)
+		if err != nil {
+			return nil, stageErr{fmt.Errorf("statusdb: corrupt vector at height %d: %v", h, err), h}
+		}
+		for _, p := range positions {
+			if int(p) >= v.Len() {
+				return nil, stageErr{fmt.Errorf("%w: height %d position %d (block has %d outputs)", ErrOutOfRange, h, p, v.Len()), h}
+			}
+			if !v.Clear(int(p)) {
+				return nil, stageErr{fmt.Errorf("%w: height %d position %d", ErrDoubleSpend, h, p), h}
+			}
+		}
+		se := stagedEntry{
+			h:     h,
+			mem:   -(int64(len(enc)) + vectorOverhead),
+			dense: -(int64(v.DenseSize()) + vectorOverhead),
+			ones:  -int64(len(positions)),
+		}
+		if !v.AllZero() {
+			ne := d.encode(v)
+			se.enc = ne
+			se.mem += int64(len(ne)) + vectorOverhead
+			se.dense += int64(v.DenseSize()) + vectorOverhead
+		}
+		out = append(out, se)
+	}
+	return out, stageErr{}
+}
+
 // IsUnspent probes one bit: the Unspent Validation primitive. A height
-// at or below the tip whose vector has been deleted reports false
-// (every output spent); a height above the tip is an error.
+// at or below the tip whose vector is absent reports false — whether
+// it was deleted as fully spent or was a zero-output block that never
+// stored one — for any position. A height above the tip is an error.
 func (d *DB) IsUnspent(height uint64, pos uint32) (bool, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.probeLocked(height, pos)
+	tip, hasTip := d.snapshotTip()
+	s := &d.shards[d.shardIndex(height)]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return probeShard(s, tip, hasTip, height, pos)
 }
 
 // ProbeResult is one spend's answer from IsUnspentBatch, with exactly
@@ -166,27 +411,67 @@ type ProbeResult struct {
 	Err     error
 }
 
-// IsUnspentBatch probes every spend under a single read lock — the
-// per-block Unspent Validation pattern, where taking the RLock once
-// per input would serialize the validator against concurrent readers
-// for no benefit: nothing mutates the set between a block's probes.
-// res[i] answers spends[i] exactly as IsUnspent would.
+// IsUnspentBatch probes every spend with one lock acquisition per
+// shard visited — the per-block Unspent Validation pattern — probing
+// shards concurrently for large batches. res[i] answers spends[i]
+// exactly as IsUnspent would. All probes share one tip observation;
+// per bit, each result is the pre- or post-state of any commit the
+// batch overlaps (quiescent, the batch is a point-in-time snapshot,
+// and stage B's validator never overlaps its own commits).
 func (d *DB) IsUnspentBatch(spends []Spend) []ProbeResult {
 	res := make([]ProbeResult, len(spends))
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	for i, s := range spends {
-		res[i].Unspent, res[i].Err = d.probeLocked(s.Height, s.Pos)
+	tip, hasTip := d.snapshotTip()
+	if len(d.shards) == 1 {
+		s := &d.shards[0]
+		s.mu.RLock()
+		for i := range spends {
+			res[i].Unspent, res[i].Err = probeShard(s, tip, hasTip, spends[i].Height, spends[i].Pos)
+		}
+		s.mu.RUnlock()
+		return res
+	}
+	groups := make([][]int, len(d.shards))
+	var touched []int
+	for i := range spends {
+		si := d.shardIndex(spends[i].Height)
+		if len(groups[si]) == 0 {
+			touched = append(touched, si)
+		}
+		groups[si] = append(groups[si], i)
+	}
+	probeGroup := func(si int) {
+		s := &d.shards[si]
+		s.mu.RLock()
+		for _, i := range groups[si] {
+			res[i].Unspent, res[i].Err = probeShard(s, tip, hasTip, spends[i].Height, spends[i].Pos)
+		}
+		s.mu.RUnlock()
+	}
+	if len(spends) >= parallelProbeMin && len(touched) > 1 {
+		var wg sync.WaitGroup
+		for _, si := range touched {
+			wg.Add(1)
+			go func(si int) {
+				defer wg.Done()
+				probeGroup(si)
+			}(si)
+		}
+		wg.Wait()
+	} else {
+		for _, si := range touched {
+			probeGroup(si)
+		}
 	}
 	return res
 }
 
-// probeLocked is IsUnspent's body; the caller holds at least d.mu.RLock.
-func (d *DB) probeLocked(height uint64, pos uint32) (bool, error) {
-	if !d.hasTip || height > d.tip {
+// probeShard is the probe body; the caller holds s's read lock and s
+// must own height's stripe.
+func probeShard(s *shard, tip uint64, hasTip bool, height uint64, pos uint32) (bool, error) {
+	if !hasTip || height > tip {
 		return false, fmt.Errorf("%w: %d", ErrUnknownBlock, height)
 	}
-	enc, ok := d.vectors[height]
+	enc, ok := s.vectors[height]
 	if !ok {
 		return false, nil
 	}
@@ -201,13 +486,15 @@ func (d *DB) probeLocked(height uint64, pos uint32) (bool, error) {
 }
 
 // VectorLen returns the output count of the live vector at height. ok
-// is false when the vector is absent — never connected, or deleted as
-// fully spent — or undecodable; the caller must then consult block
-// storage for the output count.
+// is false when the vector is absent — never connected, deleted as
+// fully spent, or a zero-output block (which stores no vector) — or
+// undecodable; the caller must then consult block storage for the
+// output count.
 func (d *DB) VectorLen(height uint64) (int, bool) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	enc, ok := d.vectors[height]
+	s := &d.shards[d.shardIndex(height)]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	enc, ok := s.vectors[height]
 	if !ok {
 		return 0, false
 	}
@@ -220,48 +507,73 @@ func (d *DB) VectorLen(height uint64) (int, bool) {
 
 // Tip returns the highest connected height; ok is false when empty.
 func (d *DB) Tip() (uint64, bool) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.tip, d.hasTip
+	return d.snapshotTip()
 }
 
 // MemUsage returns the set's memory footprint in bytes: the sum of the
 // (optimized) vector encodings plus fixed per-vector overhead. This is
-// the EBV line of Fig. 14.
+// the EBV line of Fig. 14. Like every aggregate below it sums
+// per-shard counters without stopping the world; concurrent with an
+// in-flight commit the sum may transiently reflect a partially
+// applied block.
 func (d *DB) MemUsage() int64 {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.memBytes
+	var t int64
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.RLock()
+		t += s.memBytes
+		s.mu.RUnlock()
+	}
+	return t
 }
 
 // DenseUsage returns what MemUsage would be with every vector encoded
 // densely — the "EBV without optimization" line of Fig. 14.
 func (d *DB) DenseUsage() int64 {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.dense
+	var t int64
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.RLock()
+		t += s.dense
+		s.mu.RUnlock()
+	}
+	return t
 }
 
-// VectorCount returns the number of live (not fully spent) vectors.
+// VectorCount returns the number of live vectors: fully spent blocks
+// and zero-output blocks store none.
 func (d *DB) VectorCount() int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return len(d.vectors)
+	n := 0
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.RLock()
+		n += len(s.vectors)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
 // UnspentCount returns the total number of 1-bits across all vectors —
 // the EBV equivalent of the UTXO count.
 func (d *DB) UnspentCount() int64 {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.ones
+	var t int64
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.RLock()
+		t += s.ones
+		s.mu.RUnlock()
+	}
+	return t
 }
 
 // Save writes a snapshot. Format: varint tip+1 (0 = empty), varint
-// vector count, then per vector varint height + varint len + encoding.
+// vector count, then per vector varint height + varint len + encoding,
+// ascending by height. The consistency point is a brief pointer-copy
+// walk (snapshotShallow); serialization runs outside all locks, so a
+// concurrent Connect is not blocked for the duration of the write.
 func (d *DB) Save(w io.Writer) error {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	tip, hasTip, vecs := d.snapshotShallow()
+	sort.Slice(vecs, func(i, j int) bool { return vecs[i].Height < vecs[j].Height })
 	bw := bufio.NewWriter(w)
 	var buf [binary.MaxVarintLen64]byte
 	writeUvarint := func(v uint64) error {
@@ -269,29 +581,23 @@ func (d *DB) Save(w io.Writer) error {
 		return err
 	}
 	tipField := uint64(0)
-	if d.hasTip {
-		tipField = d.tip + 1
+	if hasTip {
+		tipField = tip + 1
 	}
 	if err := writeUvarint(tipField); err != nil {
 		return err
 	}
-	if err := writeUvarint(uint64(len(d.vectors))); err != nil {
+	if err := writeUvarint(uint64(len(vecs))); err != nil {
 		return err
 	}
-	heights := make([]uint64, 0, len(d.vectors))
-	for h := range d.vectors {
-		heights = append(heights, h)
-	}
-	sort.Slice(heights, func(i, j int) bool { return heights[i] < heights[j] })
-	for _, h := range heights {
-		enc := d.vectors[h]
-		if err := writeUvarint(h); err != nil {
+	for _, hv := range vecs {
+		if err := writeUvarint(hv.Height); err != nil {
 			return err
 		}
-		if err := writeUvarint(uint64(len(enc))); err != nil {
+		if err := writeUvarint(uint64(len(hv.Enc))); err != nil {
 			return err
 		}
-		if _, err := bw.Write(enc); err != nil {
+		if _, err := bw.Write(hv.Enc); err != nil {
 			return err
 		}
 	}
@@ -299,6 +605,10 @@ func (d *DB) Save(w io.Writer) error {
 }
 
 // Load replaces the set's contents with a snapshot written by Save.
+// A snapshot carrying the same height twice is rejected — the map
+// would keep only the last copy while the accounting counted every
+// one, corrupting MemUsage/DenseUsage/UnspentCount for the life of
+// the process.
 func (d *DB) Load(r io.Reader) error {
 	br := bufio.NewReader(r)
 	tipField, err := binary.ReadUvarint(br)
@@ -309,8 +619,11 @@ func (d *DB) Load(r io.Reader) error {
 	if err != nil {
 		return fmt.Errorf("statusdb: load: %w", err)
 	}
-	vectors := make(map[uint64][]byte, count)
-	var memBytes, dense, ones int64
+	vectors := make([]map[uint64][]byte, len(d.shards))
+	acct := make([]shardAcct, len(d.shards))
+	for i := range vectors {
+		vectors[i] = make(map[uint64][]byte)
+	}
 	for i := uint64(0); i < count; i++ {
 		h, err := binary.ReadUvarint(br)
 		if err != nil {
@@ -334,23 +647,50 @@ func (d *DB) Load(r io.Reader) error {
 		if tipField == 0 || h >= tipField {
 			return fmt.Errorf("statusdb: load vector %d: height %d beyond tip", i, h)
 		}
-		vectors[h] = enc
-		memBytes += int64(len(enc)) + vectorOverhead
-		dense += int64(v.DenseSize()) + vectorOverhead
-		ones += int64(v.Ones())
+		si := d.shardIndex(h)
+		if _, dup := vectors[si][h]; dup {
+			return fmt.Errorf("statusdb: load vector %d: duplicate height %d", i, h)
+		}
+		vectors[si][h] = enc
+		acct[si].mem += int64(len(enc)) + vectorOverhead
+		acct[si].dense += int64(v.DenseSize()) + vectorOverhead
+		acct[si].ones += int64(v.Ones())
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.vectors = vectors
-	d.memBytes = memBytes
-	d.dense = dense
-	d.ones = ones
-	d.hasTip = tipField > 0
-	d.tip = 0
-	if d.hasTip {
-		d.tip = tipField - 1
+	d.commitMu.Lock()
+	defer d.commitMu.Unlock()
+	tip := uint64(0)
+	if tipField > 0 {
+		tip = tipField - 1
 	}
+	d.replaceAll(vectors, acct, tip, tipField > 0)
 	return nil
+}
+
+// shardAcct carries one shard's accounting counters during a bulk
+// replace.
+type shardAcct struct {
+	mem, dense, ones int64
+}
+
+// replaceAll swaps in a whole new state under every shard lock at
+// once, so concurrent readers see either the old set or the new one,
+// never a mix. Caller holds commitMu; locks are taken in ascending
+// index order per the package lock order.
+func (d *DB) replaceAll(vectors []map[uint64][]byte, acct []shardAcct, tip uint64, has bool) {
+	for i := range d.shards {
+		d.shards[i].mu.Lock()
+	}
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.vectors = vectors[i]
+		s.memBytes = acct[i].mem
+		s.dense = acct[i].dense
+		s.ones = acct[i].ones
+	}
+	d.setTip(tip, has)
+	for i := len(d.shards) - 1; i >= 0; i-- {
+		d.shards[i].mu.Unlock()
+	}
 }
 
 // Restore identifies one output whose spent bit must be re-set while
@@ -366,15 +706,16 @@ type Restore struct {
 // outputs cease to exist) and the bits its inputs had cleared are set
 // again. height must be the current tip; restores must describe
 // exactly the spends the block applied. On error the set is
-// unchanged.
+// unchanged: every decode — including the stored vectors being
+// rewritten and the tip vector itself — happens in the staging pass,
+// before any mutation, so a corrupt vector surfaces as an error
+// rather than a mid-reorg panic or a half-applied disconnect.
 func (d *DB) Disconnect(height uint64, restores []Restore) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.commitMu.Lock()
+	defer d.commitMu.Unlock()
 	if !d.hasTip || height != d.tip {
 		return fmt.Errorf("statusdb: disconnect height %d, tip %d (present=%v)", height, d.tip, d.hasTip)
 	}
-	// Stage: decode every touched vector (or build a zero vector for
-	// fully spent blocks), set the bits, and validate before commit.
 	byHeight := make(map[uint64][]Restore)
 	for _, r := range restores {
 		if r.Height >= height {
@@ -382,61 +723,110 @@ func (d *DB) Disconnect(height uint64, restores []Restore) error {
 		}
 		byHeight[r.Height] = append(byHeight[r.Height], r)
 	}
-	touched := make(map[uint64]*bitvec.Vector, len(byHeight))
-	for h, rs := range byHeight {
+
+	perShard := d.shardHeights(sortedKeys(byHeight))
+	staged, err := d.stageShards(perShard, len(restores) >= parallelStageMin,
+		func(si int, heights []uint64) ([]stagedEntry, stageErr) {
+			return d.stageDisconnectShard(si, heights, byHeight)
+		})
+	if err != nil {
+		return err
+	}
+
+	tipEntry, err := d.stageTipRemoval(height)
+	if err != nil {
+		return err
+	}
+	if tipEntry != nil {
+		si := d.shardIndex(height)
+		staged[si] = append(staged[si], *tipEntry)
+	}
+
+	d.apply(staged)
+	if height == 0 {
+		d.setTip(0, false)
+	} else {
+		d.setTip(height-1, true)
+	}
+	return nil
+}
+
+// stageDisconnectShard validates and stages one shard's restores under
+// its read lock: decode each touched vector (or rebuild a zero vector
+// for a block deleted as fully spent), re-set the bits, and record the
+// replacement encoding with its accounting deltas.
+func (d *DB) stageDisconnectShard(si int, heights []uint64, byHeight map[uint64][]Restore) ([]stagedEntry, stageErr) {
+	s := &d.shards[si]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]stagedEntry, 0, len(heights))
+	for _, h := range heights {
+		rs := byHeight[h]
 		var v *bitvec.Vector
-		if enc, ok := d.vectors[h]; ok {
+		hadOld := false
+		oldLen := 0
+		if enc, ok := s.vectors[h]; ok {
 			var err error
 			v, err = bitvec.Decode(enc)
 			if err != nil {
-				return fmt.Errorf("statusdb: corrupt vector at height %d: %v", h, err)
+				return nil, stageErr{fmt.Errorf("statusdb: corrupt vector at height %d: %v", h, err), h}
 			}
+			hadOld, oldLen = true, len(enc)
 		} else {
+			if rs[0].NOutputs < 0 || rs[0].NOutputs > bitvec.MaxLen {
+				return nil, stageErr{fmt.Errorf("%w: height %d declared %d outputs", ErrOutOfRange, h, rs[0].NOutputs), h}
+			}
 			v = bitvec.New(rs[0].NOutputs)
 		}
 		for _, r := range rs {
 			if r.NOutputs != v.Len() {
-				return fmt.Errorf("%w: height %d declared %d outputs, vector has %d", ErrOutOfRange, h, r.NOutputs, v.Len())
+				return nil, stageErr{fmt.Errorf("%w: height %d declared %d outputs, vector has %d", ErrOutOfRange, h, r.NOutputs, v.Len()), h}
 			}
 			if int(r.Pos) >= v.Len() {
-				return fmt.Errorf("%w: height %d position %d", ErrOutOfRange, h, r.Pos)
+				return nil, stageErr{fmt.Errorf("%w: height %d position %d", ErrOutOfRange, h, r.Pos), h}
 			}
 			if v.Get(int(r.Pos)) {
-				return fmt.Errorf("statusdb: restore of unspent bit %d:%d", h, r.Pos)
+				return nil, stageErr{fmt.Errorf("statusdb: restore of unspent bit %d:%d", h, r.Pos), h}
 			}
 			v.Set(int(r.Pos))
 		}
-		touched[h] = v
+		se := stagedEntry{h: h, ones: int64(len(rs))}
+		if hadOld {
+			// Setting bits never changes the length, so the dense
+			// size of the old encoding equals the staged vector's —
+			// no second decode of the stored bytes is needed (or
+			// performed) anywhere past this point.
+			se.mem -= int64(oldLen) + vectorOverhead
+			se.dense -= int64(v.DenseSize()) + vectorOverhead
+		}
+		ne := d.encode(v)
+		se.enc = ne
+		se.mem += int64(len(ne)) + vectorOverhead
+		se.dense += int64(v.DenseSize()) + vectorOverhead
+		out = append(out, se)
 	}
+	return out, stageErr{}
+}
 
-	// Commit: drop the tip vector, rewrite the touched ones.
-	if enc, ok := d.vectors[height]; ok {
-		v, err := bitvec.Decode(enc)
-		if err != nil {
-			return fmt.Errorf("statusdb: corrupt tip vector: %v", err)
-		}
-		d.memBytes -= int64(len(enc)) + vectorOverhead
-		d.dense -= int64(v.DenseSize()) + vectorOverhead
-		d.ones -= int64(v.Ones())
-		delete(d.vectors, height)
+// stageTipRemoval stages dropping the tip block's vector. An absent
+// tip vector (a zero-output block) stages nothing; a corrupt one is
+// an error — raised before any mutation.
+func (d *DB) stageTipRemoval(height uint64) (*stagedEntry, error) {
+	s := &d.shards[d.shardIndex(height)]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	enc, ok := s.vectors[height]
+	if !ok {
+		return nil, nil
 	}
-	for h, v := range touched {
-		if old, ok := d.vectors[h]; ok {
-			d.memBytes -= int64(len(old)) + vectorOverhead
-			oldV, _ := bitvec.Decode(old)
-			d.dense -= int64(oldV.DenseSize()) + vectorOverhead
-		}
-		enc := d.encode(v)
-		d.vectors[h] = enc
-		d.memBytes += int64(len(enc)) + vectorOverhead
-		d.dense += int64(v.DenseSize()) + vectorOverhead
-		d.ones += int64(len(byHeight[h]))
+	v, err := bitvec.Decode(enc)
+	if err != nil {
+		return nil, fmt.Errorf("statusdb: corrupt tip vector: %v", err)
 	}
-	if height == 0 {
-		d.hasTip = false
-		d.tip = 0
-	} else {
-		d.tip = height - 1
-	}
-	return nil
+	return &stagedEntry{
+		h:     height,
+		mem:   -(int64(len(enc)) + vectorOverhead),
+		dense: -(int64(v.DenseSize()) + vectorOverhead),
+		ones:  -int64(v.Ones()),
+	}, nil
 }

@@ -20,6 +20,10 @@ echo "== go vet =="
 go vet ./...
 
 echo "== go test -race =="
+# Includes the statusdb randomized soak (TestStatusDBSoakInvariants,
+# which calls CheckInvariants after every operation) and the
+# concurrent sharded-commit soak — the race pass that protects the
+# sharded status database's two-phase commit and shallow snapshots.
 go test -race ./...
 
 echo "== benchmark smoke (1 iteration) =="
@@ -173,5 +177,17 @@ if [ ! -f "$tmp/BENCH_ibdpipe.json" ]; then
 	exit 1
 fi
 echo "BENCH_ibdpipe.json written"
+
+echo "== status-shard bench smoke =="
+# Sweeps statusdb shard counts; the experiment itself asserts every
+# configuration's final state is byte-identical to the single-shard
+# baseline before reporting numbers.
+"$tmp/bin/ebvbench" -exp ablation-shards -quick -blocks 200 \
+	-datadir "$tmp/bench" -artifactdir "$tmp" >/dev/null 2>&1
+if [ ! -f "$tmp/BENCH_shards.json" ]; then
+	echo "check.sh: ablation-shards wrote no BENCH_shards.json" >&2
+	exit 1
+fi
+echo "BENCH_shards.json written"
 
 echo "check.sh: all checks passed"
