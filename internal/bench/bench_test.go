@@ -250,10 +250,11 @@ func TestAblationCacheRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 	var rows []struct {
-		Size   int    `json:"cache_size"`
-		Mode   string `json:"mode"`
-		Hits   int    `json:"cache_hits"`
-		Misses int    `json:"cache_misses"`
+		Size      int    `json:"cache_size"`
+		Mode      string `json:"mode"`
+		Hits      int    `json:"cache_hits"`
+		Misses    int    `json:"cache_misses"`
+		Evictions uint64 `json:"evictions"`
 	}
 	if err := json.Unmarshal(raw, &rows); err != nil {
 		t.Fatal(err)
@@ -270,6 +271,14 @@ func TestAblationCacheRuns(t *testing.T) {
 		case r.Size > 0 && r.Mode == "warm" && (r.Hits == 0 || r.Misses != 0):
 			t.Fatalf("warm row must hit on every window input: %+v", r)
 		}
+		// Counters are scoped to the measurement window: every eviction
+		// requires an insertion, and window insertions are bounded by
+		// the window's cache traffic. The pre-window replay used to
+		// leak its evictions into these rows (e.g. thousands of
+		// evictions on a row with zero misses).
+		if r.Size > 0 && r.Evictions > uint64(r.Hits+r.Misses) {
+			t.Fatalf("evictions exceed window cache traffic (stat carry-over from warm-up replay): %+v", r)
+		}
 	}
 }
 
@@ -278,9 +287,58 @@ func TestEverythingIncludesAblations(t *testing.T) {
 	for _, ex := range Experiments() {
 		ids[ex.ID] = true
 	}
-	for _, want := range []string{"fig1", "fig18", "ablation-cache", "ablation-vector"} {
+	for _, want := range []string{"fig1", "fig18", "ablation-cache", "ablation-vector", "ablation-overhead"} {
 		if !ids[want] {
 			t.Fatalf("missing experiment %s", want)
+		}
+	}
+}
+
+func TestAblationOverheadRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run")
+	}
+	e := newTestEnv(t)
+	var out bytes.Buffer
+	if err := RunByID(e, "ablation-overhead", &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "uv-floor") || !strings.Contains(s, "zero-copy") {
+		t.Fatalf("missing ablation-overhead output:\n%s", s)
+	}
+	raw, err := os.ReadFile(filepath.Join(e.Opts.ArtifactDir, "BENCH_overhead.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []struct {
+		Arm     string  `json:"arm"`
+		TotalNS int64   `json:"total_ns"`
+		Inputs  int     `json:"inputs"`
+		Ratio   float64 `json:"ratio_vs_uv_floor"`
+	}
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"uv-floor": false, "probe-only": false, "copy-decode": false,
+		"zero-copy": false, "zero-copy-unpooled": false, "per-vector-writes": false,
+	}
+	for _, r := range rows {
+		if _, ok := want[r.Arm]; !ok {
+			t.Fatalf("unexpected arm %q", r.Arm)
+		}
+		want[r.Arm] = true
+		if r.TotalNS <= 0 || r.Inputs <= 0 {
+			t.Fatalf("arm %s measured nothing: %+v", r.Arm, r)
+		}
+		if r.Arm == "uv-floor" && r.Ratio != 1.0 {
+			t.Fatalf("uv-floor must be its own baseline: %+v", r)
+		}
+	}
+	for arm, seen := range want {
+		if !seen {
+			t.Fatalf("missing arm %s", arm)
 		}
 	}
 }

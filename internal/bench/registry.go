@@ -35,6 +35,7 @@ func Experiments() []Experiment {
 		{"ablation-ibdpipe", "Cross-block pipelined IBD vs depth and workers", (*Env).AblationIBDPipe},
 		{"ablation-reorg", "Reorg cost vs depth: EBV body restores vs baseline undo records", (*Env).AblationReorg},
 		{"ablation-shards", "Status-database shard count: commit, probe, and snapshot-export scaling", (*Env).AblationShards},
+		{"ablation-overhead", "Warm-path ingest overhead: decode copies, scratch pooling, batched status writes", (*Env).AblationOverhead},
 		{"related-proofs", "Proof size/churn: EBV vs accumulator designs", (*Env).RelatedProofs},
 		{"net-ibd", "Networked IBD over the gossip protocol", (*Env).NetIBD},
 	}

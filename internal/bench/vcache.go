@@ -126,6 +126,14 @@ func (e *Env) AblationCache(w io.Writer) error {
 func (e *Env) ebvWindowCached(n *node.EBVNode, start uint64, warm bool) (*core.Breakdown, error) {
 	out := &core.Breakdown{}
 	for h := uint64(0); h < start+WindowLen; h++ {
+		if h == start {
+			// Scope the cache counters to the measurement window: the
+			// replay up to here fills and churns the cache, and its
+			// evictions must not be charged to the window rows.
+			if c := n.Validator.Cache(); c != nil {
+				c.ResetStats()
+			}
+		}
 		raw, err := e.EBVChain.BlockBytes(h)
 		if err != nil {
 			return nil, err

@@ -44,22 +44,45 @@ type Vector struct {
 
 // New returns a vector of n bits, all zero.
 func New(n int) *Vector {
-	if n < 0 || n > MaxLen {
-		panic(fmt.Sprintf("bitvec: length %d out of range [0,%d]", n, MaxLen))
-	}
-	return &Vector{words: make([]uint64, (n+63)/64), n: n}
+	v := &Vector{}
+	v.Reset(n)
+	return v
 }
 
 // NewAllSet returns a vector of n bits, all one — the state of a block
 // none of whose outputs has been spent yet.
 func NewAllSet(n int) *Vector {
-	v := New(n)
+	v := &Vector{}
+	v.ResetAllSet(n)
+	return v
+}
+
+// Reset reinitializes v in place to n zero bits, reusing its word
+// storage when large enough. Pooled vectors use this to decode and
+// rebuild without allocating.
+func (v *Vector) Reset(n int) {
+	if n < 0 || n > MaxLen {
+		panic(fmt.Sprintf("bitvec: length %d out of range [0,%d]", n, MaxLen))
+	}
+	nw := (n + 63) / 64
+	if cap(v.words) < nw {
+		v.words = make([]uint64, nw)
+	} else {
+		v.words = v.words[:nw]
+		clear(v.words)
+	}
+	v.n, v.ones = n, 0
+}
+
+// ResetAllSet reinitializes v in place to n one bits, reusing its word
+// storage when large enough.
+func (v *Vector) ResetAllSet(n int) {
+	v.Reset(n)
 	for i := range v.words {
 		v.words[i] = ^uint64(0)
 	}
 	v.maskTail()
 	v.ones = n
-	return v
 }
 
 // maskTail clears the unused bits of the last word so popcounts and
@@ -186,57 +209,86 @@ func (v *Vector) DenseSize() int { return denseSize(v.n) }
 // bits or sparse 16-bit index array — that is smaller, per the paper's
 // vector optimization.
 func (v *Vector) Encode() []byte {
+	return v.AppendEncode(make([]byte, 0, v.EncodedSize()))
+}
+
+// AppendEncode appends exactly the bytes Encode would produce to dst.
+// Batched commits use this to pack a whole block's replacement
+// encodings into one buffer.
+func (v *Vector) AppendEncode(dst []byte) []byte {
 	if sparseSize(v.n, v.ones) < denseSize(v.n) {
-		return v.encodeSparse()
+		return v.appendSparse(dst)
 	}
-	return v.EncodeDense()
+	return v.AppendDense(dst)
 }
 
 // EncodeDense serializes the vector as a flag byte, a varint bit
 // length, and packed little-endian bit bytes.
 func (v *Vector) EncodeDense() []byte {
-	out := make([]byte, 0, denseSize(v.n))
-	out = append(out, flagDense)
-	out = binary.AppendUvarint(out, uint64(v.n))
+	return v.AppendDense(make([]byte, 0, denseSize(v.n)))
+}
+
+// AppendDense appends exactly the bytes EncodeDense would produce.
+func (v *Vector) AppendDense(dst []byte) []byte {
+	dst = append(dst, flagDense)
+	dst = binary.AppendUvarint(dst, uint64(v.n))
 	nb := (v.n + 7) / 8
 	for i := 0; i < nb; i++ {
-		out = append(out, byte(v.words[i/8]>>uint(8*(i%8))))
+		dst = append(dst, byte(v.words[i/8]>>uint(8*(i%8))))
 	}
-	return out
+	return dst
 }
 
 func (v *Vector) encodeSparse() []byte {
-	out := make([]byte, 0, sparseSize(v.n, v.ones))
-	out = append(out, flagSparse)
-	out = binary.AppendUvarint(out, uint64(v.n))
-	out = binary.AppendUvarint(out, uint64(v.ones))
-	for _, i := range v.Indices() {
-		out = binary.LittleEndian.AppendUint16(out, uint16(i))
+	return v.appendSparse(make([]byte, 0, sparseSize(v.n, v.ones)))
+}
+
+func (v *Vector) appendSparse(dst []byte) []byte {
+	dst = append(dst, flagSparse)
+	dst = binary.AppendUvarint(dst, uint64(v.n))
+	dst = binary.AppendUvarint(dst, uint64(v.ones))
+	for wi, w := range v.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(wi*64+b))
+			w &^= 1 << uint(b)
+		}
 	}
-	return out
+	return dst
 }
 
 // Decode parses a vector previously produced by Encode or EncodeDense.
 func Decode(data []byte) (*Vector, error) {
+	v := &Vector{}
+	if err := DecodeInto(v, data); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// DecodeInto parses an encoding into v, reusing v's storage. On error
+// v's contents are unspecified. Pooled vectors use this so the commit
+// path's decode-mutate-reencode cycle allocates nothing.
+func DecodeInto(v *Vector, data []byte) error {
 	if len(data) == 0 {
-		return nil, fmt.Errorf("bitvec: empty encoding")
+		return fmt.Errorf("bitvec: empty encoding")
 	}
 	flag, rest := data[0], data[1:]
 	n, used := varint.Uvarint(rest)
 	if used <= 0 {
-		return nil, fmt.Errorf("bitvec: bad length varint")
+		return fmt.Errorf("bitvec: bad length varint")
 	}
 	if n > MaxLen {
-		return nil, fmt.Errorf("bitvec: length %d exceeds max %d", n, MaxLen)
+		return fmt.Errorf("bitvec: length %d exceeds max %d", n, MaxLen)
 	}
 	rest = rest[used:]
 	switch flag {
 	case flagDense:
 		nb := (int(n) + 7) / 8
 		if len(rest) != nb {
-			return nil, fmt.Errorf("bitvec: dense body %d bytes, want %d", len(rest), nb)
+			return fmt.Errorf("bitvec: dense body %d bytes, want %d", len(rest), nb)
 		}
-		v := New(int(n))
+		v.Reset(int(n))
 		for i, b := range rest {
 			v.words[i/8] |= uint64(b) << uint(8*(i%8))
 		}
@@ -248,34 +300,34 @@ func Decode(data []byte) (*Vector, error) {
 		// maskTail zeroed them, so re-check against the raw tail byte.
 		if rem := int(n) % 8; rem != 0 {
 			if rest[nb-1]>>uint(rem) != 0 {
-				return nil, fmt.Errorf("bitvec: dense encoding has bits beyond length %d", n)
+				return fmt.Errorf("bitvec: dense encoding has bits beyond length %d", n)
 			}
 		}
-		return v, nil
+		return nil
 	case flagSparse:
 		k, used := varint.Uvarint(rest)
 		if used <= 0 {
-			return nil, fmt.Errorf("bitvec: bad count varint")
+			return fmt.Errorf("bitvec: bad count varint")
 		}
 		rest = rest[used:]
 		if len(rest) != 2*int(k) {
-			return nil, fmt.Errorf("bitvec: sparse body %d bytes, want %d", len(rest), 2*int(k))
+			return fmt.Errorf("bitvec: sparse body %d bytes, want %d", len(rest), 2*int(k))
 		}
-		v := New(int(n))
+		v.Reset(int(n))
 		prev := -1
 		for i := 0; i < int(k); i++ {
 			idx := int(binary.LittleEndian.Uint16(rest[2*i:]))
 			if idx >= int(n) {
-				return nil, fmt.Errorf("bitvec: sparse index %d out of range %d", idx, n)
+				return fmt.Errorf("bitvec: sparse index %d out of range %d", idx, n)
 			}
 			if idx <= prev {
-				return nil, fmt.Errorf("bitvec: sparse indices not strictly ascending")
+				return fmt.Errorf("bitvec: sparse indices not strictly ascending")
 			}
 			prev = idx
 			v.Set(idx)
 		}
-		return v, nil
+		return nil
 	default:
-		return nil, fmt.Errorf("bitvec: unknown flag 0x%02x", flag)
+		return fmt.Errorf("bitvec: unknown flag 0x%02x", flag)
 	}
 }

@@ -326,6 +326,50 @@ func DecodeEBVBlock(data []byte) (*EBVBlock, error) {
 	return b, nil
 }
 
+// DecodeEBVBlockInto parses an EBV block into b using borrowed-bytes
+// decoding: transaction byte fields alias data and all slice storage
+// comes from the arena. The caller owns b (typically a reusable shell
+// inside an ingest scratch); any previous contents are discarded. The
+// decoded block is valid only while data stays alive and unmodified
+// and a is not Reset, and must be treated as immutable after decode.
+// It accepts exactly the inputs DecodeEBVBlock accepts, with identical
+// errors and identical re-encoding.
+func DecodeEBVBlockInto(b *EBVBlock, data []byte, a *txmodel.Arena) error {
+	*b = EBVBlock{}
+	if len(data) < headerSize {
+		return fmt.Errorf("blockmodel: block shorter than header")
+	}
+	h, err := DecodeHeader(data[:headerSize])
+	if err != nil {
+		return err
+	}
+	b.Header = h
+	off := headerSize
+	n, used := varint.Uvarint(data[off:])
+	if used <= 0 || n > 1<<20 {
+		return fmt.Errorf("blockmodel: bad tx count")
+	}
+	off += used
+	b.Txs = a.AllocTxPtrs(int(n))
+	for i := range b.Txs {
+		l, used := varint.Uvarint(data[off:])
+		if used <= 0 || int(l) > len(data)-off-used {
+			return fmt.Errorf("blockmodel: truncated tx %d", i)
+		}
+		off += used
+		tx := a.AllocTx()
+		if err := txmodel.DecodeEBVTxInto(tx, data[off:off+int(l)], a); err != nil {
+			return fmt.Errorf("blockmodel: tx %d: %w", i, err)
+		}
+		b.Txs[i] = tx
+		off += int(l)
+	}
+	if off != len(data) {
+		return fmt.Errorf("blockmodel: %d trailing bytes", len(data)-off)
+	}
+	return nil
+}
+
 // AssembleEBV packages EBV transactions into a block: it assigns each
 // transaction's stake position (the count of outputs packaged before
 // it), then computes the Merkle root over the resulting tidy leaves.

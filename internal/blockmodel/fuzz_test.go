@@ -1,6 +1,7 @@
 package blockmodel
 
 import (
+	"bytes"
 	"testing"
 
 	"ebv/internal/hashx"
@@ -36,14 +37,31 @@ func FuzzDecodeEBVBlock(f *testing.F) {
 		f.Add(blk.Encode(nil))
 	}
 	f.Add([]byte{})
+	arena := &txmodel.Arena{}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		blk, err := DecodeEBVBlock(data)
+
+		// The borrowed-bytes block decoder must agree with the copying
+		// one on every input: same verdict, same error text, and a
+		// byte-identical re-encoding on accept.
+		arena.Reset()
+		var zc EBVBlock
+		zerr := DecodeEBVBlockInto(&zc, data, arena)
+		if (err == nil) != (zerr == nil) {
+			t.Fatalf("decode verdicts disagree: copy=%v zero-copy=%v", err, zerr)
+		}
 		if err != nil {
+			if err.Error() != zerr.Error() {
+				t.Fatalf("decode errors disagree: copy=%q zero-copy=%q", err, zerr)
+			}
 			return
 		}
 		re := blk.Encode(nil)
 		if len(re) != len(data) {
 			t.Fatalf("re-encode length %d != %d", len(re), len(data))
+		}
+		if zre := zc.Encode(nil); !bytes.Equal(zre, data) {
+			t.Fatalf("zero-copy re-encode differs from input")
 		}
 	})
 }

@@ -6,6 +6,7 @@ import (
 
 	"ebv/internal/blockmodel"
 	"ebv/internal/hashx"
+	"ebv/internal/ingest"
 	"ebv/internal/merkle"
 	"ebv/internal/script"
 	"ebv/internal/statusdb"
@@ -233,12 +234,29 @@ type uvProbes struct {
 	res    []statusdb.ProbeResult
 }
 
+// scratchSpends returns the spend buffer for one block's scan — from
+// the ingest scratch when available, freshly allocated otherwise.
+func scratchSpends(s *ingest.Scratch, n int) []statusdb.Spend {
+	if s != nil {
+		return s.Spends(n)
+	}
+	return make([]statusdb.Spend, 0, n)
+}
+
+// scratchSeen returns the duplicate-spend map for one block's scan.
+func scratchSeen(s *ingest.Scratch, n int) map[statusdb.Spend]struct{} {
+	if s != nil {
+		return s.Seen()
+	}
+	return make(map[statusdb.Spend]struct{}, n)
+}
+
 // collectSpends flattens the block's spends in validation scan order:
 // every non-coinbase transaction's bodies, in block order. The
 // coinbase is skipped — its bodies (it should have none) are never
 // examined by the scan either.
-func collectSpends(b *blockmodel.EBVBlock) []statusdb.Spend {
-	spends := make([]statusdb.Spend, 0, b.TotalInputs())
+func collectSpends(b *blockmodel.EBVBlock, s *ingest.Scratch) []statusdb.Spend {
+	spends := scratchSpends(s, b.TotalInputs())
 	for ti, tx := range b.Txs {
 		if ti == 0 {
 			continue
@@ -253,12 +271,18 @@ func collectSpends(b *blockmodel.EBVBlock) []statusdb.Spend {
 
 // probeUV runs the block's batched Unspent Validation — one shard-
 // grouped batch for the whole block instead of one lock round trip
-// per input — charging the probe pass to the UV counter.
-func (v *EBVValidator) probeUV(spends []statusdb.Spend, bd *Breakdown) *uvProbes {
+// per input — charging the probe pass to the UV counter. With a
+// scratch, the result buffer is recycled across blocks.
+func (v *EBVValidator) probeUV(spends []statusdb.Spend, bd *Breakdown, s *ingest.Scratch) uvProbes {
 	w := newStopwatch()
-	res := v.status.IsUnspentBatch(spends)
+	var res []statusdb.ProbeResult
+	if s != nil {
+		res = v.status.IsUnspentBatchInto(spends, s.Probes(len(spends)))
+	} else {
+		res = v.status.IsUnspentBatch(spends)
+	}
 	w.lap(&bd.UV)
-	return &uvProbes{spends: spends, res: res}
+	return uvProbes{spends: spends, res: res}
 }
 
 // check returns input i's UV verdict with uvInput's exact error text.
@@ -304,8 +328,18 @@ func (v *EBVValidator) runParallelSV(tasks []svTask) error {
 // ConnectBlock fully validates b as the next block and applies its
 // effect to the bit-vector set. On failure the set is untouched.
 func (v *EBVValidator) ConnectBlock(b *blockmodel.EBVBlock) (*Breakdown, error) {
+	return v.ConnectBlockIn(b, nil)
+}
+
+// ConnectBlockIn is ConnectBlock with an optional ingest scratch: when
+// s is non-nil, the spend, probe-result, and duplicate-detection
+// buffers are recycled from it instead of heap-allocated, which is
+// what makes a warm (cache-hitting) connect run allocation-free. The
+// scratch must not serve another in-flight block concurrently; b may
+// be a block previously decoded with the same scratch.
+func (v *EBVValidator) ConnectBlockIn(b *blockmodel.EBVBlock, s *ingest.Scratch) (*Breakdown, error) {
 	if v.pipeline > 1 {
-		return v.connectBlockParallel(b)
+		return v.connectBlockParallel(b, s)
 	}
 	bd := &Breakdown{Txs: len(b.Txs), Inputs: b.TotalInputs(), Outputs: b.TotalOutputs()}
 	w := newStopwatch()
@@ -319,9 +353,9 @@ func (v *EBVValidator) ConnectBlock(b *blockmodel.EBVBlock) (*Breakdown, error) 
 	// UV runs as one batched probe — shard-grouped status-database
 	// reads for the whole block — whose per-input verdicts the scan
 	// below consumes in order, so error selection is unchanged.
-	uv := v.probeUV(collectSpends(b), bd)
+	uv := v.probeUV(collectSpends(b, s), bd, s)
 	idx := 0
-	seen := make(map[statusdb.Spend]struct{}, bd.Inputs)
+	seen := scratchSeen(s, bd.Inputs)
 	var totalFees uint64
 	var deferred []svTask // parallel-SV mode: scripts checked after the scan
 	w = newStopwatch()

@@ -7,7 +7,7 @@ import (
 	"time"
 
 	"ebv/internal/blockmodel"
-	"ebv/internal/statusdb"
+	"ebv/internal/ingest"
 	"ebv/internal/txmodel"
 )
 
@@ -250,6 +250,14 @@ func (v *EBVValidator) Preverify(b *blockmodel.EBVBlock, hs HeaderSource, worker
 // error are bit-for-bit identical to ConnectBlock on the same state.
 // The returned Breakdown aggregates both stages.
 func (v *EBVValidator) ConnectPreverified(b *blockmodel.EBVBlock, pv *Preverified) (*Breakdown, error) {
+	return v.ConnectPreverifiedIn(b, pv, nil)
+}
+
+// ConnectPreverifiedIn is ConnectPreverified with an optional ingest
+// scratch for the reduce's spend/probe/dedup buffers (see
+// ConnectBlockIn). Pipeline drivers pass the scratch the block was
+// decoded with.
+func (v *EBVValidator) ConnectPreverifiedIn(b *blockmodel.EBVBlock, pv *Preverified, s *ingest.Scratch) (*Breakdown, error) {
 	bd := &pv.bd
 	w := newStopwatch()
 	if err := v.checkLink(b); err != nil {
@@ -257,7 +265,7 @@ func (v *EBVValidator) ConnectPreverified(b *blockmodel.EBVBlock, pv *Preverifie
 		return bd, err
 	}
 	w.lap(&bd.Other)
-	return bd, v.reduceAndConnect(b, pv.verdicts, bd)
+	return bd, v.reduceAndConnect(b, pv.verdicts, bd, s)
 }
 
 // connectBlockParallel is ConnectBlock for pipeline mode: stage A and
@@ -267,13 +275,13 @@ func (v *EBVValidator) ConnectPreverified(b *blockmodel.EBVBlock, pv *Preverifie
 // proportion to the summed worker time each phase consumed — so
 // Total() still approximates real elapsed time instead of summed
 // worker time.
-func (v *EBVValidator) connectBlockParallel(b *blockmodel.EBVBlock) (*Breakdown, error) {
+func (v *EBVValidator) connectBlockParallel(b *blockmodel.EBVBlock, s *ingest.Scratch) (*Breakdown, error) {
 	pv, err := v.Preverify(b, nil, v.pipeline)
 	bd := &pv.bd
 	if err != nil {
 		return bd, err
 	}
-	return bd, v.reduceAndConnect(b, pv.verdicts, bd)
+	return bd, v.reduceAndConnect(b, pv.verdicts, bd, s)
 }
 
 // reduceAndConnect is the shared stage B body: the sequential reduce
@@ -284,10 +292,10 @@ func (v *EBVValidator) connectBlockParallel(b *blockmodel.EBVBlock) (*Breakdown,
 // commit. Worker-failed transactions cancel the pool past their
 // index, so a nil verdict can only sit beyond the index the scan
 // stops at; the guard below is belt and braces.
-func (v *EBVValidator) reduceAndConnect(b *blockmodel.EBVBlock, verdicts []*txVerdict, bd *Breakdown) error {
-	uv := v.probeUV(collectSpends(b), bd)
+func (v *EBVValidator) reduceAndConnect(b *blockmodel.EBVBlock, verdicts []*txVerdict, bd *Breakdown, s *ingest.Scratch) error {
+	uv := v.probeUV(collectSpends(b, s), bd, s)
 	idx := 0
-	seen := make(map[statusdb.Spend]struct{}, bd.Inputs)
+	seen := scratchSeen(s, bd.Inputs)
 	var totalFees uint64
 	w := newStopwatch()
 

@@ -1,0 +1,72 @@
+package ingest
+
+import (
+	"testing"
+
+	"ebv/internal/statusdb"
+)
+
+func TestScratchBuffers(t *testing.T) {
+	s := NewScratch()
+
+	sp := s.Spends(8)
+	if len(sp) != 0 || cap(sp) < 8 {
+		t.Fatalf("Spends(8): len %d cap %d, want len 0 cap >= 8", len(sp), cap(sp))
+	}
+	sp = append(sp, statusdb.Spend{Height: 1, Pos: 2})
+	// A smaller request reuses the same storage, re-sliced to empty.
+	sp2 := s.Spends(4)
+	if len(sp2) != 0 {
+		t.Fatalf("Spends(4) after append: len %d, want 0", len(sp2))
+	}
+	if cap(sp2) < 8 {
+		t.Fatalf("Spends(4) shrank the buffer: cap %d", cap(sp2))
+	}
+
+	pr := s.Probes(5)
+	if len(pr) != 5 {
+		t.Fatalf("Probes(5): len %d", len(pr))
+	}
+	pr[0] = statusdb.ProbeResult{Unspent: true}
+	if pr3 := s.Probes(3); len(pr3) != 3 {
+		t.Fatalf("Probes(3): len %d", len(pr3))
+	}
+
+	seen := s.Seen()
+	seen[statusdb.Spend{Height: 9, Pos: 9}] = struct{}{}
+	if got := s.Seen(); len(got) != 0 {
+		t.Fatalf("Seen not cleared between uses: %d entries", len(got))
+	}
+}
+
+func TestScratchBuffersSteadyStateZeroAllocs(t *testing.T) {
+	s := NewScratch()
+	s.Spends(64)
+	s.Probes(64)
+	s.Seen()
+	if avg := testing.AllocsPerRun(100, func() {
+		_ = s.Spends(64)
+		_ = s.Probes(64)
+		_ = s.Seen()
+	}); avg != 0 {
+		t.Errorf("warm scratch buffers allocate %.1f objects/block, want 0", avg)
+	}
+}
+
+func TestGetReleaseRecycles(t *testing.T) {
+	// Not a strict guarantee (sync.Pool may drop entries), but Get must
+	// always hand out a usable scratch with a working seen map.
+	s := Get()
+	if s == nil {
+		t.Fatal("Get returned nil")
+	}
+	if m := s.Seen(); m == nil {
+		t.Fatal("pooled scratch has no seen map")
+	}
+	s.Release()
+	s2 := Get()
+	if m := s2.Seen(); m == nil {
+		t.Fatal("recycled scratch has no seen map")
+	}
+	s2.Release()
+}

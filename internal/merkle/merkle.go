@@ -152,9 +152,25 @@ func (b Branch) Encode(dst []byte) []byte {
 	return dst
 }
 
+// HashAllocator provides destination storage for decoded sibling
+// hashes. Implemented by txmodel.Arena so branch decoding during a
+// zero-copy block decode allocates from the block's arena instead of
+// the heap.
+type HashAllocator interface {
+	AllocHashes(n int) []hashx.Hash
+}
+
 // DecodeBranch parses a branch from data and returns it together with
 // the number of bytes consumed.
 func DecodeBranch(data []byte) (Branch, int, error) {
+	return DecodeBranchArena(data, nil)
+}
+
+// DecodeBranchArena parses a branch like DecodeBranch but takes the
+// sibling storage from a (heap-allocated when a is nil). Siblings are
+// copied — hashes must stay valid after the input buffer is released —
+// but with an arena the copy lands in reusable slab memory.
+func DecodeBranchArena(data []byte, a HashAllocator) (Branch, int, error) {
 	var b Branch
 	idx, n1 := varint.Uvarint(data)
 	if n1 <= 0 || idx > 1<<32-1 {
@@ -170,7 +186,11 @@ func DecodeBranch(data []byte) (Branch, int, error) {
 		return b, 0, fmt.Errorf("merkle: truncated branch: have %d bytes, need %d", len(data)-off, need)
 	}
 	b.Index = uint32(idx)
-	b.Siblings = make([]hashx.Hash, cnt)
+	if a != nil {
+		b.Siblings = a.AllocHashes(int(cnt))
+	} else {
+		b.Siblings = make([]hashx.Hash, cnt)
+	}
 	for i := range b.Siblings {
 		copy(b.Siblings[i][:], data[off+i*hashx.Size:])
 	}

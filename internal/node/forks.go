@@ -37,11 +37,7 @@ type ebvForkChain struct {
 }
 
 func (c ebvForkChain) ConnectRaw(raw []byte) error {
-	blk, err := blockmodel.DecodeEBVBlock(raw)
-	if err != nil {
-		return err
-	}
-	_, err = c.n.SubmitBlock(blk)
+	_, err := c.n.SubmitBlockRaw(raw)
 	return err
 }
 
@@ -71,11 +67,7 @@ type btcForkChain struct {
 }
 
 func (c btcForkChain) ConnectRaw(raw []byte) error {
-	blk, err := blockmodel.DecodeClassicBlock(raw)
-	if err != nil {
-		return err
-	}
-	_, err = c.n.SubmitBlock(blk)
+	_, err := c.n.SubmitBlockRaw(raw)
 	return err
 }
 
@@ -118,11 +110,7 @@ func (n *EBVNode) AcceptBlock(raw []byte, peer string) (forkchoice.Verdict, erro
 	if n.Forks != nil {
 		return n.Forks.ProcessBlock(raw, peer)
 	}
-	blk, err := blockmodel.DecodeEBVBlock(raw)
-	if err != nil {
-		return forkchoice.Rejected, err
-	}
-	if _, err := n.SubmitBlock(blk); err != nil {
+	if _, err := n.SubmitBlockRaw(raw); err != nil {
 		return forkchoice.Rejected, err
 	}
 	return forkchoice.Connected, nil
@@ -134,11 +122,7 @@ func (n *BitcoinNode) AcceptBlock(raw []byte, peer string) (forkchoice.Verdict, 
 	if n.Forks != nil {
 		return n.Forks.ProcessBlock(raw, peer)
 	}
-	blk, err := blockmodel.DecodeClassicBlock(raw)
-	if err != nil {
-		return forkchoice.Rejected, err
-	}
-	if _, err := n.SubmitBlock(blk); err != nil {
+	if _, err := n.SubmitBlockRaw(raw); err != nil {
 		return forkchoice.Rejected, err
 	}
 	return forkchoice.Connected, nil

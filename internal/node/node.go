@@ -19,6 +19,7 @@ import (
 	"ebv/internal/core"
 	"ebv/internal/forkchoice"
 	"ebv/internal/hashx"
+	"ebv/internal/ingest"
 	"ebv/internal/kvstore"
 	"ebv/internal/pipeline"
 	"ebv/internal/script"
@@ -139,6 +140,22 @@ func NewBitcoinNode(cfg Config) (*BitcoinNode, error) {
 // SubmitBlock validates and stores one block, persisting its undo
 // record (the spent entries) for a later DisconnectTip.
 func (n *BitcoinNode) SubmitBlock(b *blockmodel.ClassicBlock) (*core.Breakdown, error) {
+	return n.submit(b, nil)
+}
+
+// SubmitBlockRaw validates and stores one serialized block. The
+// original wire bytes — not a re-serialization — are appended to the
+// chain; the encoding is canonical, so the two are byte-identical.
+func (n *BitcoinNode) SubmitBlockRaw(raw []byte) (*core.Breakdown, error) {
+	blk, err := blockmodel.DecodeClassicBlock(raw)
+	if err != nil {
+		return nil, err
+	}
+	return n.submit(blk, raw)
+}
+
+// submit connects b and appends raw (re-encoding b when raw is nil).
+func (n *BitcoinNode) submit(b *blockmodel.ClassicBlock, raw []byte) (*core.Breakdown, error) {
 	bd, undo, err := n.Validator.ConnectBlockUndo(b)
 	if err != nil {
 		return bd, err
@@ -147,7 +164,10 @@ func (n *BitcoinNode) SubmitBlock(b *blockmodel.ClassicBlock) (*core.Breakdown, 
 	if err := n.db.Put(undoKey(b.Header.Height), utxoset.EncodeUndo(undo)); err != nil {
 		return bd, err
 	}
-	if err := n.Chain.Append(b.Header, b.Encode(nil)); err != nil {
+	if raw == nil {
+		raw = b.Encode(nil)
+	}
+	if err := n.Chain.Append(b.Header, raw); err != nil {
 		return bd, err
 	}
 	bd.Other += time.Since(w)
@@ -352,12 +372,38 @@ func (n *EBVNode) DisconnectTip() error {
 
 // SubmitBlock validates and stores one block.
 func (n *EBVNode) SubmitBlock(b *blockmodel.EBVBlock) (*core.Breakdown, error) {
-	bd, err := n.Validator.ConnectBlock(b)
+	return n.submit(b, nil, nil)
+}
+
+// SubmitBlockRaw validates and stores one serialized block on the
+// wire-speed path: the block is decoded with a pooled ingest scratch
+// (zero-copy, aliasing raw), validated with that scratch's buffers,
+// and the original wire bytes — not a re-serialization — are appended
+// to the chain. raw must not be mutated during the call; the encoding
+// is canonical, so the stored bytes equal what SubmitBlock would
+// store.
+func (n *EBVNode) SubmitBlockRaw(raw []byte) (*core.Breakdown, error) {
+	s := ingest.Get()
+	defer s.Release()
+	blk, err := s.DecodeEBVBlock(raw)
+	if err != nil {
+		return nil, err
+	}
+	return n.submit(blk, raw, s)
+}
+
+// submit connects b with the optional ingest scratch and appends raw
+// (re-encoding b when raw is nil).
+func (n *EBVNode) submit(b *blockmodel.EBVBlock, raw []byte, s *ingest.Scratch) (*core.Breakdown, error) {
+	bd, err := n.Validator.ConnectBlockIn(b, s)
 	if err != nil {
 		return bd, err
 	}
 	w := time.Now()
-	if err := n.Chain.Append(b.Header, b.Encode(nil)); err != nil {
+	if raw == nil {
+		raw = b.Encode(nil)
+	}
+	if err := n.Chain.Append(b.Header, raw); err != nil {
 		return bd, err
 	}
 	bd.Other += time.Since(w)
@@ -400,13 +446,7 @@ type IBDResult struct {
 // called after each period. A node that already holds a chain prefix
 // resumes from its own tip.
 func RunIBDBitcoin(src *chainstore.Store, node *BitcoinNode, periodLen int, progress func(PeriodStats)) (*IBDResult, error) {
-	return runIBD(src, nextHeight(node.Chain), periodLen, progress, func(raw []byte) (*core.Breakdown, error) {
-		blk, err := blockmodel.DecodeClassicBlock(raw)
-		if err != nil {
-			return nil, err
-		}
-		return node.SubmitBlock(blk)
-	})
+	return runIBD(src, nextHeight(node.Chain), periodLen, progress, node.SubmitBlockRaw)
 }
 
 // RunIBDEBV replays the EBV chain in src into node, resuming from the
@@ -418,13 +458,7 @@ func RunIBDEBV(src *chainstore.Store, node *EBVNode, periodLen int, progress fun
 	if node.pipeDepth > 0 {
 		return runIBDEBVPipelined(src, node, periodLen, progress)
 	}
-	return runIBD(src, nextHeight(node.Chain), periodLen, progress, func(raw []byte) (*core.Breakdown, error) {
-		blk, err := blockmodel.DecodeEBVBlock(raw)
-		if err != nil {
-			return nil, err
-		}
-		return node.SubmitBlock(blk)
-	})
+	return runIBD(src, nextHeight(node.Chain), periodLen, progress, node.SubmitBlockRaw)
 }
 
 // runIBDEBVPipelined mirrors runIBD's per-period accounting around

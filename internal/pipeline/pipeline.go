@@ -32,10 +32,14 @@ import (
 
 	"ebv/internal/blockmodel"
 	"ebv/internal/core"
+	"ebv/internal/ingest"
 )
 
 // Source supplies serialized blocks by height (chainstore.Store
-// satisfies it).
+// satisfies it). BlockBytes must hand ownership of the returned slice
+// to the caller: the pipeline decodes blocks zero-copy against those
+// bytes and holds them until the block commits, so the source must not
+// reuse or mutate a returned buffer.
 type Source interface {
 	TipHeight() (uint64, bool)
 	BlockBytes(height uint64) ([]byte, error)
@@ -85,8 +89,9 @@ func (e *BlockError) Unwrap() error { return e.Err }
 type item struct {
 	height uint64
 	blk    *blockmodel.EBVBlock
-	enc    []byte // pre-encoded for the chain append
+	enc    []byte // the original wire bytes, appended verbatim
 	pv     *core.Preverified
+	scr    *ingest.Scratch // decode arena + connect buffers; blk aliases it
 	err    error
 	fetch  bool
 }
@@ -131,15 +136,21 @@ func Run(src Source, chain Chain, v *core.EBVValidator, start uint64, cfg Config
 			raw, err := src.BlockBytes(h)
 			if err != nil {
 				it.err, it.fetch = err, true
-			} else if blk, err := blockmodel.DecodeEBVBlock(raw); err != nil {
-				it.err = err
 			} else {
-				it.blk = blk
-				pv, err := v.Preverify(blk, ov, cfg.Workers)
-				it.pv, it.err = pv, err
-				if err == nil {
-					it.enc = blk.Encode(nil)
-					ov.push(blk.Header)
+				scr := ingest.Get()
+				if blk, err := scr.DecodeEBVBlock(raw); err != nil {
+					scr.Release()
+					it.err = err
+				} else {
+					it.blk, it.scr = blk, scr
+					pv, err := v.Preverify(blk, ov, cfg.Workers)
+					it.pv, it.err = pv, err
+					if err == nil {
+						// The source hands the bytes over; append them
+						// verbatim instead of re-encoding the block.
+						it.enc = raw
+						ov.push(blk.Header)
+					}
 				}
 			}
 			select {
@@ -164,7 +175,7 @@ func Run(src Source, chain Chain, v *core.EBVValidator, start uint64, cfg Config
 			}
 			return &BlockError{Height: it.height, Breakdown: bd, Err: it.err, Fetch: it.fetch}
 		}
-		bd, err := v.ConnectPreverified(it.blk, it.pv)
+		bd, err := v.ConnectPreverifiedIn(it.blk, it.pv, it.scr)
 		if err != nil {
 			stop()
 			return &BlockError{Height: it.height, Breakdown: bd, Err: err}
@@ -175,6 +186,7 @@ func Run(src Source, chain Chain, v *core.EBVValidator, start uint64, cfg Config
 			return &BlockError{Height: it.height, Breakdown: bd, Err: err}
 		}
 		bd.Other += time.Since(aw)
+		it.scr.Release()
 		ov.prune(it.height)
 		if cfg.Progress != nil {
 			cfg.Progress(it.height, bd)

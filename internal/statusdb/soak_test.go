@@ -2,6 +2,7 @@ package statusdb
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -200,8 +201,12 @@ func TestStatusDBConcurrentSoak(t *testing.T) {
 					probes[i] = Spend{Height: uint64(rr.Intn(int(tip) + 1)), Pos: uint32(rr.Intn(200))}
 				}
 				for _, res := range d.IsUnspentBatch(probes) {
-					if res.Err != nil {
-						panic(res.Err) // probes never error on in-range heights
+					// Random positions may overrun a short block's
+					// vector; that legitimately reports ErrOutOfRange.
+					// Anything else (unknown block below tip, corrupt
+					// vector) is a real failure.
+					if res.Err != nil && !errors.Is(res.Err, ErrOutOfRange) {
+						panic(res.Err)
 					}
 				}
 				_, _ = d.IsUnspent(uint64(rr.Intn(int(tip)+1)), uint32(rr.Intn(200)))

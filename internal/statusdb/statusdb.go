@@ -33,7 +33,13 @@
 //
 // Stored encodings are immutable: every mutation installs a freshly
 // allocated encoding, so a snapshot's shallow copies stay stable after
-// the locks are released.
+// the locks are released. The batched commit path (the default)
+// preserves this by packing all of a block's replacement encodings
+// into one freshly allocated slab and installing non-overlapping
+// sub-slices of it; the trade-off is that a replaced sub-slice keeps
+// its slab reachable until every encoding from that commit has itself
+// been replaced. SetBatchedCommit(false) reverts to one allocation per
+// vector — the "per-vector writes" ablation arm.
 package statusdb
 
 import (
@@ -110,13 +116,21 @@ type shard struct {
 // NewSharded.
 type DB struct {
 	optimize bool
+	batched  bool
 	mask     uint64
 	shards   []shard
+
+	// probePool recycles the per-batch shard grouping of
+	// IsUnspentBatchInto so warm probes allocate nothing.
+	probePool sync.Pool
 
 	// commitMu serializes the writers and is the consistency point
 	// for snapshots and invariant checks. Lock order: commitMu →
 	// shard locks (ascending index) → tipMu.
 	commitMu sync.Mutex
+
+	// cs is Connect's reusable staging state; guarded by commitMu.
+	cs commitScratch
 
 	// tipMu guards tip/hasTip for readers; writers additionally hold
 	// commitMu, so they may read the tip fields without tipMu.
@@ -146,11 +160,24 @@ func NewSharded(optimize bool, shards int) *DB {
 	for p < n {
 		p <<= 1
 	}
-	d := &DB{optimize: optimize, mask: uint64(p - 1), shards: make([]shard, p)}
+	d := &DB{optimize: optimize, batched: true, mask: uint64(p - 1), shards: make([]shard, p)}
 	for i := range d.shards {
 		d.shards[i].vectors = make(map[uint64][]byte)
 	}
+	d.probePool.New = func() any {
+		return &probeScratch{groups: make([][]int, len(d.shards))}
+	}
 	return d
+}
+
+// SetBatchedCommit selects between the batched commit encode path (one
+// slab allocation per block, the default) and one allocation per
+// vector. Both produce byte-identical state; the toggle exists for the
+// ablation-overhead experiment. Not safe concurrently with commits.
+func (d *DB) SetBatchedCommit(on bool) {
+	d.commitMu.Lock()
+	d.batched = on
+	d.commitMu.Unlock()
 }
 
 // Shards returns the shard count the set was built with.
@@ -166,12 +193,41 @@ func (d *DB) encode(v *bitvec.Vector) []byte {
 	return v.EncodeDense()
 }
 
+// appendEncode appends the bytes encode would produce to dst.
+func (d *DB) appendEncode(dst []byte, v *bitvec.Vector) []byte {
+	if d.optimize {
+		return v.AppendEncode(dst)
+	}
+	return v.AppendDense(dst)
+}
+
+// encodedSize returns len(d.encode(v)) without encoding, so staging
+// can finalize accounting deltas before the encode pass runs.
+func (d *DB) encodedSize(v *bitvec.Vector) int {
+	if d.optimize {
+		return v.EncodedSize()
+	}
+	return v.DenseSize()
+}
+
+// vecPool recycles staging vectors; DecodeInto/ResetAllSet reuse their
+// word storage, so a warm commit decodes without allocating.
+var vecPool = sync.Pool{New: func() any { return new(bitvec.Vector) }}
+
+func getVec() *bitvec.Vector  { return vecPool.Get().(*bitvec.Vector) }
+func putVec(v *bitvec.Vector) { vecPool.Put(v) }
+
 // stagedEntry is one height's validated pending mutation: the new
-// encoding (nil = delete the vector) plus the accounting deltas its
-// application adds to the owning shard.
+// encoding (nil = delete the vector, when v is also nil) plus the
+// accounting deltas its application adds to the owning shard. Connect
+// stages the mutated vector itself (v, with its known encoded size)
+// and defers serialization to a single encode pass between staging and
+// apply; Disconnect stages final encodings directly.
 type stagedEntry struct {
 	h                uint64
 	enc              []byte
+	v                *bitvec.Vector
+	size             int
 	mem, dense, ones int64
 }
 
@@ -181,6 +237,43 @@ type stagedEntry struct {
 type stageErr struct {
 	err error
 	h   uint64
+}
+
+// spendGroup is one touched height's run of spends inside the sorted
+// commit scratch: spends[lo:hi], all at height h, in input order.
+type spendGroup struct {
+	h      uint64
+	lo, hi int
+}
+
+// spendSorter stable-sorts a spend slice by height. A named type with
+// a pointer receiver keeps sort.Stable from allocating per commit.
+type spendSorter struct{ s []Spend }
+
+func (x *spendSorter) Len() int           { return len(x.s) }
+func (x *spendSorter) Less(i, j int) bool { return x.s[i].Height < x.s[j].Height }
+func (x *spendSorter) Swap(i, j int)      { x.s[i], x.s[j] = x.s[j], x.s[i] }
+
+// commitScratch is Connect's reusable staging state: the sorted spend
+// copy, its height groups, the per-shard work lists, and the staged
+// entry buffers. Guarded by commitMu; reused across commits so a warm
+// connect allocates only the encode slab.
+type commitScratch struct {
+	spends   []Spend
+	sorter   spendSorter
+	groups   []spendGroup
+	perShard [][]int // group indices per shard, ascending height
+	touched  []int
+	staged   [][]stagedEntry
+	errs     []stageErr
+}
+
+func (cs *commitScratch) ensure(nShards int) {
+	if len(cs.perShard) != nShards {
+		cs.perShard = make([][]int, nShards)
+		cs.staged = make([][]stagedEntry, nShards)
+		cs.errs = make([]stageErr, nShards)
+	}
 }
 
 // shardHeights splits ascending-sorted heights into per-shard work
@@ -295,9 +388,12 @@ func (d *DB) snapshotTip() (uint64, bool) {
 // a height, the first failing spend in input order).
 //
 // Spends are staged per shard — concurrently for large blocks — and
-// committed only after every shard validates. A zero-output block
-// stores no vector at all, so "absent = fully spent" holds for it
-// from birth; it still advances the tip.
+// committed only after every shard validates. Staged vectors are
+// serialized in one batched encode pass (one slab allocation for the
+// whole block) between validation and apply, so each shard's write
+// lock is taken exactly once and held only for map/counter updates. A
+// zero-output block stores no vector at all, so "absent = fully spent"
+// holds for it from birth; it still advances the tip.
 func (d *DB) Connect(height uint64, nOutputs int, spends []Spend) error {
 	if nOutputs < 0 || nOutputs > bitvec.MaxLen {
 		return fmt.Errorf("%w: %d outputs at height %d", ErrOutOfRange, nOutputs, height)
@@ -311,67 +407,180 @@ func (d *DB) Connect(height uint64, nOutputs int, spends []Spend) error {
 		return fmt.Errorf("statusdb: first block must be height 0, got %d", height)
 	}
 
-	byHeight := make(map[uint64][]uint32)
-	for _, s := range spends {
+	cs := &d.cs
+	cs.ensure(len(d.shards))
+	cs.spends = append(cs.spends[:0], spends...)
+	for _, s := range cs.spends {
 		if s.Height >= height {
 			// A block cannot spend its own or future outputs.
 			return fmt.Errorf("%w: spend references height %d in block %d", ErrUnknownBlock, s.Height, height)
 		}
-		byHeight[s.Height] = append(byHeight[s.Height], s.Pos)
+	}
+	// Stable sort: heights become ascending while each height's spends
+	// keep their input order, which the error contract depends on.
+	cs.sorter.s = cs.spends
+	sort.Stable(&cs.sorter)
+	cs.groups = cs.groups[:0]
+	for i := 0; i < len(cs.spends); {
+		j := i + 1
+		for j < len(cs.spends) && cs.spends[j].Height == cs.spends[i].Height {
+			j++
+		}
+		cs.groups = append(cs.groups, spendGroup{h: cs.spends[i].Height, lo: i, hi: j})
+		i = j
+	}
+	cs.touched = cs.touched[:0]
+	for si := range cs.perShard {
+		cs.perShard[si] = cs.perShard[si][:0]
+		cs.staged[si] = cs.staged[si][:0]
+		cs.errs[si] = stageErr{}
+	}
+	for gi := range cs.groups {
+		si := d.shardIndex(cs.groups[gi].h)
+		if len(cs.perShard[si]) == 0 {
+			cs.touched = append(cs.touched, si)
+		}
+		cs.perShard[si] = append(cs.perShard[si], gi)
 	}
 
-	perShard := d.shardHeights(sortedKeys(byHeight))
-	staged, err := d.stageShards(perShard, len(spends) >= parallelStageMin,
-		func(si int, heights []uint64) ([]stagedEntry, stageErr) {
-			return d.stageConnectShard(si, heights, byHeight)
-		})
-	if err != nil {
-		return err
+	stage := func(si int) {
+		cs.staged[si], cs.errs[si] = d.stageConnectShard(si, cs.perShard[si], cs.staged[si])
+	}
+	if len(cs.spends) >= parallelStageMin && len(cs.touched) > 1 {
+		var wg sync.WaitGroup
+		for _, si := range cs.touched {
+			wg.Add(1)
+			go func(si int) {
+				defer wg.Done()
+				stage(si)
+			}(si)
+		}
+		wg.Wait()
+	} else {
+		for _, si := range cs.touched {
+			stage(si)
+		}
+	}
+	var first stageErr
+	for _, se := range cs.errs {
+		if se.err != nil && (first.err == nil || se.h < first.h) {
+			first = se
+		}
+	}
+	if first.err != nil {
+		d.releaseStaged()
+		return first.err
 	}
 
 	if nOutputs > 0 {
-		nv := bitvec.NewAllSet(nOutputs)
-		enc := d.encode(nv)
+		nv := getVec()
+		nv.ResetAllSet(nOutputs)
+		size := d.encodedSize(nv)
 		si := d.shardIndex(height)
-		staged[si] = append(staged[si], stagedEntry{
+		cs.staged[si] = append(cs.staged[si], stagedEntry{
 			h:     height,
-			enc:   enc,
-			mem:   int64(len(enc)) + vectorOverhead,
+			v:     nv,
+			size:  size,
+			mem:   int64(size) + vectorOverhead,
 			dense: int64(nv.DenseSize()) + vectorOverhead,
 			ones:  int64(nOutputs),
 		})
 	}
 
-	d.apply(staged)
+	d.encodeStaged()
+	d.apply(cs.staged)
 	d.setTip(height, true)
+	d.releaseStaged()
 	return nil
 }
 
-// stageConnectShard validates and stages one shard's spends under its
-// read lock: decode each touched vector, clear the bits in input
-// order, and record the replacement encoding (nil when fully spent)
-// with its accounting deltas.
-func (d *DB) stageConnectShard(si int, heights []uint64, byHeight map[uint64][]uint32) ([]stagedEntry, stageErr) {
+// encodeStaged serializes every staged vector. In batched mode the
+// whole block's encodings land in one slab (installed as
+// non-overlapping capacity-clamped sub-slices, preserving the
+// encoding-immutability contract); otherwise each vector is encoded
+// into its own allocation. Vectors return to the pool as they are
+// encoded. Caller holds commitMu; no shard locks are needed.
+func (d *DB) encodeStaged() {
+	cs := &d.cs
+	var slab []byte
+	if d.batched {
+		total := 0
+		for si := range cs.staged {
+			for i := range cs.staged[si] {
+				if cs.staged[si][i].v != nil {
+					total += cs.staged[si][i].size
+				}
+			}
+		}
+		slab = make([]byte, 0, total)
+	}
+	for si := range cs.staged {
+		for i := range cs.staged[si] {
+			e := &cs.staged[si][i]
+			if e.v == nil {
+				continue
+			}
+			if d.batched {
+				off := len(slab)
+				slab = d.appendEncode(slab, e.v)
+				e.enc = slab[off:len(slab):len(slab)]
+			} else {
+				e.enc = d.encode(e.v)
+			}
+			putVec(e.v)
+			e.v = nil
+		}
+	}
+}
+
+// releaseStaged returns any still-staged vectors to the pool and drops
+// the scratch's references to the last commit's entries, so a failed
+// or finished commit does not pin encodings (or a whole slab) beyond
+// its lifetime. Caller holds commitMu.
+func (d *DB) releaseStaged() {
+	cs := &d.cs
+	for si := range cs.staged {
+		for i := range cs.staged[si] {
+			if v := cs.staged[si][i].v; v != nil {
+				putVec(v)
+			}
+			cs.staged[si][i] = stagedEntry{}
+		}
+		cs.staged[si] = cs.staged[si][:0]
+	}
+}
+
+// stageConnectShard validates and stages one shard's spend groups
+// under its read lock: decode each touched vector into a pooled
+// scratch vector, clear the bits in input order, and record the
+// mutated vector (nil when fully spent) with its accounting deltas.
+// Serialization is deferred to encodeStaged.
+func (d *DB) stageConnectShard(si int, groupIdx []int, out []stagedEntry) ([]stagedEntry, stageErr) {
+	cs := &d.cs
 	s := &d.shards[si]
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make([]stagedEntry, 0, len(heights))
-	for _, h := range heights {
-		positions := byHeight[h]
+	for _, gi := range groupIdx {
+		g := cs.groups[gi]
+		h := g.h
 		enc, ok := s.vectors[h]
 		if !ok {
 			// Height below the tip with no vector: fully spent block.
-			return nil, stageErr{fmt.Errorf("%w: height %d position %d", ErrDoubleSpend, h, positions[0]), h}
+			return nil, stageErr{fmt.Errorf("%w: height %d position %d", ErrDoubleSpend, h, cs.spends[g.lo].Pos), h}
 		}
-		v, err := bitvec.Decode(enc)
-		if err != nil {
+		v := getVec()
+		if err := bitvec.DecodeInto(v, enc); err != nil {
+			putVec(v)
 			return nil, stageErr{fmt.Errorf("statusdb: corrupt vector at height %d: %v", h, err), h}
 		}
-		for _, p := range positions {
+		for _, sp := range cs.spends[g.lo:g.hi] {
+			p := sp.Pos
 			if int(p) >= v.Len() {
+				putVec(v)
 				return nil, stageErr{fmt.Errorf("%w: height %d position %d (block has %d outputs)", ErrOutOfRange, h, p, v.Len()), h}
 			}
 			if !v.Clear(int(p)) {
+				putVec(v)
 				return nil, stageErr{fmt.Errorf("%w: height %d position %d", ErrDoubleSpend, h, p), h}
 			}
 		}
@@ -379,12 +588,14 @@ func (d *DB) stageConnectShard(si int, heights []uint64, byHeight map[uint64][]u
 			h:     h,
 			mem:   -(int64(len(enc)) + vectorOverhead),
 			dense: -(int64(v.DenseSize()) + vectorOverhead),
-			ones:  -int64(len(positions)),
+			ones:  -int64(g.hi - g.lo),
 		}
-		if !v.AllZero() {
-			ne := d.encode(v)
-			se.enc = ne
-			se.mem += int64(len(ne)) + vectorOverhead
+		if v.AllZero() {
+			putVec(v)
+		} else {
+			se.v = v
+			se.size = d.encodedSize(v)
+			se.mem += int64(se.size) + vectorOverhead
 			se.dense += int64(v.DenseSize()) + vectorOverhead
 		}
 		out = append(out, se)
@@ -411,6 +622,14 @@ type ProbeResult struct {
 	Err     error
 }
 
+// probeScratch is the recycled shard grouping of a batch probe. Its
+// groups slices are left empty between uses (reset before Put), so a
+// fresh Get needs no clearing pass over untouched shards.
+type probeScratch struct {
+	groups  [][]int
+	touched []int
+}
+
 // IsUnspentBatch probes every spend with one lock acquisition per
 // shard visited — the per-block Unspent Validation pattern — probing
 // shards concurrently for large batches. res[i] answers spends[i]
@@ -419,7 +638,18 @@ type ProbeResult struct {
 // batch overlaps (quiescent, the batch is a point-in-time snapshot,
 // and stage B's validator never overlaps its own commits).
 func (d *DB) IsUnspentBatch(spends []Spend) []ProbeResult {
-	res := make([]ProbeResult, len(spends))
+	return d.IsUnspentBatchInto(spends, make([]ProbeResult, len(spends)))
+}
+
+// IsUnspentBatchInto is IsUnspentBatch writing into a caller-supplied
+// result buffer, which it returns resized to len(spends); it allocates
+// only if res is too small. The ingest scratch uses this to keep warm
+// probes allocation-free.
+func (d *DB) IsUnspentBatchInto(spends []Spend, res []ProbeResult) []ProbeResult {
+	if cap(res) < len(spends) {
+		res = make([]ProbeResult, len(spends))
+	}
+	res = res[:len(spends)]
 	tip, hasTip := d.snapshotTip()
 	if len(d.shards) == 1 {
 		s := &d.shards[0]
@@ -430,8 +660,8 @@ func (d *DB) IsUnspentBatch(spends []Spend) []ProbeResult {
 		s.mu.RUnlock()
 		return res
 	}
-	groups := make([][]int, len(d.shards))
-	var touched []int
+	ps := d.probePool.Get().(*probeScratch)
+	groups, touched := ps.groups, ps.touched[:0]
 	for i := range spends {
 		si := d.shardIndex(spends[i].Height)
 		if len(groups[si]) == 0 {
@@ -462,6 +692,11 @@ func (d *DB) IsUnspentBatch(spends []Spend) []ProbeResult {
 			probeGroup(si)
 		}
 	}
+	for _, si := range touched {
+		groups[si] = groups[si][:0]
+	}
+	ps.touched = touched
+	d.probePool.Put(ps)
 	return res
 }
 

@@ -1,0 +1,118 @@
+package txmodel
+
+import (
+	"bytes"
+	"testing"
+)
+
+// sealedSample builds a consistent EBV transaction (bodies sealed into
+// the committed input hashes) and returns it with its encoding.
+func sealedSample() []byte {
+	tx := &EBVTx{Tidy: sampleTidy(), Bodies: []InputBody{sampleBody()}}
+	tx.SealInputHashes()
+	return tx.Encode(nil)
+}
+
+// TestDecodeIntoAliasesInput proves the borrowed-bytes contract both
+// ways: a zero-copy decoded transaction's byte fields are windows into
+// the wire buffer (writing through one is visible in the other), while
+// a copy-decoded transaction is fully detached. It also shows why the
+// contract is safe: any tamper with the shared bytes is caught by
+// Consistent, because the unlocking script is committed under the
+// input hash.
+func TestDecodeIntoAliasesInput(t *testing.T) {
+	data := sealedSample()
+	orig := bytes.Clone(data)
+
+	arena := &Arena{}
+	var zc EBVTx
+	if err := DecodeEBVTxInto(&zc, data, arena); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := DecodeEBVTx(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Consistent(); err != nil {
+		t.Fatalf("copy decode inconsistent before tamper: %v", err)
+	}
+	if len(zc.Bodies) == 0 || len(zc.Bodies[0].UnlockScript) == 0 {
+		t.Fatal("sample has no unlocking script to tamper with")
+	}
+
+	// Flip one byte through the borrowed view.
+	zc.Bodies[0].UnlockScript[0] ^= 0xFF
+
+	if bytes.Equal(data, orig) {
+		t.Fatal("zero-copy UnlockScript does not alias the wire buffer")
+	}
+	if !bytes.Equal(cp.Bodies[0].UnlockScript, []byte{9, 8, 7}) {
+		t.Fatal("copy-decoded transaction was affected by the tamper")
+	}
+
+	// The tamper is detectable: the mutated body no longer hashes to
+	// the committed input hash.
+	if err := zc.Consistent(); err == nil {
+		t.Fatal("Consistent accepted a tampered unlocking script")
+	}
+
+	// And the aliasing goes the other way too: restoring the wire byte
+	// restores the borrowed view. The memoized (tampered) body hash
+	// survives until Invalidate — mutating a decoded transaction
+	// without invalidating it violates the immutability contract.
+	zc.Bodies[0].UnlockScript[0] ^= 0xFF
+	if !bytes.Equal(data, orig) {
+		t.Fatal("restoring through the borrowed view did not restore the buffer")
+	}
+	zc.Invalidate()
+	if err := zc.Consistent(); err != nil {
+		t.Fatalf("restored transaction inconsistent: %v", err)
+	}
+}
+
+// TestArenaReuseNoStaleState pins the recycling contract: after Reset,
+// a decode into the same arena must not observe anything from the
+// previous occupant of the slabs — in particular no stale memoized
+// hashes, which would silently validate the wrong transaction.
+func TestArenaReuseNoStaleState(t *testing.T) {
+	dataA := sealedSample()
+
+	// B differs from A both in a body field (unlock script, which moves
+	// the body hash) and in the tidy form (lock time, which moves the
+	// sighash — the sighash deliberately excludes unlocking data).
+	txB := &EBVTx{Tidy: sampleTidy(), Bodies: []InputBody{sampleBody()}}
+	txB.Tidy.LockTime = 8
+	txB.Bodies[0].UnlockScript = []byte{1, 2, 3, 4}
+	txB.SealInputHashes()
+	dataB := txB.Encode(nil)
+
+	arena := &Arena{}
+	var a EBVTx
+	if err := DecodeEBVTxInto(&a, dataA, arena); err != nil {
+		t.Fatal(err)
+	}
+	// Populate every memo the decoded form carries.
+	hashA := a.Bodies[0].Hash()
+	sigA := a.SigHash()
+	if err := a.Consistent(); err != nil {
+		t.Fatal(err)
+	}
+
+	arena.Reset()
+	var b EBVTx
+	if err := DecodeEBVTxInto(&b, dataB, arena); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Consistent(); err != nil {
+		t.Fatalf("reused-arena decode inconsistent: %v", err)
+	}
+	if b.Bodies[0].Hash() == hashA {
+		t.Fatal("reused-arena body served a stale memoized hash")
+	}
+	if b.SigHash() == sigA {
+		t.Fatal("reused-arena tx served a stale memoized sighash")
+	}
+	if re := b.Encode(nil); !bytes.Equal(re, dataB) {
+		t.Fatal("reused-arena decode does not round-trip")
+	}
+}

@@ -43,10 +43,17 @@ var ErrDecode = errors.New("txmodel: decode")
 // reader is a cursor over an encoded buffer that records the first
 // error and turns subsequent reads into no-ops, so decoders can read a
 // whole structure and check the error once.
+//
+// A non-nil arena switches the reader into borrowed-bytes mode:
+// varbytes aliases the input buffer instead of copying, and decoded
+// slices come from the arena. The decoded structure is then valid only
+// while the input bytes stay alive and unmodified and the arena is not
+// Reset (see Arena).
 type reader struct {
-	data []byte
-	off  int
-	err  error
+	data  []byte
+	off   int
+	err   error
+	arena *Arena
 }
 
 func (r *reader) fail(format string, args ...any) {
@@ -100,7 +107,9 @@ func (r *reader) hash() hashx.Hash {
 }
 
 // varbytes reads a length-prefixed byte string of at most max bytes.
-// The result is copied so decoded structures do not alias the input.
+// In copying mode (arena == nil) the result is copied so decoded
+// structures do not alias the input; in borrowed mode it is a
+// capacity-clamped sub-slice of the input buffer.
 func (r *reader) varbytes(max int) []byte {
 	n := r.uvarint()
 	if r.err != nil {
@@ -114,9 +123,37 @@ func (r *reader) varbytes(max int) []byte {
 	if r.err != nil {
 		return nil
 	}
+	if r.arena != nil {
+		return b[:len(b):len(b)]
+	}
 	out := make([]byte, n)
 	copy(out, b)
 	return out
+}
+
+// allocHashes returns hash storage of length n — from the arena in
+// borrowed mode, freshly allocated otherwise.
+func (r *reader) allocHashes(n int) []hashx.Hash {
+	if r.arena != nil {
+		return r.arena.AllocHashes(n)
+	}
+	return make([]hashx.Hash, n)
+}
+
+// allocOuts returns output storage of length n.
+func (r *reader) allocOuts(n int) []TxOut {
+	if r.arena != nil {
+		return r.arena.AllocOuts(n)
+	}
+	return make([]TxOut, n)
+}
+
+// allocBodies returns input-body storage of length n.
+func (r *reader) allocBodies(n int) []InputBody {
+	if r.arena != nil {
+		return r.arena.AllocBodies(n)
+	}
+	return make([]InputBody, n)
 }
 
 // done verifies the buffer was fully consumed.

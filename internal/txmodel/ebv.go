@@ -78,41 +78,41 @@ func (t *TidyTx) LeafHash() hashx.Hash {
 // before the next LeafHash; the wire-decode path never needs it.
 func (t *TidyTx) Invalidate() { t.leafMemo.clear() }
 
-// decodeTidyFrom parses a tidy transaction in-stream.
-func decodeTidyFrom(r *reader) TidyTx {
-	var t TidyTx
+// decodeTidyInto parses a tidy transaction in-stream into t. Slice
+// storage comes from the reader (arena-backed in borrowed mode).
+func decodeTidyInto(t *TidyTx, r *reader) {
 	t.Version = r.uint32v()
 	nin := r.uvarint()
 	if nin > MaxTxInputs {
 		r.fail("%d input hashes exceeds limit", nin)
-		return t
+		return
 	}
-	t.InputHashes = make([]hashx.Hash, nin)
+	t.InputHashes = r.allocHashes(int(nin))
 	for i := range t.InputHashes {
 		t.InputHashes[i] = r.hash()
 	}
 	nout := r.uvarint()
 	if nout > MaxTxOutputs {
 		r.fail("%d outputs exceeds limit", nout)
-		return t
+		return
 	}
-	t.Outputs = make([]TxOut, nout)
+	t.Outputs = r.allocOuts(int(nout))
 	for i := range t.Outputs {
 		t.Outputs[i] = decodeTxOut(r)
 	}
 	t.LockTime = r.uint32v()
 	t.StakePos = r.uint32v()
-	return t
 }
 
 // DecodeTidyTx parses a tidy transaction, requiring full consumption.
 func DecodeTidyTx(data []byte) (*TidyTx, error) {
-	r := &reader{data: data}
-	t := decodeTidyFrom(r)
+	r := reader{data: data}
+	t := &TidyTx{}
+	decodeTidyInto(t, &r)
 	if err := r.done(); err != nil {
 		return nil, err
 	}
-	return &t, nil
+	return t, nil
 }
 
 // InputBody carries the per-input proof data of an EBV transaction
@@ -197,32 +197,39 @@ func (b *InputBody) Invalidate() {
 // maxBodyBytes bounds a nested tidy encoding inside a body.
 const maxBodyBytes = 1 << 20
 
-func decodeBodyFrom(r *reader) InputBody {
-	var b InputBody
+func decodeBodyInto(b *InputBody, r *reader) {
 	if r.err != nil {
-		return b
+		return
 	}
-	br, n, err := merkle.DecodeBranch(r.data[r.off:])
+	var (
+		br  merkle.Branch
+		n   int
+		err error
+	)
+	if r.arena != nil {
+		br, n, err = merkle.DecodeBranchArena(r.data[r.off:], r.arena)
+	} else {
+		br, n, err = merkle.DecodeBranch(r.data[r.off:])
+	}
 	if err != nil {
 		r.fail("branch: %v", err)
-		return b
+		return
 	}
 	r.off += n
 	b.Branch = br
 	b.UnlockScript = r.varbytes(MaxScriptBytes)
 	prev := r.varbytes(maxBodyBytes)
 	if r.err != nil {
-		return b
+		return
 	}
-	pt, err := DecodeTidyTx(prev)
-	if err != nil {
+	pr := reader{data: prev, arena: r.arena}
+	decodeTidyInto(&b.PrevTx, &pr)
+	if err := pr.done(); err != nil {
 		r.fail("nested tidy tx: %v", err)
-		return b
+		return
 	}
-	b.PrevTx = *pt
 	b.Height = r.uvarint()
 	b.RelIndex = r.uint32v()
-	return b
 }
 
 // EBVTx is a complete EBV transaction: the tidy form plus one input
@@ -275,47 +282,62 @@ func (t *EBVTx) EncodedSize() int {
 	return n
 }
 
-// DecodeEBVTx parses a full EBV transaction.
+// DecodeEBVTx parses a full EBV transaction. The result owns all of
+// its memory (no aliasing of data).
 func DecodeEBVTx(data []byte) (*EBVTx, error) {
-	r := &reader{data: data}
-	t := decodeEBVTxFrom(r)
+	r := reader{data: data}
+	t := &EBVTx{}
+	decodeEBVTxInto(t, &r)
 	if err := r.done(); err != nil {
 		return nil, err
 	}
 	return t, nil
 }
 
-func decodeEBVTxFrom(r *reader) *EBVTx {
-	t := &EBVTx{}
+// DecodeEBVTxInto parses a full EBV transaction into t using
+// borrowed-bytes decoding: byte fields (unlocking scripts, locking
+// scripts) alias data, and slice storage comes from the arena. The
+// decoded transaction is valid only while data stays alive and
+// unmodified and a is not Reset; it must be treated as immutable —
+// mutating it through Invalidate-and-edit also mutates data. It
+// accepts exactly the inputs DecodeEBVTx accepts, with identical
+// errors and identical re-encoding.
+func DecodeEBVTxInto(t *EBVTx, data []byte, a *Arena) error {
+	*t = EBVTx{}
+	r := reader{data: data, arena: a}
+	decodeEBVTxInto(t, &r)
+	return r.done()
+}
+
+func decodeEBVTxInto(t *EBVTx, r *reader) {
 	tidy := r.varbytes(maxBodyBytes)
 	if r.err != nil {
-		return t
+		return
 	}
-	tt, err := DecodeTidyTx(tidy)
-	if err != nil {
+	tr := reader{data: tidy, arena: r.arena}
+	decodeTidyInto(&t.Tidy, &tr)
+	if err := tr.done(); err != nil {
 		r.fail("tidy: %v", err)
-		return t
+		return
 	}
-	t.Tidy = *tt
 	nb := r.uvarint()
 	if nb > MaxTxInputs {
 		r.fail("%d bodies exceeds limit", nb)
-		return t
+		return
 	}
-	t.Bodies = make([]InputBody, nb)
+	t.Bodies = r.allocBodies(int(nb))
 	for i := range t.Bodies {
 		body := r.varbytes(maxBodyBytes)
 		if r.err != nil {
-			return t
+			return
 		}
-		br := &reader{data: body}
-		t.Bodies[i] = decodeBodyFrom(br)
+		br := reader{data: body, arena: r.arena}
+		decodeBodyInto(&t.Bodies[i], &br)
 		if err := br.done(); err != nil {
 			r.fail("body %d: %v", i, err)
-			return t
+			return
 		}
 	}
-	return t
 }
 
 // SigHash computes the message signed by every input of an EBV

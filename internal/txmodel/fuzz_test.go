@@ -50,14 +50,32 @@ func FuzzDecodeEBVTx(f *testing.F) {
 	tx.SealInputHashes()
 	f.Add(tx.Encode(nil))
 	f.Add([]byte{1, 0, 0})
+	arena := &Arena{}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		decoded, err := DecodeEBVTx(data)
+
+		// The borrowed-bytes decoder must be observationally identical
+		// to the copying one on every input: same verdict, same error
+		// text, same re-encoding. The arena is reused across inputs so
+		// the fuzzer also exercises slab recycling.
+		arena.Reset()
+		var zc EBVTx
+		zerr := DecodeEBVTxInto(&zc, data, arena)
+		if (err == nil) != (zerr == nil) {
+			t.Fatalf("decode verdicts disagree: copy=%v zero-copy=%v", err, zerr)
+		}
 		if err != nil {
+			if err.Error() != zerr.Error() {
+				t.Fatalf("decode errors disagree: copy=%q zero-copy=%q", err, zerr)
+			}
 			return
 		}
 		re := decoded.Encode(nil)
 		if !bytes.Equal(re, data) {
 			t.Fatalf("accepted non-canonical encoding")
+		}
+		if zre := zc.Encode(nil); !bytes.Equal(zre, data) {
+			t.Fatalf("zero-copy re-encode differs from input: %x -> %x", data, zre)
 		}
 	})
 }

@@ -178,7 +178,8 @@ func TestBodyRoundTrip(t *testing.T) {
 		t.Fatalf("EncodedSize %d != len %d", b.EncodedSize(), len(enc))
 	}
 	r := &reader{data: enc}
-	back := decodeBodyFrom(r)
+	var back InputBody
+	decodeBodyInto(&back, r)
 	if err := r.done(); err != nil {
 		t.Fatal(err)
 	}

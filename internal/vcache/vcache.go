@@ -138,6 +138,17 @@ type Stats struct {
 	Size      int
 }
 
+// ResetStats zeroes the hit/miss/eviction counters without touching
+// the cached keys. Benchmarks use it to scope the counters to a
+// measurement window; without it, counters accumulated during a warm-up
+// replay would be misattributed to the window (the classic symptom:
+// evictions far exceeding the window's entire cache traffic).
+func (c *Cache) ResetStats() {
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+}
+
 // Stats snapshots the hit/miss/eviction counters and current size.
 func (c *Cache) Stats() Stats {
 	return Stats{

@@ -26,6 +26,30 @@ echo "== go test -race =="
 # sharded status database's two-phase commit and shallow snapshots.
 go test -race ./...
 
+echo "== allocation gate (warm ingest path) =="
+# The zero-alloc tests carry a !race build tag (race instrumentation
+# skews allocation accounting), so the -race pass above never sees
+# them — run them explicitly.
+go test -run 'TestWarmCacheValidateInputZeroAllocs|TestWarmDecodeZeroAllocs|TestWarmConnectAllocBudget' \
+	./internal/core/
+go test -run 'TestScratchBuffersSteadyStateZeroAllocs' ./internal/ingest/
+# -benchmem regression gate: the warm decode+connect cycle must stay
+# amortized under one allocation per input (allocs/op < inputs/block).
+bench_out=$(go test -run '^$' -bench 'BenchmarkWarmDecodeConnect$' -benchmem -benchtime 50x ./internal/core/)
+alloc_line=$(echo "$bench_out" | grep '^BenchmarkWarmDecodeConnect')
+allocs=$(echo "$alloc_line" | awk '{for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i - 1)}')
+inputs=$(echo "$alloc_line" | awk '{for (i = 2; i <= NF; i++) if ($i == "inputs/block") print $(i - 1)}')
+if [ -z "$allocs" ] || [ -z "$inputs" ]; then
+	echo "check.sh: could not parse BenchmarkWarmDecodeConnect output:" >&2
+	echo "$bench_out" >&2
+	exit 1
+fi
+if ! awk -v a="$allocs" -v n="$inputs" 'BEGIN { exit !(a < n) }'; then
+	echo "check.sh: warm decode+connect allocates $allocs objects for a $inputs-input block (>= 1 per input)" >&2
+	exit 1
+fi
+echo "warm decode+connect: $allocs allocs for a $inputs-input block"
+
 echo "== benchmark smoke (1 iteration) =="
 # One iteration of every internal benchmark so benchmark code cannot
 # rot; the repo-root bench_test.go experiments are too slow for a
@@ -189,5 +213,21 @@ if [ ! -f "$tmp/BENCH_shards.json" ]; then
 	exit 1
 fi
 echo "BENCH_shards.json written"
+
+echo "== ingest overhead bench smoke (with CPU profile) =="
+# Exercises every ablation arm (zero-copy, copy-decode, unpooled
+# scratch, per-vector writes) and the -cpuprofile plumbing in one run.
+"$tmp/bin/ebvbench" -exp ablation-overhead -quick -blocks 200 \
+	-datadir "$tmp/bench" -artifactdir "$tmp" \
+	-cpuprofile "$tmp/overhead.cpu.prof" >/dev/null 2>&1
+if [ ! -f "$tmp/BENCH_overhead.json" ]; then
+	echo "check.sh: ablation-overhead wrote no BENCH_overhead.json" >&2
+	exit 1
+fi
+if [ ! -s "$tmp/overhead.cpu.prof" ]; then
+	echo "check.sh: -cpuprofile wrote no profile" >&2
+	exit 1
+fi
+echo "BENCH_overhead.json and CPU profile written"
 
 echo "check.sh: all checks passed"
