@@ -26,9 +26,11 @@ import (
 	"syscall"
 	"time"
 
+	"ebv/internal/admission"
 	"ebv/internal/chainstore"
 	"ebv/internal/forkchoice"
 	"ebv/internal/hashx"
+	"ebv/internal/mempool"
 	"ebv/internal/node"
 	"ebv/internal/p2p"
 	"ebv/internal/statesync"
@@ -51,6 +53,15 @@ func main() {
 		forks     = flag.Bool("forkchoice", true, "accept competing branches and reorg to the heaviest (off: tip extensions only)")
 		maxReorg  = flag.Int("maxreorg", 0, "deepest reorg the fork-choice engine will execute (0 = default 128)")
 		sideBlks  = flag.Int("sideblocks", 0, "side-block/orphan bodies kept for fork choice (0 = default 256)")
+		txSubmit  = flag.Bool("txsubmit", true, "serve transaction submissions (tx/txack) through the admission service")
+		poolTxs   = flag.Int("mempooltxs", 0, "mempool transaction-count cap (0 = default 10000)")
+		poolBytes = flag.Int("mempoolbytes", 0, "mempool byte cap (0 = default 32 MiB)")
+		minFee    = flag.Float64("minfeerate", 0, "static eviction floor in fee-per-byte (0 = none)")
+		batchSize = flag.Int("batch", 0, "admission batch size in transactions (0 = default 64)")
+		batchWin  = flag.Duration("batchwindow", 0, "longest wait to fill an admission batch (0 = default 2ms)")
+		queueLen  = flag.Int("queue", 0, "admission intake queue depth (0 = default 1024)")
+		txRate    = flag.Float64("txrate", 0, "per-source sustained submission rate in tx/s (0 = unlimited)")
+		maxPeers  = flag.Int("maxpeers", 64, "most concurrent peer connections (gossip peers and tx submitters share the cap)")
 	)
 	flag.Parse()
 
@@ -65,6 +76,16 @@ func main() {
 		Dir: *dataDir, Optimize: true, StatusShards: *shards,
 		ParallelValidation: *workers, VerifyCacheSize: *vcache,
 		PipelineDepth: *depth,
+	}
+	if *txSubmit {
+		nodeCfg.Admission = &node.AdmissionConfig{
+			Pool: mempool.Config{MaxTxs: *poolTxs, MaxBytes: *poolBytes, MinFeeRate: *minFee},
+			Service: admission.Config{
+				BatchSize: *batchSize, BatchWindow: *batchWin,
+				QueueDepth: *queueLen, RatePerSource: *txRate,
+				Workers: *workers,
+			},
+		}
 	}
 	if *fastsync {
 		if len(peers) == 0 {
@@ -112,7 +133,9 @@ func main() {
 	// fast-sync source.
 	cfg := p2p.Config{
 		ListenAddr: *listen,
+		MaxPeers:   *maxPeers,
 		Snapshots:  statesync.NewServer(n.Chain, n.Status),
+		TxSubmit:   n.Admission,
 	}
 	if *forks {
 		// Reorg and eviction events always reach stderr — a chain switch

@@ -45,6 +45,11 @@ var (
 	ErrBadProof       = fmt.Errorf("%w: input proof inconsistent", ErrInvalidBlock)
 	ErrBadStakePos    = fmt.Errorf("%w: stake positions inconsistent", ErrInvalidBlock)
 	ErrOverflow       = fmt.Errorf("%w: value overflow", ErrInvalidBlock)
+	// ErrStandaloneCoinbase rejects a coinbase submitted on its own
+	// (mempool admission): coinbases exist only inside blocks. A typed
+	// sentinel so the admission service can map it to a stable wire
+	// code.
+	ErrStandaloneCoinbase = fmt.Errorf("%w: standalone coinbase", ErrInvalidBlock)
 
 	// ErrNoBlockOutputs is reported by DisconnectBlock when a fully
 	// spent vector must be recreated but no BlockOutputsFunc can supply

@@ -553,7 +553,7 @@ func (v *EBVValidator) checkStructure(b *blockmodel.EBVBlock) error {
 // database.
 func (v *EBVValidator) ValidateTx(tx *txmodel.EBVTx) error {
 	if tx.Tidy.IsCoinbase() {
-		return fmt.Errorf("%w: standalone coinbase", ErrInvalidBlock)
+		return ErrStandaloneCoinbase
 	}
 	if err := tx.Consistent(); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadProof, err)

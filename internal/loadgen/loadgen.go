@@ -1,0 +1,113 @@
+// Package loadgen builds spendable transaction corpora from a
+// generated EBV chain, for driving the admission service. The
+// workload derives every output's key from its coordinates
+// (workload.KeySeed(height, txIdx, outIdx)), so any holder of the
+// chain bytes can build valid signed spends without the generator's
+// state — which is exactly what a load generator on another machine
+// has.
+package loadgen
+
+import (
+	"fmt"
+
+	"ebv/internal/blockmodel"
+	"ebv/internal/chainstore"
+	"ebv/internal/proof"
+	"ebv/internal/script"
+	"ebv/internal/sig"
+	"ebv/internal/txmodel"
+	"ebv/internal/workload"
+)
+
+// outpoint names one created output by block-local position.
+type outpoint struct {
+	height uint64
+	pos    uint32
+}
+
+// candidate is one unspent output worth proving.
+type candidate struct {
+	height uint64
+	txIdx  uint32
+	outIdx uint32
+	pos    uint32
+}
+
+// Prepare scans chain for unspent outputs (mature, worth more than
+// fee), builds one fully proved and signed single-input spend per
+// output, and returns the encoded transactions. Spentness is
+// recovered from the chain itself — every input body names the
+// (height, position) it consumes. want bounds how many transactions
+// are built (0 = all); scheme must match the chain's.
+func Prepare(chain *chainstore.Store, scheme sig.Scheme, want int, fee uint64) ([][]byte, error) {
+	blocks := uint64(chain.Count())
+	if blocks == 0 {
+		return nil, fmt.Errorf("loadgen: empty chain")
+	}
+
+	// Pass 1: collect every spend and every created output. The spend
+	// set must be complete before filtering, since an output is often
+	// consumed blocks after it is created.
+	spent := make(map[outpoint]struct{})
+	var cands []candidate
+	for h := uint64(0); h < blocks; h++ {
+		raw, err := chain.BlockBytes(h)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: block %d: %w", h, err)
+		}
+		blk, err := blockmodel.DecodeEBVBlock(raw)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: block %d: %w", h, err)
+		}
+		for ti, tx := range blk.Txs {
+			for i := range tx.Bodies {
+				b := &tx.Bodies[i]
+				spent[outpoint{b.Height, b.AbsPosition()}] = struct{}{}
+			}
+			if tx.Tidy.IsCoinbase() && h+txmodel.CoinbaseMaturity >= blocks {
+				continue // immature at the next height
+			}
+			for oi, out := range tx.Tidy.Outputs {
+				if out.Value <= fee {
+					continue
+				}
+				cands = append(cands, candidate{h, uint32(ti), uint32(oi),
+					tx.Tidy.StakePos + uint32(oi)})
+			}
+		}
+	}
+
+	// Pass 2: prove and sign the survivors.
+	builder := proof.NewBuilder(chain, 64)
+	payee := scheme.KeyFromSeed([]byte("loadgen-payee"))
+	lock := script.StandardLock(payee)
+	var txs [][]byte
+	for _, c := range cands {
+		if want > 0 && len(txs) >= want {
+			break
+		}
+		if _, ok := spent[outpoint{c.height, c.pos}]; ok {
+			continue
+		}
+		body, err := builder.Prove(proof.Loc{Height: c.height, TxIndex: c.txIdx}, c.outIdx)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: prove (%d,%d,%d): %w", c.height, c.txIdx, c.outIdx, err)
+		}
+		tx := &txmodel.EBVTx{
+			Tidy: txmodel.TidyTx{Version: 1, Outputs: []txmodel.TxOut{{
+				Value:      body.PrevTx.Outputs[c.outIdx].Value - fee,
+				LockScript: lock,
+			}}},
+			Bodies: []txmodel.InputBody{body},
+		}
+		key := scheme.KeyFromSeed(workload.KeySeed(c.height, c.txIdx, c.outIdx))
+		unlock, err := script.StandardUnlock(key, tx.SigHash())
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: sign (%d,%d,%d): %w", c.height, c.txIdx, c.outIdx, err)
+		}
+		tx.Bodies[0].UnlockScript = unlock
+		tx.SealInputHashes()
+		txs = append(txs, tx.Encode(nil))
+	}
+	return txs, nil
+}

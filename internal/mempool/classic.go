@@ -24,7 +24,12 @@ type ClassicPool struct {
 	mu         sync.Mutex
 	entries    map[hashx.Hash]*txmodel.Tx
 	spent      map[txmodel.OutPoint]hashx.Hash
+	bytes      int // summed encoded sizes
 	readmitted int
+
+	// ids mirrors the entry map's keys for lock-free membership probes
+	// (see Pool.ids).
+	ids sync.Map // hashx.Hash -> struct{}
 }
 
 // NewClassic creates a classic pool admitting against the given
@@ -45,6 +50,21 @@ func (p *ClassicPool) Len() int {
 	return len(p.entries)
 }
 
+// Bytes returns the summed encoded size of pooled transactions.
+func (p *ClassicPool) Bytes() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bytes
+}
+
+// Contains reports whether id is pooled, without taking the pool lock.
+// It may lag a concurrent add or removal by one commit; the locked
+// duplicate check in Add stays authoritative.
+func (p *ClassicPool) Contains(id hashx.Hash) bool {
+	_, ok := p.ids.Load(id)
+	return ok
+}
+
 // Get returns a pooled transaction by id.
 func (p *ClassicPool) Get(id hashx.Hash) (*txmodel.Tx, bool) {
 	p.mu.Lock()
@@ -59,13 +79,11 @@ func (p *ClassicPool) Add(tx *txmodel.Tx) (hashx.Hash, error) {
 		return hashx.ZeroHash, err
 	}
 	id := tx.TxID()
+	size := tx.EncodedSize()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if _, ok := p.entries[id]; ok {
 		return id, ErrDuplicate
-	}
-	if len(p.entries) >= p.cfg.MaxTxs {
-		return hashx.ZeroHash, ErrPoolFull
 	}
 	for i := range tx.Inputs {
 		if other, ok := p.spent[tx.Inputs[i].PrevOut]; ok {
@@ -73,7 +91,12 @@ func (p *ClassicPool) Add(tx *txmodel.Tx) (hashx.Hash, error) {
 				ErrConflict, tx.Inputs[i].PrevOut, other.Short())
 		}
 	}
+	if len(p.entries) >= p.cfg.MaxTxs || p.bytes+size > p.cfg.MaxBytes {
+		return hashx.ZeroHash, ErrPoolFull
+	}
 	p.entries[id] = tx
+	p.ids.Store(id, struct{}{})
+	p.bytes += size
 	for i := range tx.Inputs {
 		p.spent[tx.Inputs[i].PrevOut] = id
 	}
@@ -82,6 +105,8 @@ func (p *ClassicPool) Add(tx *txmodel.Tx) (hashx.Hash, error) {
 
 func (p *ClassicPool) removeLocked(id hashx.Hash, tx *txmodel.Tx) {
 	delete(p.entries, id)
+	p.ids.Delete(id)
+	p.bytes -= tx.EncodedSize()
 	for i := range tx.Inputs {
 		if p.spent[tx.Inputs[i].PrevOut] == id {
 			delete(p.spent, tx.Inputs[i].PrevOut)

@@ -1,0 +1,248 @@
+package mempool
+
+import (
+	"errors"
+	"testing"
+
+	"ebv/internal/blockmodel"
+	"ebv/internal/txmodel"
+)
+
+// rateOf mirrors the pool's fee-rate computation for a signed tx.
+func rateOf(t *testing.T, tx *txmodel.EBVTx) float64 {
+	t.Helper()
+	inSum, _ := tx.InputSum()
+	outSum, _ := tx.OutputSum()
+	return float64(inSum-outSum) / float64(tx.EncodedSize())
+}
+
+// requireOrdered fails unless the rates are strictly increasing — the
+// fee assignments below are meant to dominate small size differences
+// between proofs, and this catches the fixture drifting.
+func requireOrdered(t *testing.T, rates ...float64) {
+	t.Helper()
+	for i := 1; i < len(rates); i++ {
+		if rates[i-1] >= rates[i] {
+			t.Fatalf("fixture fee rates not separable: %v", rates)
+		}
+	}
+}
+
+// TestFeeMarketEviction pins the eviction path: a full pool evicts its
+// cheapest entry to admit a better-paying one, the evictee's rate
+// becomes the floor, and later submissions at or under the floor are
+// refused with ErrBelowEvictionFloor even though the pool has room
+// for them again.
+func TestFeeMarketEviction(t *testing.T) {
+	e := newEnv(t, 250)
+	pool := New(e.val, Config{MaxTxs: 2})
+
+	low := e.spendCoinbase(t, 0, 2_000)
+	mid := e.spendCoinbase(t, 1, 3_000)
+	high := e.spendCoinbase(t, 2, 6_000)
+	requireOrdered(t, rateOf(t, low), rateOf(t, mid), rateOf(t, high))
+
+	lowID, err := pool.Add(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	midID, err := pool.Add(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	highID, err := pool.Add(high)
+	if err != nil {
+		t.Fatalf("better-paying tx must displace the cheapest, got %v", err)
+	}
+
+	if pool.Evictions() != 1 {
+		t.Fatalf("Evictions %d, want 1", pool.Evictions())
+	}
+	if pool.Contains(lowID) || !pool.Contains(midID) || !pool.Contains(highID) {
+		t.Fatal("eviction must remove exactly the cheapest entry")
+	}
+	if floor := pool.EvictionFloor(); floor < rateOf(t, low) {
+		t.Fatalf("floor %g must cover the evictee's rate %g", floor, rateOf(t, low))
+	}
+
+	// Room exists (MaxTxs 2, Len 2 → the next add would evict), but the
+	// floor shuts the door on anything paying like the evictee or worse.
+	cheap := e.spendCoinbase(t, 3, 100)
+	if rateOf(t, cheap) > pool.EvictionFloor() {
+		t.Fatalf("fixture: %g must sit under the floor %g", rateOf(t, cheap), pool.EvictionFloor())
+	}
+	if _, err := pool.Add(cheap); !errors.Is(err, ErrBelowEvictionFloor) {
+		t.Fatalf("want ErrBelowEvictionFloor, got %v", err)
+	}
+}
+
+// TestMaxBytesEviction pins the byte cap: with MaxBytes sized so
+// either transaction fits alone but not both, admitting the
+// better-paying one evicts the cheaper and the pool never exceeds
+// the cap.
+func TestMaxBytesEviction(t *testing.T) {
+	e := newEnv(t, 250)
+	a := e.spendCoinbase(t, 0, 2_000)
+	b := e.spendCoinbase(t, 1, 6_000)
+	requireOrdered(t, rateOf(t, a), rateOf(t, b))
+
+	cap := a.EncodedSize() + b.EncodedSize() - 1
+	pool := New(e.val, Config{MaxBytes: cap})
+
+	aID, err := pool.Add(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bID, err := pool.Add(b)
+	if err != nil {
+		t.Fatalf("byte-cap eviction must make room: %v", err)
+	}
+	if pool.Contains(aID) || !pool.Contains(bID) {
+		t.Fatal("byte cap must evict the cheaper entry")
+	}
+	if pool.Bytes() > cap {
+		t.Fatalf("pool holds %d bytes over the %d cap", pool.Bytes(), cap)
+	}
+	if pool.Evictions() != 1 {
+		t.Fatalf("Evictions %d, want 1", pool.Evictions())
+	}
+}
+
+// TestStaticMinFeeRate pins the configured floor: it applies from the
+// first Add, independent of any eviction.
+func TestStaticMinFeeRate(t *testing.T) {
+	e := newEnv(t, 250)
+	tx := e.spendCoinbase(t, 0, 1_000)
+	rate := rateOf(t, tx)
+
+	strict := New(e.val, Config{MinFeeRate: rate * 2})
+	if _, err := strict.Add(tx); !errors.Is(err, ErrBelowEvictionFloor) {
+		t.Fatalf("want ErrBelowEvictionFloor under MinFeeRate, got %v", err)
+	}
+
+	lax := New(e.val, Config{MinFeeRate: rate / 2})
+	if _, err := lax.Add(e.spendCoinbase(t, 0, 1_000)); err != nil {
+		t.Fatalf("rate above MinFeeRate must be admitted: %v", err)
+	}
+}
+
+// TestFloorResetsOnBlockConnected pins the floor's release valve:
+// once a connected block drains the pool below the slack threshold,
+// the floor falls back to MinFeeRate and previously refused fee
+// rates become admissible again.
+func TestFloorResetsOnBlockConnected(t *testing.T) {
+	e := newEnv(t, 250)
+	pool := New(e.val, Config{MaxTxs: 2})
+
+	low := e.spendCoinbase(t, 0, 2_000)
+	mid := e.spendCoinbase(t, 1, 3_000)
+	high := e.spendCoinbase(t, 2, 6_000)
+	requireOrdered(t, rateOf(t, low), rateOf(t, mid), rateOf(t, high))
+	for _, tx := range []*txmodel.EBVTx{low, mid, high} {
+		if _, err := pool.Add(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pool.EvictionFloor() == 0 {
+		t.Fatal("eviction must raise the floor")
+	}
+	retry := e.spendCoinbase(t, 0, 2_000)
+	if _, err := pool.Add(retry); !errors.Is(err, ErrBelowEvictionFloor) {
+		t.Fatalf("want ErrBelowEvictionFloor while the floor holds, got %v", err)
+	}
+
+	// A block confirming the pooled spenders drains the pool; the slack
+	// check resets the floor to the configured minimum (zero here).
+	blk := &blockmodel.EBVBlock{Txs: []*txmodel.EBVTx{{}, mid, high}}
+	if dropped := pool.BlockConnected(blk); dropped != 2 {
+		t.Fatalf("BlockConnected dropped %d, want 2", dropped)
+	}
+	if pool.EvictionFloor() != 0 {
+		t.Fatalf("floor %g must reset once the pool has slack", pool.EvictionFloor())
+	}
+	if _, err := pool.Add(retry); err != nil {
+		t.Fatalf("previously refused rate must be admissible after reset: %v", err)
+	}
+}
+
+// TestEvictedTxDoesNotResurrectAcrossReorg is the eviction × reorg
+// interaction gate: fill the pool until the fee market evicts a
+// transaction, then disconnect the tip. The evicted transaction must
+// NOT reappear (disconnect re-admits nothing), the tip-anchored
+// pooled transaction is dropped as a stale proof, deep-history
+// entries survive, and the evictee re-enters only by explicit
+// resubmission once the floor resets.
+func TestEvictedTxDoesNotResurrectAcrossReorg(t *testing.T) {
+	e := newEnv(t, 250)
+	pool := New(e.val, Config{MaxTxs: 3})
+
+	tip, ok := e.chain.TipHeight()
+	if !ok {
+		t.Fatal("empty chain")
+	}
+	doomed := e.spendBlockOutput(t, tip, 5_000) // proof anchored at the tip
+	low := e.spendCoinbase(t, 0, 1_000)
+	mid := e.spendCoinbase(t, 1, 3_000)
+	high := e.spendCoinbase(t, 2, 6_000)
+	if r := rateOf(t, low); r >= rateOf(t, mid) || r >= rateOf(t, doomed) || r >= rateOf(t, high) {
+		t.Fatal("fixture: low must be the strictly cheapest entry")
+	}
+
+	midID, err := pool.Add(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomedID, err := pool.Add(doomed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowID, err := pool.Add(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	highID, err := pool.Add(high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Evictions() != 1 || pool.Contains(lowID) {
+		t.Fatalf("fee market must evict the cheapest: evictions %d", pool.Evictions())
+	}
+
+	raw, err := e.chain.BlockBytes(tip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tipBlk, err := blockmodel.DecodeEBVBlock(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.BlockDisconnected(tipBlk)
+
+	if pool.Contains(lowID) {
+		t.Fatal("evicted transaction must not resurrect on disconnect")
+	}
+	if pool.Contains(doomedID) {
+		t.Fatal("tip-anchored transaction must drop as a stale proof")
+	}
+	if !pool.Contains(midID) || !pool.Contains(highID) {
+		t.Fatal("deep-history transactions must survive the reorg")
+	}
+	if pool.StaleProofDrops() < 1 {
+		t.Fatal("the stale drop must be counted")
+	}
+	if pool.Len() != 2 {
+		t.Fatalf("pool holds %d entries after disconnect, want 2", pool.Len())
+	}
+
+	// The disconnect left slack, so the floor is back at the minimum and
+	// an explicit resubmission — the only re-entry path — succeeds.
+	if floor := pool.EvictionFloor(); floor != 0 {
+		t.Fatalf("floor %g must reset after the disconnect drained the pool", floor)
+	}
+	if _, err := pool.Add(e.spendCoinbase(t, 0, 1_000)); err != nil {
+		t.Fatalf("explicit resubmission after reset: %v", err)
+	}
+	if !pool.Contains(lowID) {
+		t.Fatal("resubmitted transaction must be pooled under its old id")
+	}
+}

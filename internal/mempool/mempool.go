@@ -14,6 +14,7 @@
 package mempool
 
 import (
+	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
@@ -26,11 +27,21 @@ import (
 	"ebv/internal/txmodel"
 )
 
-// Errors returned by Add.
+// Errors returned by Add. Each is a stable sentinel so the admission
+// service can map a rejection to a one-byte wire code (see
+// internal/admission).
 var (
 	ErrDuplicate = errors.New("mempool: transaction already present")
 	ErrConflict  = errors.New("mempool: conflicts with a pooled transaction")
 	ErrPoolFull  = errors.New("mempool: pool is full")
+	// ErrBelowEvictionFloor rejects a transaction whose fee rate does
+	// not beat the eviction floor: the highest fee rate the pool has
+	// evicted since it last had slack. A full pool never accepts below
+	// what it just threw away — otherwise an attacker could churn the
+	// pool with a stream of equal-fee transactions, evicting honest
+	// ones for free (the DoS-resistant shape of Rubin's admission
+	// rules).
+	ErrBelowEvictionFloor = errors.New("mempool: fee rate below eviction floor")
 )
 
 // ErrStaleProof marks an EBV transaction from a disconnected block
@@ -45,11 +56,25 @@ var ErrStaleProof = errors.New("mempool: proof stale after reorg")
 type Config struct {
 	// MaxTxs caps the number of pooled transactions. Default 10000.
 	MaxTxs int
+	// MaxBytes caps the summed encoded size of pooled transactions —
+	// the cap that actually bounds admission memory under load, since
+	// proof-carrying EBV transactions vary widely in size. Default
+	// 32 MiB.
+	MaxBytes int
+	// MinFeeRate is the static eviction floor in fee-per-byte: a
+	// transaction at or below it is rejected with
+	// ErrBelowEvictionFloor even when the pool has room. The dynamic
+	// floor raised by fee-market evictions never resets below it.
+	// Default 0 (no static floor).
+	MinFeeRate float64
 }
 
 func (c Config) withDefaults() Config {
 	if c.MaxTxs <= 0 {
 		c.MaxTxs = 10_000
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 32 << 20
 	}
 	return c
 }
@@ -62,6 +87,40 @@ type entry struct {
 	size    int
 	feeRate float64 // fee per encoded byte
 	spends  []statusdb.Spend
+	heapIdx int // position in the fee-rate min-heap
+}
+
+// feeHeap is a min-heap over the pool's entries by fee rate (lowest
+// first, id tie-break for determinism): the eviction side of the fee
+// market. BuildTemplate keeps its own descending sort — it reads a
+// snapshot, while the heap must mutate in step with the entry map.
+type feeHeap []*entry
+
+func (h feeHeap) Len() int { return len(h) }
+func (h feeHeap) Less(i, j int) bool {
+	if h[i].feeRate != h[j].feeRate {
+		return h[i].feeRate < h[j].feeRate
+	}
+	return h[i].id.String() < h[j].id.String()
+}
+func (h feeHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *feeHeap) Push(x any) {
+	e := x.(*entry)
+	e.heapIdx = len(*h)
+	*h = append(*h, e)
+}
+func (h *feeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.heapIdx = -1
+	*h = old[:n-1]
+	return e
 }
 
 // Pool is the mempool. Safe for concurrent use.
@@ -72,17 +131,29 @@ type Pool struct {
 	mu         sync.Mutex
 	entries    map[hashx.Hash]*entry
 	spent      map[statusdb.Spend]hashx.Hash // output -> pooled spender
+	byFee      feeHeap
+	bytes      int     // summed encoded sizes of pooled transactions
+	floor      float64 // current eviction floor (>= cfg.MinFeeRate)
+	evictions  int
 	staleDrops int
+
+	// ids mirrors the entry map's keys for lock-free membership
+	// probes: the admission service's intake stage sheds resubmit
+	// floods without touching the pool lock. The locked check in
+	// addLocked stays authoritative.
+	ids sync.Map // hashx.Hash -> struct{}
 }
 
 // New creates a pool admitting against the given validator's chain
 // state.
 func New(validator *core.EBVValidator, cfg Config) *Pool {
+	cfg = cfg.withDefaults()
 	return &Pool{
-		cfg:       cfg.withDefaults(),
+		cfg:       cfg,
 		validator: validator,
 		entries:   make(map[hashx.Hash]*entry),
 		spent:     make(map[statusdb.Spend]hashx.Hash),
+		floor:     cfg.MinFeeRate,
 	}
 }
 
@@ -93,6 +164,37 @@ func (p *Pool) Len() int {
 	return len(p.entries)
 }
 
+// Bytes returns the summed encoded size of pooled transactions.
+func (p *Pool) Bytes() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bytes
+}
+
+// Contains reports whether id is pooled, without taking the pool
+// lock. It may lag a concurrent add or removal by one commit — callers
+// needing an authoritative answer must go through Add/CommitBatch,
+// whose locked duplicate check decides.
+func (p *Pool) Contains(id hashx.Hash) bool {
+	_, ok := p.ids.Load(id)
+	return ok
+}
+
+// Evictions returns how many transactions have been evicted by the
+// fee market since the pool was created.
+func (p *Pool) Evictions() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.evictions
+}
+
+// EvictionFloor returns the current fee-rate floor (0 when inactive).
+func (p *Pool) EvictionFloor() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.floor
+}
+
 // Add validates tx against the chain state and admits it. The
 // transaction id (tidy leaf hash with StakePos zero) is returned.
 func (p *Pool) Add(tx *txmodel.EBVTx) (hashx.Hash, error) {
@@ -101,11 +203,43 @@ func (p *Pool) Add(tx *txmodel.EBVTx) (hashx.Hash, error) {
 	if err := p.validator.ValidateTx(tx); err != nil {
 		return hashx.ZeroHash, err
 	}
-	// Pool identity is the pre-packaging form: the miner owns the
-	// stake position, so it is zeroed here (a mutation, so any
-	// memoized leaf hash is dropped before the id is computed).
-	tx.Tidy.StakePos = 0
-	tx.Tidy.Invalidate()
+	e := newEntry(tx)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.addLocked(e)
+}
+
+// CommitBatch admits transactions already validated by the admission
+// pipeline (core.ValidateTxsBatch), in order, under one lock
+// acquisition. Each slot of the returned slices answers txs[i] exactly
+// as a sequential Add would have after the same prefix: the duplicate,
+// conflict, and capacity/eviction checks share addLocked with Add, so
+// the batched front end and one-at-a-time admission produce identical
+// verdicts for the same stream.
+func (p *Pool) CommitBatch(txs []*txmodel.EBVTx) ([]hashx.Hash, []error) {
+	entries := make([]*entry, len(txs))
+	for i, tx := range txs {
+		entries[i] = newEntry(tx) // per-tx hashing stays outside the lock
+	}
+	ids := make([]hashx.Hash, len(txs))
+	errs := make([]error, len(txs))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, e := range entries {
+		ids[i], errs[i] = p.addLocked(e)
+	}
+	return ids, errs
+}
+
+// newEntry computes the pool form of a validated transaction. Pool
+// identity is the pre-packaging form: the miner owns the stake
+// position, so it is zeroed here (a mutation, so any memoized leaf
+// hash is dropped before the id is computed).
+func newEntry(tx *txmodel.EBVTx) *entry {
+	if tx.Tidy.StakePos != 0 {
+		tx.Tidy.StakePos = 0
+		tx.Tidy.Invalidate()
+	}
 	inSum, _ := tx.InputSum()
 	outSum, _ := tx.OutputSum()
 	fee := inSum - outSum
@@ -116,6 +250,7 @@ func (p *Pool) Add(tx *txmodel.EBVTx) (hashx.Hash, error) {
 		fee:     fee,
 		size:    size,
 		feeRate: float64(fee) / float64(size),
+		heapIdx: -1,
 	}
 	for i := range tx.Bodies {
 		e.spends = append(e.spends, statusdb.Spend{
@@ -123,14 +258,15 @@ func (p *Pool) Add(tx *txmodel.EBVTx) (hashx.Hash, error) {
 			Pos:    tx.Bodies[i].AbsPosition(),
 		})
 	}
+	return e
+}
 
-	p.mu.Lock()
-	defer p.mu.Unlock()
+// addLocked runs the pool-side admission checks and inserts e. Check
+// order: duplicate, conflict, then capacity — a conflicting
+// transaction must never trigger evictions on its way to rejection.
+func (p *Pool) addLocked(e *entry) (hashx.Hash, error) {
 	if _, ok := p.entries[e.id]; ok {
 		return e.id, ErrDuplicate
-	}
-	if len(p.entries) >= p.cfg.MaxTxs {
-		return hashx.ZeroHash, ErrPoolFull
 	}
 	for _, sp := range e.spends {
 		if other, ok := p.spent[sp]; ok {
@@ -138,11 +274,72 @@ func (p *Pool) Add(tx *txmodel.EBVTx) (hashx.Hash, error) {
 				ErrConflict, sp.Height, sp.Pos, other.Short())
 		}
 	}
+	if err := p.makeRoomLocked(e); err != nil {
+		return hashx.ZeroHash, err
+	}
 	p.entries[e.id] = e
+	p.ids.Store(e.id, struct{}{})
+	heap.Push(&p.byFee, e)
+	p.bytes += e.size
 	for _, sp := range e.spends {
 		p.spent[sp] = e.id
 	}
 	return e.id, nil
+}
+
+// makeRoomLocked enforces both capacity caps, evicting the
+// lowest-fee-rate entries when e pays enough to displace them. Every
+// eviction raises the floor to the evictee's fee rate; once raised,
+// the floor rejects everything at or below it — even into free space —
+// until block activity gives the pool slack again
+// (maybeResetFloorLocked).
+func (p *Pool) makeRoomLocked(e *entry) error {
+	if p.floor > 0 && e.feeRate <= p.floor {
+		return fmt.Errorf("%w: %.6g <= %.6g", ErrBelowEvictionFloor, e.feeRate, p.floor)
+	}
+	for len(p.entries)+1 > p.cfg.MaxTxs || p.bytes+e.size > p.cfg.MaxBytes {
+		if len(p.byFee) == 0 {
+			// A single oversized transaction can exceed MaxBytes on its
+			// own; nothing to evict.
+			return ErrPoolFull
+		}
+		lowest := p.byFee[0]
+		if lowest.feeRate >= e.feeRate {
+			// Not worth evicting an equal-or-better payer.
+			return ErrPoolFull
+		}
+		heap.Pop(&p.byFee)
+		p.dropLocked(lowest)
+		p.evictions++
+		if lowest.feeRate > p.floor {
+			p.floor = lowest.feeRate
+		}
+	}
+	return nil
+}
+
+// dropLocked removes an entry already popped from (or absent from) the
+// fee heap: the map, the spend claims, the byte count, the id mirror.
+func (p *Pool) dropLocked(e *entry) {
+	delete(p.entries, e.id)
+	p.ids.Delete(e.id)
+	p.bytes -= e.size
+	for _, sp := range e.spends {
+		if p.spent[sp] == e.id {
+			delete(p.spent, sp)
+		}
+	}
+}
+
+// maybeResetFloorLocked relaxes the eviction floor once block activity
+// (connect, disconnect, revalidation) has given the pool real slack —
+// both caps under 7/8 utilization. Evictions themselves never reset
+// it: a pool hovering at capacity must keep rejecting below what it
+// evicted.
+func (p *Pool) maybeResetFloorLocked() {
+	if len(p.entries) < p.cfg.MaxTxs-p.cfg.MaxTxs/8 && p.bytes < p.cfg.MaxBytes-p.cfg.MaxBytes/8 {
+		p.floor = p.cfg.MinFeeRate
+	}
 }
 
 // Get returns a pooled transaction by id.
@@ -156,14 +353,13 @@ func (p *Pool) Get(id hashx.Hash) (*txmodel.EBVTx, bool) {
 	return e.tx, true
 }
 
-// removeLocked drops an entry and its spend claims.
+// removeLocked drops an entry still present in the fee heap (block
+// eviction, stale-proof drops, revalidation failures).
 func (p *Pool) removeLocked(e *entry) {
-	delete(p.entries, e.id)
-	for _, sp := range e.spends {
-		if p.spent[sp] == e.id {
-			delete(p.spent, sp)
-		}
+	if e.heapIdx >= 0 {
+		heap.Remove(&p.byFee, e.heapIdx)
 	}
+	p.dropLocked(e)
 }
 
 // BuildTemplate selects transactions for the next block: highest fee
@@ -235,6 +431,7 @@ func (p *Pool) BlockConnected(b *blockmodel.EBVBlock) int {
 			}
 		}
 	}
+	p.maybeResetFloorLocked()
 	return dropped
 }
 
@@ -264,6 +461,7 @@ func (p *Pool) BlockDisconnected(b *blockmodel.EBVBlock) int {
 			}
 		}
 	}
+	p.maybeResetFloorLocked()
 	return stale
 }
 
@@ -296,6 +494,11 @@ func (p *Pool) Revalidate() int {
 			}
 			p.mu.Unlock()
 		}
+	}
+	if evicted > 0 {
+		p.mu.Lock()
+		p.maybeResetFloorLocked()
+		p.mu.Unlock()
 	}
 	return evicted
 }

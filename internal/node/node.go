@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"ebv/internal/admission"
 	"ebv/internal/blockmodel"
 	"ebv/internal/chainstore"
 	"ebv/internal/core"
@@ -21,6 +22,7 @@ import (
 	"ebv/internal/hashx"
 	"ebv/internal/ingest"
 	"ebv/internal/kvstore"
+	"ebv/internal/mempool"
 	"ebv/internal/pipeline"
 	"ebv/internal/script"
 	"ebv/internal/sig"
@@ -88,6 +90,20 @@ type Config struct {
 	// the blocks between the snapshot's base height and the source tip
 	// run through the validation pipeline before NewEBVNode returns.
 	CatchUpSource *chainstore.Store
+	// Admission, when non-nil, attaches a mempool and the concurrent
+	// transaction-admission front end (internal/admission) to the node:
+	// Pool and Admission are populated, connected blocks evict included
+	// and conflicting transactions, and reorg disconnects run the
+	// pool's stale-proof (EBV) or re-admission (baseline) policy.
+	Admission *AdmissionConfig
+}
+
+// AdmissionConfig couples the mempool bounds (count cap, byte cap,
+// static fee floor) with the admission service knobs (batch size and
+// window, queue depth, per-source rate limits).
+type AdmissionConfig struct {
+	Pool    mempool.Config
+	Service admission.Config
 }
 
 func (c Config) scheme() sig.Scheme {
@@ -105,7 +121,10 @@ type BitcoinNode struct {
 	// Forks, when set via EnableForkChoice, routes competing-branch
 	// blocks through the reorg engine.
 	Forks *forkchoice.Engine
-	db    *kvstore.DB
+	// Pool and Admission are set when Config.Admission is non-nil.
+	Pool      *mempool.ClassicPool
+	Admission *admission.Service
+	db        *kvstore.DB
 }
 
 // NewBitcoinNode creates or reopens a baseline node under cfg.Dir.
@@ -134,6 +153,10 @@ func NewBitcoinNode(cfg Config) (*BitcoinNode, error) {
 	}
 	n := &BitcoinNode{Chain: chain, UTXO: set, db: db}
 	n.Validator = core.NewBitcoinValidator(set, script.NewEngine(cfg.scheme()), chain)
+	if cfg.Admission != nil {
+		n.Pool = mempool.NewClassic(n.Validator, cfg.Admission.Pool)
+		n.Admission = admission.New(&admission.ClassicBackend{Pool: n.Pool}, cfg.Admission.Service)
+	}
 	return n, nil
 }
 
@@ -171,6 +194,9 @@ func (n *BitcoinNode) submit(b *blockmodel.ClassicBlock, raw []byte) (*core.Brea
 		return bd, err
 	}
 	bd.Other += time.Since(w)
+	if n.Pool != nil {
+		n.Pool.BlockConnected(b)
+	}
 	return bd, nil
 }
 
@@ -211,6 +237,9 @@ func (n *BitcoinNode) DisconnectTip() error {
 	if err := n.Chain.Truncate(int(tip)); err != nil {
 		return err
 	}
+	if n.Pool != nil {
+		n.Pool.BlockDisconnected(blk)
+	}
 	return n.db.Delete(undoKey(tip))
 }
 
@@ -225,8 +254,12 @@ func (n *BitcoinNode) SetReadLatency(d time.Duration) { n.db.SetReadLatency(d) }
 // (memtable + block cache + table metadata).
 func (n *BitcoinNode) StatusMemUsage() int64 { return int64(n.db.MemUsage()) }
 
-// Close flushes and closes the node's stores.
+// Close flushes and closes the node's stores, draining the admission
+// service first so no batch commits into a closed node.
 func (n *BitcoinNode) Close() error {
+	if n.Admission != nil {
+		n.Admission.Close()
+	}
 	err1 := n.db.Close()
 	err2 := n.Chain.Close()
 	if err1 != nil {
@@ -248,7 +281,10 @@ type EBVNode struct {
 	CatchUpResult *statesync.CatchUpResult
 	// Forks, when set via EnableForkChoice, routes competing-branch
 	// blocks through the reorg engine.
-	Forks       *forkchoice.Engine
+	Forks *forkchoice.Engine
+	// Pool and Admission are set when Config.Admission is non-nil.
+	Pool        *mempool.Pool
+	Admission   *admission.Service
 	statusPth   string
 	pipeDepth   int
 	pipeWorkers int
@@ -345,6 +381,10 @@ func NewEBVNode(cfg Config) (*EBVNode, error) {
 		counts[key] = blk.TotalOutputs()
 		return counts[key]
 	})
+	if cfg.Admission != nil {
+		n.Pool = mempool.New(n.Validator, cfg.Admission.Pool)
+		n.Admission = admission.New(&admission.EBVBackend{Pool: n.Pool, Validator: n.Validator}, cfg.Admission.Service)
+	}
 	return n, nil
 }
 
@@ -367,7 +407,15 @@ func (n *EBVNode) DisconnectTip() error {
 	if err := n.Validator.DisconnectBlock(blk); err != nil {
 		return err
 	}
-	return n.Chain.Truncate(int(tip))
+	if err := n.Chain.Truncate(int(tip)); err != nil {
+		return err
+	}
+	if n.Pool != nil {
+		// EBV reorg policy: proofs anchored in the lost branch go stale
+		// (ErrStaleProof semantics), nothing is re-admitted.
+		n.Pool.BlockDisconnected(blk)
+	}
+	return nil
 }
 
 // SubmitBlock validates and stores one block.
@@ -407,6 +455,11 @@ func (n *EBVNode) submit(b *blockmodel.EBVBlock, raw []byte, s *ingest.Scratch) 
 		return bd, err
 	}
 	bd.Other += time.Since(w)
+	if n.Pool != nil {
+		// Evict included and conflicting transactions while b is still
+		// alive (it may alias a scratch arena owned by the caller).
+		n.Pool.BlockConnected(b)
+	}
 	return bd, nil
 }
 
@@ -415,8 +468,12 @@ func (n *EBVNode) StatusMemUsage() int64 { return n.Status.MemUsage() }
 
 // Close snapshots the bit-vector set next to the chain (atomically,
 // with a trailing digest — see statusdb.SaveFile) and closes the
-// node's stores.
+// node's stores. The admission service is drained first so no batch
+// commits into a closing node.
 func (n *EBVNode) Close() error {
+	if n.Admission != nil {
+		n.Admission.Close()
+	}
 	saveErr := n.Status.SaveFile(n.statusPth)
 	chainErr := n.Chain.Close()
 	if saveErr != nil {

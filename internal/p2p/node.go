@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ebv/internal/admission"
 	"ebv/internal/blockmodel"
 	"ebv/internal/chainstore"
 	"ebv/internal/forkchoice"
@@ -61,6 +62,11 @@ type Config struct {
 	// the peer — serves getheaders/getdata, and advertises
 	// wire.FeatureForkChoice plus cumulative tip work in the handshake.
 	Forks *forkchoice.Engine
+	// TxSubmit, if set, accepts transaction submissions (kind 12) from
+	// peers, runs them through the admission service, answers each with
+	// a txack verdict (kind 13) echoing the request id, and advertises
+	// wire.FeatureTxSubmit.
+	TxSubmit *admission.Service
 }
 
 // maxHeadersServed caps one headers response (2000 × 96 bytes stays
@@ -135,6 +141,9 @@ func (n *Node) features() byte {
 	}
 	if n.cfg.Forks != nil {
 		f |= wire.FeatureForkChoice
+	}
+	if n.cfg.TxSubmit != nil {
+		f |= wire.FeatureTxSubmit
 	}
 	return f
 }
@@ -496,9 +505,29 @@ func (n *Node) handleMessage(p *peer, m *wire.Message) error {
 		}
 		return p.send(&wire.Message{Kind: wire.Chunk, Height: m.Height, Payload: cb})
 
-	case wire.Manifest, wire.Chunk:
+	case wire.Tx:
+		// Transaction submission. The intake stage runs here on the
+		// reader goroutine — parallel across connections, lock-free —
+		// and the verdict callback fires either synchronously (intake
+		// rejection) or from the admission collector after the batch
+		// commits. p.send serializes on the peer's write lock, bounded
+		// by WriteTimeout, so a stalled submitter cannot wedge the
+		// collector for longer than one write deadline.
+		reqid := m.Height
+		if n.cfg.TxSubmit == nil {
+			// Not serving admission (the peer ignored our feature bits):
+			// answer rather than leave the submitter waiting.
+			return p.send(&wire.Message{Kind: wire.TxAck, Height: reqid, Code: admission.CodeClosed})
+		}
+		n.cfg.TxSubmit.SubmitAsync(p.id, m.Payload, func(r admission.Result) {
+			_ = p.send(&wire.Message{Kind: wire.TxAck, Height: reqid, Code: r.Code, Hash: r.ID})
+		})
+		return nil
+
+	case wire.Manifest, wire.Chunk, wire.TxAck:
 		// Responses to requests this gossip loop never makes (the
-		// statesync client runs its own connection). Harmless; ignore.
+		// statesync client and the load generator run their own
+		// connections). Harmless; ignore.
 		return nil
 
 	case wire.Hello:

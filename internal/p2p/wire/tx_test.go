@@ -1,0 +1,68 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"ebv/internal/hashx"
+)
+
+// TestTxSubmitRoundTrip covers the submission pair: Tx carries the
+// request id (in Height) and the raw transaction, TxAck echoes the id
+// with a verdict code and the transaction hash.
+func TestTxSubmitRoundTrip(t *testing.T) {
+	hash := hashx.Sum([]byte("txid"))
+	cases := []*Message{
+		{Kind: Tx, Height: 7, Payload: []byte("raw tx bytes")},
+		{Kind: TxAck, Height: 7, Code: 0, Hash: hash},
+		{Kind: TxAck, Height: 1<<40 + 3, Code: 5, Hash: hash},
+		{Kind: TxAck, Height: 0, Code: 255}, // zero hash is legal (undecodable tx)
+		{Kind: Hello, Height: 42, Features: FeatureTxSubmit},
+	}
+	for _, in := range cases {
+		out := roundTrip(t, in)
+		if out.Kind != in.Kind || out.Height != in.Height ||
+			out.Code != in.Code || out.Hash != in.Hash ||
+			out.Features != in.Features {
+			t.Fatalf("kind %d: round trip mismatch: %+v != %+v", in.Kind, out, in)
+		}
+		if !bytes.Equal(out.Payload, in.Payload) {
+			t.Fatalf("kind %d: payload mismatch", in.Kind)
+		}
+	}
+}
+
+// encodeLen renders the frame's varint body-length field.
+func encodeLen(n int) []byte {
+	return binary.AppendUvarint(nil, uint64(n))
+}
+
+// TestTxRejectsEmptyPayload pins the framing rule: a Tx frame with a
+// request id but no transaction bytes is malformed, not an empty
+// submission.
+func TestTxRejectsEmptyPayload(t *testing.T) {
+	body := binary.AppendUvarint(nil, 7) // reqid only
+	frame := append(append([]byte{Tx}, encodeLen(len(body))...), body...)
+	if _, err := Read(bufio.NewReader(bytes.NewReader(frame))); err == nil {
+		t.Fatal("empty Tx payload must be rejected")
+	}
+}
+
+// TestTxAckRejectsBadLength pins the strict TxAck shape: reqid + one
+// code byte + a full hash, nothing shorter or longer.
+func TestTxAckRejectsBadLength(t *testing.T) {
+	reqid := binary.AppendUvarint(nil, 7)
+	for _, body := range [][]byte{
+		reqid,            // no code, no hash
+		append(reqid, 0), // code but no hash
+		append(reqid, make([]byte, hashx.Size)...),   // hash but no code
+		append(reqid, make([]byte, hashx.Size+2)...), // one byte too long
+	} {
+		frame := append(append([]byte{TxAck}, encodeLen(len(body))...), body...)
+		if _, err := Read(bufio.NewReader(bytes.NewReader(frame))); err == nil {
+			t.Fatalf("truncated TxAck (%d body bytes) must be rejected", len(body))
+		}
+	}
+}

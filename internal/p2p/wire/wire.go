@@ -15,7 +15,9 @@
 // Kinds 1–4 are the original gossip protocol; kinds 5–8 carry the
 // statesync snapshot exchange; kinds 9–11 carry the fork-choice
 // headers exchange (locator-based getheaders/headers plus getdata for
-// block bodies by hash). Hello frames additionally carry an optional
+// block bodies by hash); kinds 12–13 carry transaction submission
+// (tx with a request id, answered by a txack verdict carrying a
+// one-byte admission code). Hello frames additionally carry an optional
 // trailing feature byte (see Features) so capable peers can discover
 // each other. The trailer is written only when at least one feature is
 // advertised, so a node advertising none emits exactly the legacy
@@ -51,6 +53,8 @@ const (
 	GetHeaders
 	Headers
 	GetData
+	Tx
+	TxAck
 )
 
 // MaxPayload bounds one message body (a block plus its proofs, or one
@@ -80,6 +84,10 @@ const (
 	// competing-branch blocks, and appends its cumulative tip work to
 	// its hello.
 	FeatureForkChoice byte = 1 << 1
+	// FeatureTxSubmit marks a peer that runs the transaction-admission
+	// service: it accepts tx submissions (kind 12) and answers each
+	// with a txack verdict (kind 13).
+	FeatureTxSubmit byte = 1 << 2
 )
 
 // ErrUnknownKind reports a frame whose kind byte this version does not
@@ -95,9 +103,10 @@ type Message struct {
 	Count    uint64 // getblocks: number of blocks
 	Hash     hashx.Hash
 	Features byte         // hello: feature bits
+	Code     byte         // txack: admission reject code (0 = admitted)
 	TipWork  []byte       // hello (FeatureForkChoice): cumulative tip work, big-endian
 	Hashes   []hashx.Hash // getheaders: block locator; getdata: wanted block hashes
-	Payload  []byte       // block: serialized block; headers: concatenated fixed-width headers; manifest/chunk: snapshot bytes
+	Payload  []byte       // block: serialized block; headers: concatenated fixed-width headers; manifest/chunk: snapshot bytes; tx: serialized transaction
 }
 
 // Write frames and writes m. Bodies larger than MaxPayload are
@@ -158,6 +167,15 @@ func Write(w *bufio.Writer, m *Message) error {
 		// The payload is a run of fixed-width headers; the header width
 		// is the block model's concern, not the codec's.
 		body = m.Payload
+	case Tx:
+		// Height carries the submitter's request id, echoed by the ack
+		// so verdicts can be matched to pipelined submissions.
+		body = binary.AppendUvarint(body, m.Height)
+		body = append(body, m.Payload...)
+	case TxAck:
+		body = binary.AppendUvarint(body, m.Height)
+		body = append(body, m.Code)
+		body = append(body, m.Hash[:]...)
 	default:
 		return fmt.Errorf("wire: cannot encode message kind %d", m.Kind)
 	}
@@ -277,6 +295,21 @@ func Read(r *bufio.Reader) (*Message, error) {
 		}
 	case Headers:
 		m.Payload = body
+	case Tx:
+		h, n := varint.Uvarint(body)
+		if n <= 0 || n == len(body) {
+			return nil, fmt.Errorf("wire: malformed tx message")
+		}
+		m.Height = h
+		m.Payload = body[n:]
+	case TxAck:
+		h, n := varint.Uvarint(body)
+		if n <= 0 || len(body) != n+1+hashx.Size {
+			return nil, fmt.Errorf("wire: malformed txack")
+		}
+		m.Height = h
+		m.Code = body[n]
+		copy(m.Hash[:], body[n+1:])
 	default:
 		return m, ErrUnknownKind
 	}
