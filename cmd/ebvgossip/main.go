@@ -22,18 +22,24 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
 
 	"ebv/internal/admission"
+	"ebv/internal/blockmodel"
 	"ebv/internal/chainstore"
 	"ebv/internal/forkchoice"
 	"ebv/internal/hashx"
 	"ebv/internal/mempool"
 	"ebv/internal/node"
 	"ebv/internal/p2p"
+	"ebv/internal/p2p/wire"
+	"ebv/internal/script"
+	"ebv/internal/sig"
 	"ebv/internal/statesync"
+	"ebv/internal/txmodel"
 )
 
 func main() {
@@ -62,6 +68,9 @@ func main() {
 		queueLen  = flag.Int("queue", 0, "admission intake queue depth (0 = default 1024)")
 		txRate    = flag.Float64("txrate", 0, "per-source sustained submission rate in tx/s (0 = unlimited)")
 		maxPeers  = flag.Int("maxpeers", 64, "most concurrent peer connections (gossip peers and tx submitters share the cap)")
+		compact   = flag.Bool("compact", true, "announce new blocks to capable peers as short-id compact blocks (kinds 14-16); needs -txsubmit for the mempool index")
+		relayTO   = flag.Duration("relaytimeout", 0, "longest wait for missing compact-block transactions before falling back to a full fetch (0 = default 5s)")
+		mineEvery = flag.Duration("mine", 0, "poll the mempool at this interval and mine pending transactions into a block (0 = off; needs -txsubmit)")
 	)
 	flag.Parse()
 
@@ -137,6 +146,14 @@ func main() {
 		Snapshots:  statesync.NewServer(n.Chain, n.Status),
 		TxSubmit:   n.Admission,
 	}
+	if *compact && n.Pool != nil {
+		// Compact relay needs the mempool's leaf-hash index to
+		// reconstruct announced blocks from already-admitted
+		// transactions; without -txsubmit there is no pool and the
+		// node stays on the legacy full-block protocol.
+		cfg.Relay = n.Pool
+		cfg.RelayTimeout = *relayTO
+	}
 	if *forks {
 		// Reorg and eviction events always reach stderr — a chain switch
 		// is operationally significant even under -quiet.
@@ -178,10 +195,76 @@ func main() {
 		}
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	if *mineEvery > 0 {
+		if n.Pool == nil {
+			fail(fmt.Errorf("-mine needs -txsubmit for a mempool to mine from"))
+		}
+		go mineLoop(n, gn, *mineEvery)
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	<-sigc
 	fmt.Fprintln(os.Stderr, "shutting down")
+	printTraffic(gn)
+}
+
+// mineLoop polls the mempool and, whenever transactions are pending,
+// packages them into the next block and submits it through the gossip
+// node — which announces it to peers (compact short ids to capable
+// ones). The coinbase pays a fixed seed-derived key; chains generated
+// by chaingen use the same SimSig scheme, matching ebvload.
+func mineLoop(n *node.EBVNode, gn *p2p.Node, every time.Duration) {
+	payee := sig.SimSig{}.KeyFromSeed([]byte("ebvgossip-miner"))
+	for range time.Tick(every) {
+		txs, fees := n.Pool.BuildTemplate(0)
+		if len(txs) == 0 {
+			continue
+		}
+		tip, ok := n.Chain.TipHeight()
+		if !ok {
+			continue // nothing to build on yet
+		}
+		height := tip + 1
+		coinbase := &txmodel.EBVTx{Tidy: txmodel.TidyTx{
+			Outputs: []txmodel.TxOut{{
+				Value:      blockmodel.Subsidy(height) + fees,
+				LockScript: script.StandardLock(payee),
+			}},
+			LockTime: uint32(height),
+		}}
+		blk, err := blockmodel.AssembleEBV(n.Chain.TipHash(), height, 0,
+			append([]*txmodel.EBVTx{coinbase}, txs...))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mine: assemble at %d: %v\n", height, err)
+			continue
+		}
+		if err := gn.SubmitLocal(blk.Encode(nil)); err != nil {
+			fmt.Fprintf(os.Stderr, "mine: submit at %d: %v\n", height, err)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "mined block %d (%d txs)\n", height, len(txs))
+	}
+}
+
+// printTraffic dumps the per-kind wire counters and, when compact
+// relay was active, the relay outcome counters.
+func printTraffic(gn *p2p.Node) {
+	stats := gn.KindStats()
+	kinds := make([]int, 0, len(stats))
+	for k := range stats {
+		kinds = append(kinds, int(k))
+	}
+	sort.Ints(kinds)
+	for _, k := range kinds {
+		s := stats[byte(k)]
+		fmt.Fprintf(os.Stderr, "  %-12s in %6d msgs %10d B   out %6d msgs %10d B\n",
+			wire.KindName(byte(k)), s.MsgsIn, s.BytesIn, s.MsgsOut, s.BytesOut)
+	}
+	if rs := gn.RelayStats(); rs.CompactSent+rs.CompactReceived > 0 {
+		fmt.Fprintf(os.Stderr, "  compact relay: sent %d received %d reconstructed %d txns-requested %d fallbacks %d\n",
+			rs.CompactSent, rs.CompactReceived, rs.Reconstructed, rs.TxnsRequested, rs.Fallbacks)
+	}
 }
 
 func fail(err error) {

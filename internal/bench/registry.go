@@ -37,6 +37,7 @@ func Experiments() []Experiment {
 		{"ablation-shards", "Status-database shard count: commit, probe, and snapshot-export scaling", (*Env).AblationShards},
 		{"ablation-overhead", "Warm-path ingest overhead: decode copies, scratch pooling, batched status writes", (*Env).AblationOverhead},
 		{"ablation-admission", "Tx admission: batched verification vs one-at-a-time across batch × workers", (*Env).AblationAdmission},
+		{"ablation-relay", "Compact block relay vs full-block gossip across mempool overlap", (*Env).AblationRelay},
 		{"related-proofs", "Proof size/churn: EBV vs accumulator designs", (*Env).RelatedProofs},
 		{"net-ibd", "Networked IBD over the gossip protocol", (*Env).NetIBD},
 	}

@@ -137,11 +137,14 @@ type Pool struct {
 	evictions  int
 	staleDrops int
 
-	// ids mirrors the entry map's keys for lock-free membership
-	// probes: the admission service's intake stage sheds resubmit
-	// floods without touching the pool lock. The locked check in
-	// addLocked stays authoritative.
-	ids sync.Map // hashx.Hash -> struct{}
+	// ids mirrors the entry map for lock-free reads: membership probes
+	// (the admission service's intake stage sheds resubmit floods
+	// without touching the pool lock) and the compact-relay
+	// reconstruction path's O(1) leaf-hash lookups. Entries are
+	// immutable once admitted, so handing out e.tx without the lock is
+	// safe as long as callers treat it as read-only. The locked check
+	// in addLocked stays authoritative.
+	ids sync.Map // hashx.Hash -> *entry
 }
 
 // New creates a pool admitting against the given validator's chain
@@ -178,6 +181,32 @@ func (p *Pool) Bytes() int {
 func (p *Pool) Contains(id hashx.Hash) bool {
 	_, ok := p.ids.Load(id)
 	return ok
+}
+
+// LookupByLeaf returns the pooled transaction whose id — the
+// pool-form tidy leaf hash, StakePos zero — is leaf, without taking
+// the pool lock. The transaction must be treated as immutable; like
+// Contains, the answer may lag a concurrent add or removal by one
+// commit, which compact-relay reconstruction tolerates (a miss just
+// means requesting that transaction). Satisfies relay.TxSource.
+func (p *Pool) LookupByLeaf(leaf hashx.Hash) (*txmodel.EBVTx, bool) {
+	v, ok := p.ids.Load(leaf)
+	if !ok {
+		return nil, false
+	}
+	return v.(*entry).tx, true
+}
+
+// LeafHashes returns a snapshot of every pooled transaction's id
+// (pool-form tidy leaf hash), without taking the pool lock. Satisfies
+// relay.TxSource.
+func (p *Pool) LeafHashes() []hashx.Hash {
+	var out []hashx.Hash
+	p.ids.Range(func(k, _ any) bool {
+		out = append(out, k.(hashx.Hash))
+		return true
+	})
+	return out
 }
 
 // Evictions returns how many transactions have been evicted by the
@@ -278,7 +307,7 @@ func (p *Pool) addLocked(e *entry) (hashx.Hash, error) {
 		return hashx.ZeroHash, err
 	}
 	p.entries[e.id] = e
-	p.ids.Store(e.id, struct{}{})
+	p.ids.Store(e.id, e)
 	heap.Push(&p.byFee, e)
 	p.bytes += e.size
 	for _, sp := range e.spends {
@@ -408,26 +437,24 @@ func (p *Pool) BuildTemplate(maxOutputs int) (txs []*txmodel.EBVTx, totalFees ui
 // and admission rejects standalone coinbases, so every entry has at
 // least one spend. Inclusion is therefore a special case of conflict,
 // and no tidy re-serialization or leaf hashing per block transaction
-// is needed here.
+// is needed here. Each block spend resolves to its pooled claimant
+// through the spent index, so the cost is O(block spends) regardless
+// of pool size — a full pool no longer pays a linear scan per block.
 func (p *Pool) BlockConnected(b *blockmodel.EBVBlock) int {
-	claimed := make(map[statusdb.Spend]struct{})
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	dropped := 0
 	for i, tx := range b.Txs {
 		if i == 0 {
 			continue
 		}
 		for j := range tx.Bodies {
-			claimed[statusdb.Spend{Height: tx.Bodies[j].Height, Pos: tx.Bodies[j].AbsPosition()}] = struct{}{}
-		}
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	dropped := 0
-	for _, e := range p.entries {
-		for _, sp := range e.spends {
-			if _, ok := claimed[sp]; ok {
-				p.removeLocked(e)
+			sp := statusdb.Spend{Height: tx.Bodies[j].Height, Pos: tx.Bodies[j].AbsPosition()}
+			if id, ok := p.spent[sp]; ok {
+				// removeLocked releases every spend claim of the entry,
+				// so its other inputs cannot double-count it.
+				p.removeLocked(p.entries[id])
 				dropped++
-				break
 			}
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"ebv/internal/blockmodel"
 	"ebv/internal/chainstore"
 	"ebv/internal/core"
+	"ebv/internal/hashx"
 	"ebv/internal/proof"
 	"ebv/internal/script"
 	"ebv/internal/statusdb"
@@ -318,5 +319,168 @@ func TestRejectsImmatureCoinbaseSpend(t *testing.T) {
 	}
 	if !found {
 		t.Skip("no young unspent coinbase at this scale")
+	}
+}
+
+// checkIndexConsistency asserts every mirror of the entry map agrees
+// with it: the lock-free id index, the fee heap, and the byte
+// accounting. Called after every mutation in the index tests.
+func checkIndexConsistency(t *testing.T, p *Pool) {
+	t.Helper()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	mirrored := 0
+	p.ids.Range(func(k, v any) bool {
+		mirrored++
+		id := k.(hashx.Hash)
+		e, ok := p.entries[id]
+		if !ok {
+			t.Errorf("id index holds %s, entry map does not", id.Short())
+			return true
+		}
+		if v.(*entry) != e {
+			t.Errorf("id index and entry map disagree on %s", id.Short())
+		}
+		return true
+	})
+	if mirrored != len(p.entries) {
+		t.Errorf("id index holds %d entries, entry map %d", mirrored, len(p.entries))
+	}
+	if len(p.byFee) != len(p.entries) {
+		t.Errorf("fee heap holds %d entries, entry map %d", len(p.byFee), len(p.entries))
+	}
+	bytes := 0
+	for i, e := range p.byFee {
+		if e.heapIdx != i {
+			t.Errorf("heap slot %d holds entry with heapIdx %d", i, e.heapIdx)
+		}
+		if p.entries[e.id] != e {
+			t.Errorf("heap entry %s not in entry map", e.id.Short())
+		}
+	}
+	for _, e := range p.entries {
+		bytes += e.size
+	}
+	if bytes != p.bytes {
+		t.Errorf("byte accounting %d, entries sum to %d", p.bytes, bytes)
+	}
+}
+
+func TestLeafIndexConsistentAcrossEviction(t *testing.T) {
+	e := newEnv(t, 250)
+	pool := New(e.val, Config{MaxTxs: 2})
+
+	txLow := e.spendCoinbase(t, 0, 1_000)
+	txMid := e.spendCoinbase(t, 1, 2_000)
+	txHigh := e.spendCoinbase(t, 2, 4_000)
+
+	idLow, err := pool.Add(txLow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIndexConsistency(t, pool)
+	if got, ok := pool.LookupByLeaf(idLow); !ok || got != txLow {
+		t.Fatal("LookupByLeaf must return the pooled tx")
+	}
+
+	if _, err := pool.Add(txMid); err != nil {
+		t.Fatal(err)
+	}
+	checkIndexConsistency(t, pool)
+
+	// The pool is full; a better payer evicts the cheapest.
+	idHigh, err := pool.Add(txHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIndexConsistency(t, pool)
+	if pool.Evictions() != 1 {
+		t.Fatalf("evictions=%d, want 1", pool.Evictions())
+	}
+	if _, ok := pool.LookupByLeaf(idLow); ok {
+		t.Fatal("evicted tx must leave the leaf index")
+	}
+	if got, ok := pool.LookupByLeaf(idHigh); !ok || got != txHigh {
+		t.Fatal("surviving tx must stay indexed")
+	}
+	if n := len(pool.LeafHashes()); n != pool.Len() {
+		t.Fatalf("LeafHashes returned %d ids for %d entries", n, pool.Len())
+	}
+}
+
+func TestLeafIndexConsistentAcrossBlockAndReorg(t *testing.T) {
+	e := newEnv(t, 250)
+	pool := New(e.val, Config{})
+	txA := e.spendCoinbase(t, 0, 3_000)
+	txB := e.spendCoinbase(t, 1, 1_000)
+	pool.Add(txA)
+	pool.Add(txB)
+	checkIndexConsistency(t, pool)
+
+	// Mine only txA; txB stays pooled across the connect.
+	payee := e.gen.Scheme().KeyFromSeed([]byte("miner"))
+	coinbase := &txmodel.EBVTx{Tidy: txmodel.TidyTx{
+		Outputs: []txmodel.TxOut{{
+			Value:      blockmodel.Subsidy(uint64(e.blocks)) + 3_000,
+			LockScript: script.StandardLock(payee),
+		}},
+		LockTime: uint32(e.blocks),
+	}}
+	mined := *txA // packaging assigns stake positions on a copy
+	blk, err := blockmodel.AssembleEBV(e.chain.TipHash(), uint64(e.blocks), 0,
+		[]*txmodel.EBVTx{coinbase, &mined})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.val.ConnectBlock(blk); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.chain.Append(blk.Header, blk.Encode(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if dropped := pool.BlockConnected(blk); dropped != 1 {
+		t.Fatalf("dropped %d, want 1", dropped)
+	}
+	checkIndexConsistency(t, pool)
+	if _, ok := pool.LookupByLeaf(txA.Tidy.LeafHash()); ok {
+		t.Fatal("mined tx must leave the leaf index")
+	}
+	if _, ok := pool.LookupByLeaf(txB.Tidy.LeafHash()); !ok {
+		t.Fatal("unmined tx must stay indexed")
+	}
+
+	// A transaction spending an output created by the new block goes
+	// stale when that block disconnects; the index must follow.
+	body, err := e.builder.Prove(proof.Loc{Height: uint64(e.blocks), TxIndex: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := &txmodel.EBVTx{
+		Tidy: txmodel.TidyTx{Version: 1, Outputs: []txmodel.TxOut{{
+			Value:      body.PrevTx.Outputs[0].Value - 500,
+			LockScript: script.StandardLock(payee),
+		}}},
+		Bodies: []txmodel.InputBody{body},
+	}
+	key := e.gen.Scheme().KeyFromSeed([]byte{0}) // txA's payee (skip 0)
+	unlock, err := script.StandardUnlock(key, child.SigHash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	child.Bodies[0].UnlockScript = unlock
+	child.SealInputHashes()
+	childID, err := pool.Add(child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIndexConsistency(t, pool)
+
+	pool.BlockDisconnected(blk)
+	checkIndexConsistency(t, pool)
+	if _, ok := pool.LookupByLeaf(childID); ok {
+		t.Fatal("stale-proof tx must leave the leaf index on reorg")
+	}
+	if _, ok := pool.LookupByLeaf(txB.Tidy.LeafHash()); !ok {
+		t.Fatal("tx with proofs below the reorg must survive")
 	}
 }

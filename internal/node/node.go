@@ -122,6 +122,9 @@ type BitcoinNode struct {
 	// blocks through the reorg engine.
 	Forks *forkchoice.Engine
 	// Pool and Admission are set when Config.Admission is non-nil.
+	// ClassicPool indexes transactions by txid only — it does not
+	// implement relay.TxSource, so a baseline node never advertises
+	// compact block relay and stays on the full-block protocol.
 	Pool      *mempool.ClassicPool
 	Admission *admission.Service
 	db        *kvstore.DB
@@ -283,6 +286,9 @@ type EBVNode struct {
 	// blocks through the reorg engine.
 	Forks *forkchoice.Engine
 	// Pool and Admission are set when Config.Admission is non-nil.
+	// Pool maintains an O(1) leaf-hash index (LookupByLeaf) and
+	// satisfies relay.TxSource, so an EBV node with a mempool can be
+	// wired into compact block relay (p2p.Config.Relay = node.Pool).
 	Pool        *mempool.Pool
 	Admission   *admission.Service
 	statusPth   string

@@ -16,6 +16,7 @@ import (
 	"ebv/internal/forkchoice"
 	"ebv/internal/hashx"
 	"ebv/internal/p2p/wire"
+	"ebv/internal/relay"
 )
 
 // Chain is the ledger a gossip node serves and extends. Both node
@@ -67,6 +68,19 @@ type Config struct {
 	// a txack verdict (kind 13) echoing the request id, and advertises
 	// wire.FeatureTxSubmit.
 	TxSubmit *admission.Service
+	// Relay, if set, enables compact block relay (kinds 14–16) and
+	// advertises wire.FeatureCompactRelay plus a per-connection salt
+	// nonce in the hello: new blocks are pushed to compact-capable
+	// peers as short-id announcements, and inbound announcements are
+	// reconstructed from this transaction source (the node's mempool).
+	// Every failure mode — short-id collision, missing-transaction
+	// timeout, reconstruction mismatch — degrades to the existing
+	// full-block fetch without dropping the peer.
+	Relay relay.TxSource
+	// RelayTimeout bounds the wait for a blocktxn answer before a
+	// pending compact reconstruction falls back to the full-block
+	// path. Default 5 seconds.
+	RelayTimeout time.Duration
 }
 
 // maxHeadersServed caps one headers response (2000 × 96 bytes stays
@@ -88,6 +102,9 @@ type Node struct {
 
 	bytesIn  atomic.Int64
 	bytesOut atomic.Int64
+	traffic  traffic
+
+	relay relayState
 
 	wg sync.WaitGroup
 }
@@ -98,18 +115,32 @@ type peer struct {
 	conn         net.Conn
 	r            *bufio.Reader
 	writeTimeout time.Duration
-	features     byte // from the peer's hello
+	// features holds the peer's hello feature bits. Atomic because
+	// announce() consults it from the submitting goroutine while the
+	// handshake may still be writing it; until the hello arrives it
+	// reads zero and the peer is treated as featureless.
+	features  atomic.Uint32
+	nonce     uint64 // our hello nonce: the salt for compact blocks we announce here
+	peerNonce uint64 // the peer's hello nonce: the salt for compact blocks it announces
+	strikes   atomic.Int32
+
+	traffic *traffic
 
 	wmu sync.Mutex
 	w   *bufio.Writer
+}
+
+func (p *peer) hasFeature(bit byte) bool {
+	return byte(p.features.Load())&bit != 0
 }
 
 func (p *peer) send(m *wire.Message) error {
 	p.wmu.Lock()
 	defer p.wmu.Unlock()
 	p.conn.SetWriteDeadline(time.Now().Add(p.writeTimeout))
-	err := wire.Write(p.w, m)
+	n, err := wire.WriteCounted(p.w, m)
 	p.conn.SetWriteDeadline(time.Time{})
+	p.traffic.count(m.Kind, n, false)
 	return err
 }
 
@@ -124,7 +155,12 @@ func NewNode(chain Chain, cfg Config) *Node {
 	if cfg.WriteTimeout <= 0 {
 		cfg.WriteTimeout = 30 * time.Second
 	}
-	return &Node{chain: chain, cfg: cfg, peers: make(map[string]*peer)}
+	if cfg.RelayTimeout <= 0 {
+		cfg.RelayTimeout = 5 * time.Second
+	}
+	n := &Node{chain: chain, cfg: cfg, peers: make(map[string]*peer)}
+	n.relay.init()
+	return n
 }
 
 func (n *Node) logf(format string, args ...any) {
@@ -144,6 +180,9 @@ func (n *Node) features() byte {
 	}
 	if n.cfg.TxSubmit != nil {
 		f |= wire.FeatureTxSubmit
+	}
+	if n.cfg.Relay != nil {
+		f |= wire.FeatureCompactRelay
 	}
 	return f
 }
@@ -239,6 +278,8 @@ func (n *Node) handleConn(raw net.Conn) {
 		r:            bufio.NewReader(conn),
 		w:            bufio.NewWriter(conn),
 		writeTimeout: n.cfg.WriteTimeout,
+		nonce:        newNonce(),
+		traffic:      &n.traffic,
 	}
 	defer conn.Close()
 
@@ -255,10 +296,11 @@ func (n *Node) handleConn(raw net.Conn) {
 		n.mu.Unlock()
 	}()
 
-	// Handshake: exchange tips, feature bits, and (between fork-choice
-	// peers) cumulative tip work.
+	// Handshake: exchange tips, feature bits, (between fork-choice
+	// peers) cumulative tip work, and (between compact-relay peers) the
+	// short-id salt nonces.
 	tip, ok := n.chain.TipHeight()
-	hello := &wire.Message{Kind: wire.Hello, Height: tipField(tip, ok), Features: n.features()}
+	hello := &wire.Message{Kind: wire.Hello, Height: tipField(tip, ok), Features: n.features(), Nonce: p.nonce}
 	if n.cfg.Forks != nil {
 		hello.TipWork = n.cfg.Forks.TipWork()
 	}
@@ -270,7 +312,8 @@ func (n *Node) handleConn(raw net.Conn) {
 	if err != nil || first.Kind != wire.Hello {
 		return
 	}
-	p.features = first.Features
+	p.features.Store(uint32(first.Features))
+	p.peerNonce = first.Nonce
 	n.logf("peer %s connected (tip %d, ours %d, features %08b)", p.id, first.Height, hello.Height, first.Features)
 	if n.cfg.Forks != nil && first.Features&wire.FeatureForkChoice != 0 {
 		// Work, not height, decides who syncs: a peer on a heavier
@@ -289,7 +332,10 @@ func (n *Node) handleConn(raw net.Conn) {
 	// (and a peer slot) forever.
 	for {
 		conn.SetReadDeadline(time.Now().Add(n.cfg.ReadTimeout))
-		m, err := wire.Read(p.r)
+		m, frame, err := wire.ReadCounted(p.r)
+		if m != nil {
+			n.traffic.count(m.Kind, frame, true)
+		}
 		if err != nil {
 			// A kind from a newer protocol version is not an offence:
 			// the frame was consumed, log it and keep the connection.
@@ -351,7 +397,7 @@ func (n *Node) handleMessage(p *peer, m *wire.Message) error {
 			case m.Height == next:
 				// Plausible tip extension: pull by height.
 				n.requestFrom(p, next)
-			case p.features&wire.FeatureForkChoice != 0:
+			case p.hasFeature(wire.FeatureForkChoice):
 				// Behind, or a competing branch: resolve via headers.
 				n.sendGetHeaders(p)
 			default:
@@ -390,31 +436,16 @@ func (n *Node) handleMessage(p *peer, m *wire.Message) error {
 		return nil
 
 	case wire.Block:
-		if n.cfg.Forks != nil {
-			return n.handleBlockForkChoice(p, m)
-		}
-		next := tipField(n.chain.TipHeight())
-		if m.Height < next {
-			return nil // duplicate
-		}
-		if m.Height > next {
-			// Out of order; re-request the gap.
-			n.requestFrom(p, next)
-			return nil
-		}
-		// Validate before storing or forwarding — the property under
-		// study. A validation failure is a protocol offence: drop the
-		// peer.
-		if err := n.chain.SubmitRaw(m.Payload); err != nil {
-			return fmt.Errorf("invalid block %d: %w", m.Height, err)
-		}
-		if n.cfg.OnBlock != nil {
-			n.cfg.OnBlock(m.Height, p.id)
-		}
-		n.announce(m.Height, p.id)
-		// If the peer is ahead, keep pulling.
-		n.requestFrom(p, m.Height+1)
-		return nil
+		return n.acceptGossipBlock(p, m.Height, m.Payload)
+
+	case wire.CmpctBlock:
+		return n.handleCmpctBlock(p, m)
+
+	case wire.GetBlockTxn:
+		return n.handleGetBlockTxn(p, m)
+
+	case wire.BlockTxn:
+		return n.handleBlockTxn(p, m)
 
 	case wire.GetHeaders:
 		// Serve headers above the highest locator hash we share. A node
@@ -537,9 +568,42 @@ func (n *Node) handleMessage(p *peer, m *wire.Message) error {
 	}
 }
 
+// acceptGossipBlock runs the full-block acceptance path on a
+// serialized block from p — the wire.Block case, and equally the
+// landing point for bytes reassembled by compact relay (which are
+// digest-checked first, so both paths carry identical bytes and yield
+// identical verdicts).
+func (n *Node) acceptGossipBlock(p *peer, height uint64, payload []byte) error {
+	if n.cfg.Forks != nil {
+		return n.handleBlockForkChoice(p, height, payload)
+	}
+	next := tipField(n.chain.TipHeight())
+	if height < next {
+		return nil // duplicate
+	}
+	if height > next {
+		// Out of order; re-request the gap.
+		n.requestFrom(p, next)
+		return nil
+	}
+	// Validate before storing or forwarding — the property under
+	// study. A validation failure is a protocol offence: drop the
+	// peer.
+	if err := n.chain.SubmitRaw(payload); err != nil {
+		return fmt.Errorf("invalid block %d: %w", height, err)
+	}
+	if n.cfg.OnBlock != nil {
+		n.cfg.OnBlock(height, p.id)
+	}
+	n.announce(height, p.id)
+	// If the peer is ahead, keep pulling.
+	n.requestFrom(p, height+1)
+	return nil
+}
+
 // handleBlockForkChoice routes an inbound block through the engine.
-func (n *Node) handleBlockForkChoice(p *peer, m *wire.Message) error {
-	v, err := n.cfg.Forks.ProcessBlock(m.Payload, p.id)
+func (n *Node) handleBlockForkChoice(p *peer, height uint64, payload []byte) error {
+	v, err := n.cfg.Forks.ProcessBlock(payload, p.id)
 	if err != nil {
 		// Policy refusals — a reorg past our depth cap, past fast-synced
 		// header-only history, or through an evicted side block — are
@@ -548,12 +612,12 @@ func (n *Node) handleBlockForkChoice(p *peer, m *wire.Message) error {
 		if errors.Is(err, forkchoice.ErrReorgTooDeep) ||
 			errors.Is(err, forkchoice.ErrReorgPastSnapshot) ||
 			errors.Is(err, forkchoice.ErrSideBlockMissing) {
-			n.logf("peer %s: block %d refused: %v", p.id, m.Height, err)
+			n.logf("peer %s: block %d refused: %v", p.id, height, err)
 			return nil
 		}
 		// Anything else means the block (or its branch) is invalid:
 		// drop the peer, same as the non-fork-choice path.
-		return fmt.Errorf("invalid block %d: %w", m.Height, err)
+		return fmt.Errorf("invalid block %d: %w", height, err)
 	}
 	switch v {
 	case forkchoice.Connected, forkchoice.Reorged:
@@ -574,9 +638,17 @@ func (n *Node) handleBlockForkChoice(p *peer, m *wire.Message) error {
 	return nil
 }
 
-// announce sends an inv for height to every peer except the source.
+// announce advertises a newly accepted block at height to every peer
+// except the source: a compact short-id announcement pushed directly
+// to compact-relay peers (saving the inv/getblocks round trip on top
+// of the bytes), a plain inv to everyone else. Featureless peers see
+// the legacy protocol verbatim.
 func (n *Node) announce(height uint64, except string) {
 	hash := n.chain.TipHash()
+	var info *relay.BlockInfo
+	if n.cfg.Relay != nil {
+		info = n.relayInfoFor(height)
+	}
 	n.mu.Lock()
 	targets := make([]*peer, 0, len(n.peers))
 	for id, p := range n.peers {
@@ -586,8 +658,35 @@ func (n *Node) announce(height uint64, except string) {
 	}
 	n.mu.Unlock()
 	for _, p := range targets {
+		if info != nil && p.hasFeature(wire.FeatureCompactRelay) {
+			c := info.Compact(p.nonce)
+			_ = p.send(&wire.Message{Kind: wire.CmpctBlock, Height: height, Payload: c.Encode(nil)})
+			n.relay.stats.CompactSent.Add(1)
+			continue
+		}
 		_ = p.send(&wire.Message{Kind: wire.Inv, Height: height, Hash: hash})
 	}
+}
+
+// relayInfoFor returns the cached relay index for the block at
+// height, building and caching it from the chain if needed. A miss
+// (pruned body, decode failure) returns nil and the caller falls back
+// to inv announcements.
+func (n *Node) relayInfoFor(height uint64) *relay.BlockInfo {
+	raw, err := n.chain.BlockBytes(height)
+	if err != nil || len(raw) < blockmodel.HeaderSize {
+		return nil
+	}
+	if info := n.relay.lookup(hashx.DoubleSum(raw[:blockmodel.HeaderSize])); info != nil {
+		return info
+	}
+	info, err := relay.NewBlockInfo(raw)
+	if err != nil {
+		n.logf("relay: indexing block %d: %v", height, err)
+		return nil
+	}
+	n.relay.cache(info)
+	return info
 }
 
 // SubmitLocal injects a locally produced block (a miner) and announces

@@ -17,7 +17,11 @@
 // headers exchange (locator-based getheaders/headers plus getdata for
 // block bodies by hash); kinds 12–13 carry transaction submission
 // (tx with a request id, answered by a txack verdict carrying a
-// one-byte admission code). Hello frames additionally carry an optional
+// one-byte admission code); kinds 14–16 carry compact block relay
+// (a short-id compact announcement, a request for missing
+// transactions by block-slot index, and its answer — see
+// internal/relay for the body formats, which are opaque to this
+// codec). Hello frames additionally carry an optional
 // trailing feature byte (see Features) so capable peers can discover
 // each other. The trailer is written only when at least one feature is
 // advertised, so a node advertising none emits exactly the legacy
@@ -27,6 +31,9 @@
 // FeatureForkChoice appends one more field after the trailer: the
 // node's cumulative tip work as length-prefixed big-endian bytes, so
 // peers can detect a heavier branch before exchanging a single header.
+// A hello advertising FeatureCompactRelay then appends a fixed 8-byte
+// little-endian nonce: the salt under which that node derives the
+// short ids of every compact block it announces on this connection.
 package wire
 
 import (
@@ -55,7 +62,28 @@ const (
 	GetData
 	Tx
 	TxAck
+	CmpctBlock
+	GetBlockTxn
+	BlockTxn
 )
+
+// kindNames maps each kind byte to its protocol name.
+var kindNames = [...]string{
+	Hello: "hello", Inv: "inv", GetBlocks: "getblocks", Block: "block",
+	GetManifest: "getmanifest", Manifest: "manifest", GetChunk: "getchunk",
+	Chunk: "chunk", GetHeaders: "getheaders", Headers: "headers",
+	GetData: "getdata", Tx: "tx", TxAck: "txack", CmpctBlock: "cmpctblock",
+	GetBlockTxn: "getblocktxn", BlockTxn: "blocktxn",
+}
+
+// KindName returns the protocol name of a message kind, or "kind-N"
+// for kinds this version does not know.
+func KindName(k byte) string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind-%d", k)
+}
 
 // MaxPayload bounds one message body (a block plus its proofs, or one
 // snapshot chunk). Enforced symmetrically by Write and Read.
@@ -88,6 +116,12 @@ const (
 	// service: it accepts tx submissions (kind 12) and answers each
 	// with a txack verdict (kind 13).
 	FeatureTxSubmit byte = 1 << 2
+	// FeatureCompactRelay marks a peer that speaks compact block relay
+	// (kinds 14–16): it accepts short-id compact announcements,
+	// reconstructs blocks from its mempool, and serves getblocktxn for
+	// blocks it recently announced. Its hello carries an 8-byte salt
+	// nonce after the tip-work field.
+	FeatureCompactRelay byte = 1 << 3
 )
 
 // ErrUnknownKind reports a frame whose kind byte this version does not
@@ -104,15 +138,24 @@ type Message struct {
 	Hash     hashx.Hash
 	Features byte         // hello: feature bits
 	Code     byte         // txack: admission reject code (0 = admitted)
+	Nonce    uint64       // hello (FeatureCompactRelay): short-id salt for this connection
 	TipWork  []byte       // hello (FeatureForkChoice): cumulative tip work, big-endian
 	Hashes   []hashx.Hash // getheaders: block locator; getdata: wanted block hashes
-	Payload  []byte       // block: serialized block; headers: concatenated fixed-width headers; manifest/chunk: snapshot bytes; tx: serialized transaction
+	Payload  []byte       // block: serialized block; headers: concatenated fixed-width headers; manifest/chunk: snapshot bytes; tx: serialized transaction; cmpctblock/getblocktxn/blocktxn: relay body (see internal/relay)
 }
 
 // Write frames and writes m. Bodies larger than MaxPayload are
 // refused here, before any bytes hit the socket, mirroring the read
 // side's limit.
 func Write(w *bufio.Writer, m *Message) error {
+	_, err := WriteCounted(w, m)
+	return err
+}
+
+// WriteCounted is Write returning the full frame size in bytes (kind
+// byte + length varint + body), so callers keeping per-kind traffic
+// counters can attribute exactly what each message cost on the wire.
+func WriteCounted(w *bufio.Writer, m *Message) (int, error) {
 	var body []byte
 	switch m.Kind {
 	case Hello:
@@ -124,14 +167,18 @@ func Write(w *bufio.Writer, m *Message) error {
 		if m.Features != 0 {
 			body = append(body, m.Features)
 		}
-		// FeatureForkChoice adds the cumulative tip-work field; other
-		// features leave the hello at exactly varint + trailer.
+		// FeatureForkChoice adds the cumulative tip-work field and
+		// FeatureCompactRelay the fixed-width salt nonce, in that order;
+		// other features leave the hello at exactly varint + trailer.
 		if m.Features&FeatureForkChoice != 0 {
 			if len(m.TipWork) > MaxTipWork {
-				return fmt.Errorf("wire: tip work of %d bytes exceeds limit", len(m.TipWork))
+				return 0, fmt.Errorf("wire: tip work of %d bytes exceeds limit", len(m.TipWork))
 			}
 			body = binary.AppendUvarint(body, uint64(len(m.TipWork)))
 			body = append(body, m.TipWork...)
+		}
+		if m.Features&FeatureCompactRelay != 0 {
+			body = binary.LittleEndian.AppendUint64(body, m.Nonce)
 		}
 	case Inv:
 		body = binary.AppendUvarint(body, m.Height)
@@ -157,7 +204,7 @@ func Write(w *bufio.Writer, m *Message) error {
 			limit = MaxBatch
 		}
 		if len(m.Hashes) == 0 || len(m.Hashes) > limit {
-			return fmt.Errorf("wire: %d hashes out of range for kind %d", len(m.Hashes), m.Kind)
+			return 0, fmt.Errorf("wire: %d hashes out of range for kind %d", len(m.Hashes), m.Kind)
 		}
 		body = binary.AppendUvarint(body, uint64(len(m.Hashes)))
 		for i := range m.Hashes {
@@ -176,42 +223,73 @@ func Write(w *bufio.Writer, m *Message) error {
 		body = binary.AppendUvarint(body, m.Height)
 		body = append(body, m.Code)
 		body = append(body, m.Hash[:]...)
+	case CmpctBlock:
+		// Like Block: height plus an opaque body (the compact encoding
+		// is internal/relay's concern, not the codec's).
+		body = binary.AppendUvarint(body, m.Height)
+		body = append(body, m.Payload...)
+	case GetBlockTxn, BlockTxn:
+		// The block hash names the announcement being filled; the body
+		// (index list or transaction run) is internal/relay's concern.
+		body = append(body, m.Hash[:]...)
+		body = append(body, m.Payload...)
 	default:
-		return fmt.Errorf("wire: cannot encode message kind %d", m.Kind)
+		return 0, fmt.Errorf("wire: cannot encode message kind %d", m.Kind)
 	}
 	if len(body) > MaxPayload {
-		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
+		return 0, fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
 	}
 	head := []byte{m.Kind}
 	head = binary.AppendUvarint(head, uint64(len(body)))
 	if _, err := w.Write(head); err != nil {
-		return err
+		return 0, err
 	}
 	if _, err := w.Write(body); err != nil {
-		return err
+		return 0, err
 	}
-	return w.Flush()
+	return len(head) + len(body), w.Flush()
 }
 
 // Read reads and decodes one message. On an unrecognized kind it
 // returns a Message holding just the kind together with
 // ErrUnknownKind; the body has been consumed and the stream is intact.
 func Read(r *bufio.Reader) (*Message, error) {
+	m, _, err := ReadCounted(r)
+	return m, err
+}
+
+// ReadCounted is Read returning the full frame size in bytes (kind
+// byte + length varint + body), the mirror of WriteCounted for
+// per-kind traffic accounting. The count is valid whenever a kind was
+// read — including the ErrUnknownKind case, whose body has still been
+// consumed off the stream.
+func ReadCounted(r *bufio.Reader) (*Message, int, error) {
 	kind, err := r.ReadByte()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	size, err := binary.ReadUvarint(r)
 	if err != nil {
-		return nil, fmt.Errorf("wire: bad frame length: %w", err)
+		return nil, 0, fmt.Errorf("wire: bad frame length: %w", err)
 	}
 	if size > MaxPayload {
-		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", size)
+		return nil, 0, fmt.Errorf("wire: frame of %d bytes exceeds limit", size)
 	}
 	body := make([]byte, size)
 	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, fmt.Errorf("wire: truncated frame: %w", err)
+		return nil, 0, fmt.Errorf("wire: truncated frame: %w", err)
 	}
+	var lenbuf [10]byte
+	frame := 1 + len(binary.AppendUvarint(lenbuf[:0], size)) + len(body)
+	m, err := decodeBody(kind, body)
+	if err != nil && !errors.Is(err, ErrUnknownKind) {
+		return nil, frame, err
+	}
+	return m, frame, err
+}
+
+// decodeBody parses one frame body into a Message.
+func decodeBody(kind byte, body []byte) (*Message, error) {
 	m := &Message{Kind: kind}
 	switch kind {
 	case Hello:
@@ -226,11 +304,20 @@ func Read(r *bufio.Reader) (*Message, error) {
 			rest := body[n+1:]
 			if m.Features&FeatureForkChoice != 0 {
 				wl, wn := varint.Uvarint(rest)
-				if wn <= 0 || wl > MaxTipWork || uint64(len(rest)) != uint64(wn)+wl {
+				if wn <= 0 || wl > MaxTipWork || uint64(len(rest)) < uint64(wn)+wl {
 					return nil, fmt.Errorf("wire: malformed hello tip work")
 				}
-				m.TipWork = rest[wn:]
-			} else if len(rest) != 0 {
+				m.TipWork = rest[wn : uint64(wn)+wl]
+				rest = rest[uint64(wn)+wl:]
+			}
+			if m.Features&FeatureCompactRelay != 0 {
+				if len(rest) < 8 {
+					return nil, fmt.Errorf("wire: malformed hello relay nonce")
+				}
+				m.Nonce = binary.LittleEndian.Uint64(rest)
+				rest = rest[8:]
+			}
+			if len(rest) != 0 {
 				return nil, fmt.Errorf("wire: malformed hello")
 			}
 		}
@@ -269,10 +356,11 @@ func Read(r *bufio.Reader) (*Message, error) {
 	case Manifest:
 		m.Payload = body
 	case GetChunk:
-		m.Height, err = oneUvarint(body)
+		h, err := oneUvarint(body)
 		if err != nil {
 			return nil, err
 		}
+		m.Height = h
 	case Chunk:
 		h, n := varint.Uvarint(body)
 		if n <= 0 {
@@ -310,6 +398,19 @@ func Read(r *bufio.Reader) (*Message, error) {
 		m.Height = h
 		m.Code = body[n]
 		copy(m.Hash[:], body[n+1:])
+	case CmpctBlock:
+		h, n := varint.Uvarint(body)
+		if n <= 0 || n == len(body) {
+			return nil, fmt.Errorf("wire: malformed cmpctblock")
+		}
+		m.Height = h
+		m.Payload = body[n:]
+	case GetBlockTxn, BlockTxn:
+		if len(body) < hashx.Size {
+			return nil, fmt.Errorf("wire: malformed relay message for kind %d", kind)
+		}
+		copy(m.Hash[:], body)
+		m.Payload = body[hashx.Size:]
 	default:
 		return m, ErrUnknownKind
 	}

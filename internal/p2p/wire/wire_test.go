@@ -227,3 +227,111 @@ func TestHeadersRoundTrip(t *testing.T) {
 		t.Fatal("headers payload mismatch")
 	}
 }
+
+func TestCompactRelayKindsRoundTrip(t *testing.T) {
+	hash := hashx.Sum([]byte("blk"))
+	cases := []*Message{
+		{Kind: CmpctBlock, Height: 11, Payload: []byte("compact body")},
+		{Kind: GetBlockTxn, Hash: hash, Payload: []byte{1, 2, 3}},
+		{Kind: BlockTxn, Hash: hash, Payload: []byte("txn run")},
+	}
+	for _, in := range cases {
+		out := roundTrip(t, in)
+		if out.Kind != in.Kind || out.Height != in.Height || out.Hash != in.Hash {
+			t.Fatalf("kind %d: round trip mismatch: %+v != %+v", in.Kind, out, in)
+		}
+		if !bytes.Equal(out.Payload, in.Payload) {
+			t.Fatalf("kind %d: payload mismatch", in.Kind)
+		}
+	}
+}
+
+// The hello trailer must survive every feature combination in both
+// directions: the tip-work field appears exactly when FeatureForkChoice
+// is set and the salt nonce exactly when FeatureCompactRelay is — in
+// that order — so any old/new pairing parses the prefix it understands.
+func TestHelloFeatureMatrixRoundTrip(t *testing.T) {
+	all := []byte{FeatureStateSync, FeatureForkChoice, FeatureTxSubmit, FeatureCompactRelay}
+	for mask := 0; mask < 1<<len(all); mask++ {
+		var features byte
+		for i, f := range all {
+			if mask&(1<<i) != 0 {
+				features |= f
+			}
+		}
+		in := &Message{Kind: Hello, Height: 77, Features: features}
+		if features&FeatureForkChoice != 0 {
+			in.TipWork = []byte{0x0B, 0xAD}
+		}
+		if features&FeatureCompactRelay != 0 {
+			in.Nonce = 0xDEADBEEF00C0FFEE
+		}
+		out := roundTrip(t, in)
+		if out.Height != in.Height || out.Features != in.Features {
+			t.Fatalf("features %08b: decoded %+v", features, out)
+		}
+		if !bytes.Equal(out.TipWork, in.TipWork) {
+			t.Fatalf("features %08b: tip work %x != %x", features, out.TipWork, in.TipWork)
+		}
+		if out.Nonce != in.Nonce {
+			t.Fatalf("features %08b: nonce %x != %x", features, out.Nonce, in.Nonce)
+		}
+	}
+}
+
+func TestCompactHelloMalformed(t *testing.T) {
+	// Compact bit set but the 8-byte nonce truncated.
+	body := binary.AppendUvarint(nil, 42)
+	body = append(body, FeatureCompactRelay)
+	body = append(body, 0xAA, 0xBB) // 2 of 8 nonce bytes
+	frame := append([]byte{Hello, byte(len(body))}, body...)
+	if _, err := Read(bufio.NewReader(bytes.NewReader(frame))); err == nil {
+		t.Fatal("truncated nonce must not parse")
+	}
+	// Trailing junk after a complete nonce.
+	body = binary.AppendUvarint(nil, 42)
+	body = append(body, FeatureCompactRelay)
+	body = append(body, make([]byte, 8)...)
+	body = append(body, 0xCC)
+	frame = append([]byte{Hello, byte(len(body))}, body...)
+	if _, err := Read(bufio.NewReader(bytes.NewReader(frame))); err == nil {
+		t.Fatal("trailing junk after nonce must not parse")
+	}
+	// Empty compact announcement body.
+	if _, err := Read(bufio.NewReader(bytes.NewReader([]byte{CmpctBlock, 1, 3}))); err == nil {
+		t.Fatal("cmpctblock without payload must not parse")
+	}
+	// getblocktxn shorter than a hash.
+	if _, err := Read(bufio.NewReader(bytes.NewReader([]byte{GetBlockTxn, 2, 1, 2}))); err == nil {
+		t.Fatal("short getblocktxn must not parse")
+	}
+}
+
+func TestReadCountedReportsFrameSize(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	in := &Message{Kind: Block, Height: 4, Payload: []byte("payload")}
+	wrote, err := WriteCounted(w, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrote != buf.Len() {
+		t.Fatalf("WriteCounted reported %d bytes, wire has %d", wrote, buf.Len())
+	}
+	m, read, err := ReadCounted(bufio.NewReader(&buf))
+	if err != nil || m.Kind != Block {
+		t.Fatalf("ReadCounted: %+v, %v", m, err)
+	}
+	if read != wrote {
+		t.Fatalf("ReadCounted reported %d bytes, wrote %d", read, wrote)
+	}
+}
+
+func TestKindName(t *testing.T) {
+	if KindName(CmpctBlock) != "cmpctblock" || KindName(Hello) != "hello" {
+		t.Fatalf("known kind names wrong: %q %q", KindName(CmpctBlock), KindName(Hello))
+	}
+	if KindName(99) != "kind-99" {
+		t.Fatalf("unknown kind name %q", KindName(99))
+	}
+}

@@ -66,11 +66,17 @@ server_pid=""
 heavy_pid=""
 light_pid=""
 admit_pid=""
+relay_a_pid=""
+relay_b_pid=""
+relay_c_pid=""
 cleanup() {
 	[ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null
 	[ -n "$heavy_pid" ] && kill "$heavy_pid" 2>/dev/null
 	[ -n "$light_pid" ] && kill "$light_pid" 2>/dev/null
 	[ -n "$admit_pid" ] && kill "$admit_pid" 2>/dev/null
+	[ -n "$relay_a_pid" ] && kill "$relay_a_pid" 2>/dev/null
+	[ -n "$relay_b_pid" ] && kill "$relay_b_pid" 2>/dev/null
+	[ -n "$relay_c_pid" ] && kill "$relay_c_pid" 2>/dev/null
 	rm -rf "$tmp"
 }
 trap cleanup EXIT
@@ -283,5 +289,130 @@ if [ ! -f "$tmp/BENCH_admission.json" ]; then
 	exit 1
 fi
 echo "BENCH_admission.json written"
+
+echo "== compact relay smoke (two nodes, warm mempools, live mining) =="
+# A and B both import the 300-block chain, then ebvload warms both
+# mempools with the SAME deterministic spend corpus (the load
+# generator derives it from the chain, so two runs agree tx for tx).
+# A mines the pending transactions into block 300 and announces it to
+# B as a compact short-id block. B already holds every transaction,
+# so its shutdown counters must show a reconstruction with zero
+# transactions fetched and zero full-block fallbacks — the warm-path
+# guarantee the relay design promises.
+"$tmp/bin/ebvgossip" -datadir "$tmp/relayA" -import "$tmp/chains/inter/chain" \
+	-listen 127.0.0.1:0 -quiet -mine 250ms 2>"$tmp/relayA.log" &
+relay_a_pid=$!
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+	addr=$(sed -n 's/^listening on \([^ ]*\).*/\1/p' "$tmp/relayA.log")
+	[ -n "$addr" ] && break
+	sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+	echo "check.sh: relay miner node did not come up" >&2
+	cat "$tmp/relayA.log" >&2
+	exit 1
+fi
+"$tmp/bin/ebvgossip" -datadir "$tmp/relayB" -import "$tmp/chains/inter/chain" \
+	-connect "$addr" -listen 127.0.0.1:0 >"$tmp/relayB.out" 2>"$tmp/relayB.log" &
+relay_b_pid=$!
+addrB=""
+i=0
+while [ $i -lt 100 ]; do
+	addrB=$(sed -n 's/^listening on \([^ ]*\).*/\1/p' "$tmp/relayB.log")
+	[ -n "$addrB" ] && break
+	sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$addrB" ]; then
+	echo "check.sh: relay receiver node did not come up" >&2
+	cat "$tmp/relayB.log" >&2
+	exit 1
+fi
+# Warm the receiver first: the miner starts packaging as soon as its
+# own pool is non-empty, and B must already hold the transactions by
+# the time the announcement lands.
+"$tmp/bin/ebvload" -addr "$addrB" -chain "$tmp/chains/inter/chain" \
+	-clients 8 -txs 64 -out "$tmp/relay_load_b.json" 2>/dev/null
+"$tmp/bin/ebvload" -addr "$addr" -chain "$tmp/chains/inter/chain" \
+	-clients 8 -txs 64 -out "$tmp/relay_load_a.json" 2>/dev/null
+mined=""
+i=0
+while [ $i -lt 100 ]; do
+	if grep -q 'block 300 accepted' "$tmp/relayB.out"; then
+		mined=yes
+		break
+	fi
+	sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$mined" ]; then
+	echo "check.sh: receiver never accepted the mined block" >&2
+	cat "$tmp/relayA.log" >&2
+	cat "$tmp/relayB.log" >&2
+	exit 1
+fi
+kill "$relay_a_pid" "$relay_b_pid" 2>/dev/null || true
+wait "$relay_a_pid" 2>/dev/null || true
+wait "$relay_b_pid" 2>/dev/null || true
+relay_a_pid=""
+relay_b_pid=""
+a_cmpct_out=$(awk '$1 == "cmpctblock" {print $8}' "$tmp/relayA.log")
+b_received=$(awk '$1 == "compact" && $2 == "relay:" {print $6}' "$tmp/relayB.log")
+b_reconstructed=$(awk '$1 == "compact" && $2 == "relay:" {print $8}' "$tmp/relayB.log")
+b_fetched=$(awk '$1 == "compact" && $2 == "relay:" {print $10}' "$tmp/relayB.log")
+b_fallbacks=$(awk '$1 == "compact" && $2 == "relay:" {print $12}' "$tmp/relayB.log")
+if [ -z "$a_cmpct_out" ] || [ "$a_cmpct_out" -eq 0 ]; then
+	echo "check.sh: miner announced no compact blocks" >&2
+	cat "$tmp/relayA.log" >&2
+	exit 1
+fi
+if [ -z "$b_reconstructed" ] || [ "$b_reconstructed" -eq 0 ]; then
+	echo "check.sh: receiver reconstructed no compact blocks" >&2
+	cat "$tmp/relayB.log" >&2
+	exit 1
+fi
+if [ "$b_fetched" -ne 0 ] || [ "$b_fallbacks" -ne 0 ]; then
+	echo "check.sh: warm receiver fetched $b_fetched txns with $b_fallbacks fallbacks, want 0/0" >&2
+	cat "$tmp/relayB.log" >&2
+	exit 1
+fi
+echo "compact relay: $a_cmpct_out announced, $b_received received, $b_reconstructed reconstructed, 0 txns fetched"
+
+echo "== relay bench smoke (warm-mempool byte gate) =="
+# Two live nodes per arm; the JSON carries the acceptance gates: a
+# fully warmed receiver must fetch zero transactions, and at 95%
+# mempool overlap the compact delivery must cost under 10% of the
+# full-block bytes.
+"$tmp/bin/ebvbench" -exp ablation-relay -quick -blocks 300 \
+	-datadir "$tmp/bench" -artifactdir "$tmp" >/dev/null 2>&1
+if [ ! -f "$tmp/BENCH_relay.json" ]; then
+	echo "check.sh: ablation-relay wrote no BENCH_relay.json" >&2
+	exit 1
+fi
+relay_field() { # arm overlap field -> value
+	awk -v arm="$1" -v ov="$2" -v f="\"$3\":" '
+		/"arm":/ { a = $2; gsub(/[",]/, "", a) }
+		/"overlap_pct":/ { o = $2; gsub(/,/, "", o) }
+		index($0, f) && a == arm && o == ov { v = $2; gsub(/,/, "", v); print v; exit }
+	' "$tmp/BENCH_relay.json"
+}
+warm_fetched=$(relay_field compact 100 txns_requested)
+compact95=$(relay_field compact 95 wire_bytes)
+full95=$(relay_field full 95 wire_bytes)
+if [ -z "$warm_fetched" ] || [ "$warm_fetched" -ne 0 ]; then
+	echo "check.sh: warm receiver fetched $warm_fetched txns, want 0" >&2
+	cat "$tmp/BENCH_relay.json" >&2
+	exit 1
+fi
+if [ -z "$compact95" ] || [ -z "$full95" ] ||
+	! awk -v c="$compact95" -v f="$full95" 'BEGIN { exit !(c * 10 < f) }'; then
+	echo "check.sh: compact delivery at 95% overlap cost $compact95 B vs $full95 B full (>= 10%)" >&2
+	cat "$tmp/BENCH_relay.json" >&2
+	exit 1
+fi
+echo "compact relay: warm receiver fetched 0 txns; 95% overlap cost $compact95 B vs $full95 B full"
 
 echo "check.sh: all checks passed"
