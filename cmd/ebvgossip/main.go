@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -71,6 +72,8 @@ func main() {
 		compact   = flag.Bool("compact", true, "announce new blocks to capable peers as short-id compact blocks (kinds 14-16); needs -txsubmit for the mempool index")
 		relayTO   = flag.Duration("relaytimeout", 0, "longest wait for missing compact-block transactions before falling back to a full fetch (0 = default 5s)")
 		mineEvery = flag.Duration("mine", 0, "poll the mempool at this interval and mine pending transactions into a block (0 = off; needs -txsubmit)")
+		lightSrv  = flag.Bool("lightserve", false, "serve light clients (kinds 17-20): filter subscriptions, push notifications, blocks by hash; needs -forkchoice")
+		statsEvry = flag.Duration("statsevery", 0, "emit a JSON line of wire/relay/light counters to stderr at this interval (0 = off)")
 	)
 	flag.Parse()
 
@@ -165,6 +168,12 @@ func main() {
 			},
 		})
 	}
+	if *lightSrv {
+		if !*forks {
+			fail(fmt.Errorf("-lightserve needs -forkchoice for the hash-addressed block index"))
+		}
+		cfg.LightServe = true
+	}
 	if !*quiet {
 		cfg.OnBlock = func(h uint64, from string) {
 			src := "local"
@@ -202,11 +211,39 @@ func main() {
 		go mineLoop(n, gn, *mineEvery)
 	}
 
+	if *statsEvry > 0 {
+		go statsLoop(gn, *statsEvry)
+	}
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	<-sigc
 	fmt.Fprintln(os.Stderr, "shutting down")
 	printTraffic(gn)
+}
+
+// statsLoop periodically emits one machine-readable JSON line with
+// the per-kind wire counters (keyed by kind name), the compact-relay
+// outcome counters, and — when light serving is on — the light-tier
+// counters, so harnesses can scrape live traffic without parsing the
+// human-format shutdown dump.
+func statsLoop(gn *p2p.Node, every time.Duration) {
+	for range time.Tick(every) {
+		byName := make(map[string]p2p.KindStat)
+		for k, s := range gn.KindStats() {
+			byName[wire.KindName(k)] = s
+		}
+		line, err := json.Marshal(struct {
+			Peers int                     `json:"peers"`
+			Kinds map[string]p2p.KindStat `json:"kinds"`
+			Relay p2p.RelayStats          `json:"relay"`
+			Light p2p.LightStats          `json:"light"`
+		}{gn.PeerCount(), byName, gn.RelayStats(), gn.LightStats()})
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "STATS %s\n", line)
+	}
 }
 
 // mineLoop polls the mempool and, whenever transactions are pending,

@@ -1,0 +1,143 @@
+// Command ebvlight runs a light node: it syncs headers from one full
+// node, subscribes a filter for addresses it watches, and — when a
+// block carrying a matching transaction is announced — downloads just
+// that block by hash and verifies it fully (structure, PoW, merkle
+// binding, EV input proofs, SV scripts, value conservation) against
+// its own header chain, without a status database and without ever
+// fetching blocks by height.
+//
+// Watch the stock simnet miner against a serving full node:
+//
+//	ebvgossip -datadir ./seed -import ./chains/inter/chain -listen 127.0.0.1:7401 -lightserve
+//	ebvlight -connect 127.0.0.1:7401 -watchseed ebvgossip-miner
+//
+// The process prints one line per verified block and a JSON summary
+// on exit. -exitafter N exits success after N verified pushes, which
+// is how the smoke harness asserts convergence.
+package main
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ebv/internal/blockmodel"
+	"ebv/internal/hashx"
+	"ebv/internal/light"
+	"ebv/internal/script"
+	"ebv/internal/sig"
+)
+
+func main() {
+	var (
+		connectTo  = flag.String("connect", "", "full-node address to attach to (required)")
+		watchSeed  = flag.String("watchseed", "", "watch the address of the SimSig key derived from this seed")
+		watchAddr  = flag.String("watchaddr", "", "watch this hex-encoded script data element (e.g. a 20-byte address)")
+		statsEvery = flag.Duration("statsevery", 0, "emit a JSON stats line to stderr at this interval (0 = off)")
+		exitAfter  = flag.Int("exitafter", 0, "exit success after this many verified pushed blocks (0 = run until interrupted)")
+		timeout    = flag.Duration("timeout", 0, "give up (exit 1) after this long without reaching -exitafter (0 = never)")
+		quiet      = flag.Bool("quiet", false, "suppress per-block output")
+	)
+	flag.Parse()
+	if *connectTo == "" {
+		fail(fmt.Errorf("-connect is required"))
+	}
+
+	filter := &light.Filter{}
+	if *watchSeed != "" {
+		key := sig.SimSig{}.KeyFromSeed([]byte(*watchSeed))
+		addr := script.AddressOf(key.Public())
+		filter.Patterns = append(filter.Patterns, addr[:])
+	}
+	if *watchAddr != "" {
+		pat, err := hex.DecodeString(*watchAddr)
+		if err != nil {
+			fail(fmt.Errorf("-watchaddr: %w", err))
+		}
+		filter.Patterns = append(filter.Patterns, pat)
+	}
+	if len(filter.Patterns) == 0 {
+		fail(fmt.Errorf("nothing to watch: give -watchseed or -watchaddr"))
+	}
+
+	verified := make(chan struct{}, 64)
+	cfg := light.Config{
+		Filter: filter,
+		OnBlock: func(height uint64, hash hashx.Hash, b *blockmodel.EBVBlock) {
+			if !*quiet {
+				fmt.Printf("%s block %d %s verified (%d txs, %d inputs)\n",
+					time.Now().Format("15:04:05.000"), height, hash.Short(), len(b.Txs), b.TotalInputs())
+			}
+			select {
+			case verified <- struct{}{}:
+			default:
+			}
+		},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	c, err := light.Dial(*connectTo, cfg)
+	if err != nil {
+		fail(err)
+	}
+	defer c.Close()
+
+	select {
+	case <-c.Synced():
+		st := c.Stats()
+		fmt.Fprintf(os.Stderr, "synced: tip %d (%d headers)\n", st.TipHeight, st.HeadersConnected)
+	case <-c.Done():
+		fail(fmt.Errorf("connection lost during header sync: %v", c.Err()))
+	}
+
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				line, _ := json.Marshal(c.Stats())
+				fmt.Fprintf(os.Stderr, "STATS %s\n", line)
+			}
+		}()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	var giveUp <-chan time.Time
+	if *timeout > 0 {
+		giveUp = time.After(*timeout)
+	}
+	count, ok := 0, true
+	for run := true; run; {
+		select {
+		case <-verified:
+			count++
+			if *exitAfter > 0 && count >= *exitAfter {
+				run = false
+			}
+		case <-sigc:
+			run = false
+		case <-giveUp:
+			fmt.Fprintf(os.Stderr, "timed out with %d verified blocks (want %d)\n", count, *exitAfter)
+			ok, run = false, false
+		case <-c.Done():
+			fmt.Fprintf(os.Stderr, "connection lost: %v\n", c.Err())
+			ok, run = false, false
+		}
+	}
+
+	summary, _ := json.Marshal(c.Stats())
+	fmt.Printf("SUMMARY %s\n", summary)
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ebvlight:", err)
+	os.Exit(1)
+}

@@ -475,3 +475,46 @@ func TestAblationReorgRuns(t *testing.T) {
 		}
 	}
 }
+
+func TestAblationLightRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run")
+	}
+	e := newTestEnv(t)
+	var out bytes.Buffer
+	if err := RunByID(e, "ablation-light", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "per 1k subscribers") {
+		t.Fatalf("missing ablation-light output:\n%s", out.String())
+	}
+	data, err := os.ReadFile(filepath.Join(e.Opts.ArtifactDir, "BENCH_light.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Subscribers     int     `json:"subscribers"`
+		Blocks          int64   `json:"pushed_blocks"`
+		MatchNSPerBlock int64   `json:"serve_match_ns_per_block"`
+		BytesPer1k      int64   `json:"serve_bytes_per_1k_subs_per_block"`
+		ClientVerifyNS  int64   `json:"client_verify_ns_per_block"`
+		FullDownloads   int64   `json:"client_full_block_downloads"`
+		IBDPerBlockNS   int64   `json:"ibd_ns_per_block"`
+		SimLastClientNS int64   `json:"sim_1000_last_client_ns"`
+		VerifyVsIBD     float64 `json:"client_verify_over_ibd"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Subscribers <= 0 || report.Blocks <= 0 {
+		t.Fatalf("empty run: %+v", report)
+	}
+	if report.MatchNSPerBlock <= 0 || report.BytesPer1k <= 0 ||
+		report.ClientVerifyNS <= 0 || report.IBDPerBlockNS <= 0 ||
+		report.SimLastClientNS <= 0 {
+		t.Fatalf("unmeasured metric: %+v", report)
+	}
+	if report.FullDownloads != 0 {
+		t.Fatalf("light clients downloaded %d full blocks", report.FullDownloads)
+	}
+}

@@ -38,6 +38,7 @@ func Experiments() []Experiment {
 		{"ablation-overhead", "Warm-path ingest overhead: decode copies, scratch pooling, batched status writes", (*Env).AblationOverhead},
 		{"ablation-admission", "Tx admission: batched verification vs one-at-a-time across batch × workers", (*Env).AblationAdmission},
 		{"ablation-relay", "Compact block relay vs full-block gossip across mempool overlap", (*Env).AblationRelay},
+		{"ablation-light", "Light-client tier: serve-side fan-out cost and client verification vs full IBD", (*Env).AblationLight},
 		{"related-proofs", "Proof size/churn: EBV vs accumulator designs", (*Env).RelatedProofs},
 		{"net-ibd", "Networked IBD over the gossip protocol", (*Env).NetIBD},
 	}

@@ -1,0 +1,152 @@
+package light
+
+import (
+	"fmt"
+	"sync"
+
+	"ebv/internal/blockmodel"
+	"ebv/internal/hashx"
+)
+
+// HeaderChain is the light client's entire chain state: a contiguous
+// run of headers from genesis, each one proof-of-work checked and
+// linked to its predecessor, plus a hash index for locators and for
+// anchoring pushed blocks. It is the "headers only" half of the
+// Dietcoin trust model — everything a light client verifies is rooted
+// here.
+type HeaderChain struct {
+	mu      sync.RWMutex
+	headers []blockmodel.Header
+	hashes  []hashx.Hash
+	index   map[hashx.Hash]uint64
+}
+
+// NewHeaderChain returns an empty header chain.
+func NewHeaderChain() *HeaderChain {
+	return &HeaderChain{index: make(map[hashx.Hash]uint64)}
+}
+
+// TipHeight returns the highest stored height; ok is false when empty.
+func (hc *HeaderChain) TipHeight() (uint64, bool) {
+	hc.mu.RLock()
+	defer hc.mu.RUnlock()
+	if len(hc.headers) == 0 {
+		return 0, false
+	}
+	return uint64(len(hc.headers) - 1), true
+}
+
+// TipHash returns the tip header's hash (zero for empty).
+func (hc *HeaderChain) TipHash() hashx.Hash {
+	hc.mu.RLock()
+	defer hc.mu.RUnlock()
+	if len(hc.hashes) == 0 {
+		return hashx.ZeroHash
+	}
+	return hc.hashes[len(hc.hashes)-1]
+}
+
+// Header returns the stored header at height. The signature matches
+// core.HeaderSource so the verifier resolves proof heights against
+// this chain exactly as a full validator resolves them against its
+// store.
+func (hc *HeaderChain) Header(height uint64) (blockmodel.Header, bool) {
+	hc.mu.RLock()
+	defer hc.mu.RUnlock()
+	if height >= uint64(len(hc.headers)) {
+		return blockmodel.Header{}, false
+	}
+	return hc.headers[height], true
+}
+
+// HeightOf returns the height of a known header hash.
+func (hc *HeaderChain) HeightOf(h hashx.Hash) (uint64, bool) {
+	hc.mu.RLock()
+	defer hc.mu.RUnlock()
+	height, ok := hc.index[h]
+	return height, ok
+}
+
+// Locator returns a block locator over the stored headers: the last
+// few hashes densely, then doubling strides back to genesis — the same
+// shape the fork-choice engine sends, so full nodes serve the right
+// suffix.
+func (hc *HeaderChain) Locator() []hashx.Hash {
+	hc.mu.RLock()
+	defer hc.mu.RUnlock()
+	var loc []hashx.Hash
+	if len(hc.hashes) == 0 {
+		return loc
+	}
+	step := uint64(1)
+	for i := uint64(len(hc.hashes)); i > 0; {
+		i--
+		loc = append(loc, hc.hashes[i])
+		if len(loc) >= 10 {
+			step *= 2
+		}
+		if i < step {
+			break
+		}
+		i -= step - 1
+	}
+	if loc[len(loc)-1] != hc.hashes[0] {
+		loc = append(loc, hc.hashes[0])
+	}
+	return loc
+}
+
+// Connect applies one run of consecutive headers, verifying each
+// header's proof of work and linkage. The run may attach below the
+// current tip (the serving node reorged): the chain truncates to the
+// attach point and adopts the new branch, but only when the result is
+// at least as high as before — a shorter answer is refused so a
+// malicious or lagging server cannot roll the client back. Headers
+// already known at their height are skipped cheaply. Returns the
+// number of headers actually applied.
+func (hc *HeaderChain) Connect(run []blockmodel.Header) (int, error) {
+	hc.mu.Lock()
+	defer hc.mu.Unlock()
+	applied := 0
+	for i := range run {
+		hdr := run[i]
+		h := hdr.Hash()
+		if !hdr.MeetsTarget() {
+			return applied, fmt.Errorf("light: header %d fails proof of work", hdr.Height)
+		}
+		if hdr.Height < uint64(len(hc.headers)) && hc.hashes[hdr.Height] == h {
+			continue // already have it
+		}
+		switch {
+		case hdr.Height == 0:
+			if len(hc.headers) != 0 && hc.hashes[0] != h {
+				return applied, fmt.Errorf("light: genesis replacement refused")
+			}
+		case hdr.Height > uint64(len(hc.headers)):
+			return applied, fmt.Errorf("light: header %d does not connect (tip %d)", hdr.Height, len(hc.headers)-1)
+		default:
+			if hc.hashes[hdr.Height-1] != hdr.PrevBlock {
+				return applied, fmt.Errorf("light: header %d prev hash mismatch", hdr.Height)
+			}
+		}
+		if hdr.Height < uint64(len(hc.headers)) {
+			// Branch switch: only accept if the incoming run reaches at
+			// least our current height, else we'd truncate below tip on a
+			// stale answer.
+			last := run[len(run)-1].Height
+			if last < uint64(len(hc.headers)-1) {
+				return applied, fmt.Errorf("light: refusing reorg to lower tip %d < %d", last, len(hc.headers)-1)
+			}
+			for _, old := range hc.hashes[hdr.Height:] {
+				delete(hc.index, old)
+			}
+			hc.headers = hc.headers[:hdr.Height]
+			hc.hashes = hc.hashes[:hdr.Height]
+		}
+		hc.headers = append(hc.headers, hdr)
+		hc.hashes = append(hc.hashes, h)
+		hc.index[h] = hdr.Height
+		applied++
+	}
+	return applied, nil
+}

@@ -42,6 +42,19 @@ func newEnv(t *testing.T, blocks int) *env {
 	t.Cleanup(func() { e.chain.Close() })
 	e.status = statusdb.New(true)
 	e.val = core.NewEBVValidator(e.status, script.NewEngine(e.gen.Scheme()), e.chain)
+	// Disconnects may recreate fully spent vectors; resolve output
+	// counts from the stored blocks (see node.New for the real wiring).
+	e.val.SetBlockOutputsFunc(func(height uint64) int {
+		raw, err := e.chain.BlockBytes(height)
+		if err != nil {
+			return 0
+		}
+		blk, err := blockmodel.DecodeEBVBlock(raw)
+		if err != nil {
+			return 0
+		}
+		return blk.TotalOutputs()
+	})
 	for !e.gen.Done() {
 		cb, err := e.gen.NextBlock()
 		if err != nil {
@@ -475,6 +488,10 @@ func TestLeafIndexConsistentAcrossBlockAndReorg(t *testing.T) {
 	}
 	checkIndexConsistency(t, pool)
 
+	// Reorg: roll the block's status writes back, then tell the pool.
+	if err := e.val.DisconnectBlock(blk); err != nil {
+		t.Fatal(err)
+	}
 	pool.BlockDisconnected(blk)
 	checkIndexConsistency(t, pool)
 	if _, ok := pool.LookupByLeaf(childID); ok {
@@ -482,5 +499,20 @@ func TestLeafIndexConsistentAcrossBlockAndReorg(t *testing.T) {
 	}
 	if _, ok := pool.LookupByLeaf(txB.Tidy.LeafHash()); !ok {
 		t.Fatal("tx with proofs below the reorg must survive")
+	}
+
+	// txA was mined, then its block disconnected. Its own proofs point
+	// below the reorg height, so it can be re-admitted — and the leaf
+	// index must pick it up again alongside the survivor.
+	readmitted, err := pool.Add(txA)
+	if err != nil {
+		t.Fatalf("re-admitting disconnected tx: %v", err)
+	}
+	checkIndexConsistency(t, pool)
+	if got, ok := pool.LookupByLeaf(readmitted); !ok || got != txA {
+		t.Fatal("re-admitted tx must be indexed by its leaf hash")
+	}
+	if pool.Len() != 2 {
+		t.Fatalf("pool holds %d txs after re-admission, want 2 (txA, txB)", pool.Len())
 	}
 }

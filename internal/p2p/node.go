@@ -81,6 +81,13 @@ type Config struct {
 	// pending compact reconstruction falls back to the full-block
 	// path. Default 5 seconds.
 	RelayTimeout time.Duration
+	// LightServe, if set (and Forks is set — light blocks are served
+	// from the fork-choice engine's hash index), serves the
+	// light-client tier (kinds 17–20) and advertises
+	// wire.FeatureLightServe: filter subscriptions, per-block push
+	// notifications to matching subscribers, and selected-block
+	// downloads by hash. See lightserve.go for the fan-out design.
+	LightServe bool
 }
 
 // maxHeadersServed caps one headers response (2000 × 96 bytes stays
@@ -97,6 +104,7 @@ type Node struct {
 
 	mu      sync.Mutex
 	peers   map[string]*peer
+	peerSeq int
 	closing bool
 	syncing bool
 
@@ -105,6 +113,7 @@ type Node struct {
 	traffic  traffic
 
 	relay relayState
+	light lightState
 
 	wg sync.WaitGroup
 }
@@ -160,6 +169,7 @@ func NewNode(chain Chain, cfg Config) *Node {
 	}
 	n := &Node{chain: chain, cfg: cfg, peers: make(map[string]*peer)}
 	n.relay.init()
+	n.light.init()
 	return n
 }
 
@@ -183,6 +193,9 @@ func (n *Node) features() byte {
 	}
 	if n.cfg.Relay != nil {
 		f |= wire.FeatureCompactRelay
+	}
+	if n.lightServing() {
+		f |= wire.FeatureLightServe
 	}
 	return f
 }
@@ -239,12 +252,20 @@ func (n *Node) Connect(addr string) error {
 	if err != nil {
 		return fmt.Errorf("p2p: %w", err)
 	}
+	n.ServeConn(conn)
+	return nil
+}
+
+// ServeConn runs the peer protocol over an already-established
+// connection (either direction), counting it against MaxPeers. Tests
+// and benchmarks attach in-memory net.Pipe peers this way — a
+// thousand subscribers without a thousand sockets.
+func (n *Node) ServeConn(conn net.Conn) {
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
 		n.handleConn(conn)
 	}()
-	return nil
 }
 
 // PeerCount returns the number of live peers.
@@ -288,9 +309,16 @@ func (n *Node) handleConn(raw net.Conn) {
 		n.mu.Unlock()
 		return
 	}
+	if _, taken := n.peers[p.id]; taken {
+		// Pipe-backed connections all report the same remote address;
+		// give each registration a unique id.
+		n.peerSeq++
+		p.id = fmt.Sprintf("%s#%d", p.id, n.peerSeq)
+	}
 	n.peers[p.id] = p
 	n.mu.Unlock()
 	defer func() {
+		n.lightDropPeer(p)
 		n.mu.Lock()
 		delete(n.peers, p.id)
 		n.mu.Unlock()
@@ -555,10 +583,16 @@ func (n *Node) handleMessage(p *peer, m *wire.Message) error {
 		})
 		return nil
 
-	case wire.Manifest, wire.Chunk, wire.TxAck:
+	case wire.Subscribe:
+		return n.handleSubscribe(p, m)
+
+	case wire.GetLightBlock:
+		return n.handleGetLightBlock(p, m)
+
+	case wire.Manifest, wire.Chunk, wire.TxAck, wire.SubUpdate, wire.LightBlock:
 		// Responses to requests this gossip loop never makes (the
-		// statesync client and the load generator run their own
-		// connections). Harmless; ignore.
+		// statesync client, the load generator, and light clients run
+		// their own connections). Harmless; ignore.
 		return nil
 
 	case wire.Hello:
@@ -644,6 +678,11 @@ func (n *Node) handleBlockForkChoice(p *peer, height uint64, payload []byte) err
 // of the bytes), a plain inv to everyone else. Featureless peers see
 // the legacy protocol verbatim.
 func (n *Node) announce(height uint64, except string) {
+	// Light tier first: one matching pass over the block feeds every
+	// subscriber's queue (see lightserve.go); the inv/compact fan-out
+	// below still reaches light clients, which use invs as their
+	// header-sync tick.
+	n.notifyLight(height)
 	hash := n.chain.TipHash()
 	var info *relay.BlockInfo
 	if n.cfg.Relay != nil {

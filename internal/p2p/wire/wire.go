@@ -21,7 +21,11 @@
 // (a short-id compact announcement, a request for missing
 // transactions by block-slot index, and its answer — see
 // internal/relay for the body formats, which are opaque to this
-// codec). Hello frames additionally carry an optional
+// codec); kinds 17–20 carry the light-client serve path
+// (a filter subscription, a push notification for a matching block, a
+// selected-block request by hash, and its answer — the filter
+// encoding is internal/light's concern and opaque to this codec).
+// Hello frames additionally carry an optional
 // trailing feature byte (see Features) so capable peers can discover
 // each other. The trailer is written only when at least one feature is
 // advertised, so a node advertising none emits exactly the legacy
@@ -65,6 +69,10 @@ const (
 	CmpctBlock
 	GetBlockTxn
 	BlockTxn
+	Subscribe
+	SubUpdate
+	GetLightBlock
+	LightBlock
 )
 
 // kindNames maps each kind byte to its protocol name.
@@ -74,6 +82,8 @@ var kindNames = [...]string{
 	Chunk: "chunk", GetHeaders: "getheaders", Headers: "headers",
 	GetData: "getdata", Tx: "tx", TxAck: "txack", CmpctBlock: "cmpctblock",
 	GetBlockTxn: "getblocktxn", BlockTxn: "blocktxn",
+	Subscribe: "subscribe", SubUpdate: "subupdate",
+	GetLightBlock: "getlightblock", LightBlock: "lightblock",
 }
 
 // KindName returns the protocol name of a message kind, or "kind-N"
@@ -122,6 +132,14 @@ const (
 	// blocks it recently announced. Its hello carries an 8-byte salt
 	// nonce after the tip-work field.
 	FeatureCompactRelay byte = 1 << 3
+	// FeatureLightServe marks a full node that serves the light-client
+	// tier (kinds 17–20): it accepts filter subscriptions, pushes
+	// subupdate notifications for matching blocks, and answers
+	// getlightblock with proof-carrying block bytes. Deliberately adds
+	// NO hello payload — peers that don't know the bit parse the hello
+	// unchanged and simply never subscribe, so the bit is safe to
+	// advertise to everyone.
+	FeatureLightServe byte = 1 << 4
 )
 
 // ErrUnknownKind reports a frame whose kind byte this version does not
@@ -133,15 +151,15 @@ var ErrUnknownKind = errors.New("wire: unknown message kind")
 // Message is one decoded wire message.
 type Message struct {
 	Kind     byte
-	Height   uint64 // hello: next height needed; inv/block: block height; getblocks: first height; getchunk/chunk: chunk index
-	Count    uint64 // getblocks: number of blocks
+	Height   uint64 // hello: next height needed; inv/block: block height; getblocks: first height; getchunk/chunk: chunk index; subupdate/lightblock: block height
+	Count    uint64 // getblocks: number of blocks; subupdate: matching transactions in the block
 	Hash     hashx.Hash
 	Features byte         // hello: feature bits
-	Code     byte         // txack: admission reject code (0 = admitted)
+	Code     byte         // txack: admission reject code (0 = admitted); subupdate: flags (bit 0 = notifications dropped, poll)
 	Nonce    uint64       // hello (FeatureCompactRelay): short-id salt for this connection
 	TipWork  []byte       // hello (FeatureForkChoice): cumulative tip work, big-endian
 	Hashes   []hashx.Hash // getheaders: block locator; getdata: wanted block hashes
-	Payload  []byte       // block: serialized block; headers: concatenated fixed-width headers; manifest/chunk: snapshot bytes; tx: serialized transaction; cmpctblock/getblocktxn/blocktxn: relay body (see internal/relay)
+	Payload  []byte       // block: serialized block; headers: concatenated fixed-width headers; manifest/chunk: snapshot bytes; tx: serialized transaction; cmpctblock/getblocktxn/blocktxn: relay body (see internal/relay); subscribe: filter encoding (see internal/light); lightblock: serialized block
 }
 
 // Write frames and writes m. Bodies larger than MaxPayload are
@@ -232,6 +250,27 @@ func WriteCounted(w *bufio.Writer, m *Message) (int, error) {
 		// The block hash names the announcement being filled; the body
 		// (index list or transaction run) is internal/relay's concern.
 		body = append(body, m.Hash[:]...)
+		body = append(body, m.Payload...)
+	case Subscribe:
+		// Opaque filter encoding (see internal/light); the serve side
+		// enforces its own size policy on top of MaxPayload.
+		body = m.Payload
+	case SubUpdate:
+		// Push notification: block height + hash + matched-tx count +
+		// flags byte (bit 0: notifications were dropped since the last
+		// delivery, the subscriber should poll).
+		body = binary.AppendUvarint(body, m.Height)
+		body = append(body, m.Hash[:]...)
+		body = binary.AppendUvarint(body, m.Count)
+		body = append(body, m.Code)
+	case GetLightBlock:
+		body = append(body, m.Hash[:]...)
+	case LightBlock:
+		// Height plus the full proof-carrying block bytes; an empty
+		// payload means "unavailable" (a real block always has at least
+		// a header), so the requester re-resolves instead of timing out.
+		body = append(body, m.Hash[:]...)
+		body = binary.AppendUvarint(body, m.Height)
 		body = append(body, m.Payload...)
 	default:
 		return 0, fmt.Errorf("wire: cannot encode message kind %d", m.Kind)
@@ -411,6 +450,38 @@ func decodeBody(kind byte, body []byte) (*Message, error) {
 		}
 		copy(m.Hash[:], body)
 		m.Payload = body[hashx.Size:]
+	case Subscribe:
+		m.Payload = body
+	case SubUpdate:
+		h, n := varint.Uvarint(body)
+		if n <= 0 || len(body) < n+hashx.Size {
+			return nil, fmt.Errorf("wire: malformed subupdate")
+		}
+		m.Height = h
+		copy(m.Hash[:], body[n:])
+		rest := body[n+hashx.Size:]
+		c, cn := varint.Uvarint(rest)
+		if cn <= 0 || len(rest) != cn+1 {
+			return nil, fmt.Errorf("wire: malformed subupdate")
+		}
+		m.Count = c
+		m.Code = rest[cn]
+	case GetLightBlock:
+		if len(body) != hashx.Size {
+			return nil, fmt.Errorf("wire: malformed getlightblock")
+		}
+		copy(m.Hash[:], body)
+	case LightBlock:
+		if len(body) < hashx.Size {
+			return nil, fmt.Errorf("wire: malformed lightblock")
+		}
+		copy(m.Hash[:], body)
+		h, n := varint.Uvarint(body[hashx.Size:])
+		if n <= 0 {
+			return nil, fmt.Errorf("wire: malformed lightblock")
+		}
+		m.Height = h
+		m.Payload = body[hashx.Size+n:]
 	default:
 		return m, ErrUnknownKind
 	}

@@ -335,3 +335,102 @@ func TestKindName(t *testing.T) {
 		t.Fatalf("unknown kind name %q", KindName(99))
 	}
 }
+
+// The four light-serve kinds (17-20) must survive the codec intact.
+func TestLightServeKindsRoundTrip(t *testing.T) {
+	hash := hashx.Sum([]byte("light block"))
+	cases := []*Message{
+		{Kind: Subscribe, Payload: []byte("filter encoding")},
+		{Kind: Subscribe}, // empty filter is the codec's problem to pass through, not reject
+		{Kind: SubUpdate, Height: 321, Hash: hash, Count: 3, Code: 1},
+		{Kind: SubUpdate, Height: 0, Hash: hash, Count: 0, Code: 0},
+		{Kind: GetLightBlock, Hash: hash},
+		{Kind: LightBlock, Hash: hash, Height: 321, Payload: []byte("block bytes")},
+		{Kind: LightBlock, Hash: hash, Height: 321}, // empty payload = unavailable
+	}
+	for _, in := range cases {
+		out := roundTrip(t, in)
+		if out.Kind != in.Kind || out.Height != in.Height ||
+			out.Count != in.Count || out.Hash != in.Hash || out.Code != in.Code {
+			t.Fatalf("kind %d: round trip mismatch: %+v != %+v", in.Kind, out, in)
+		}
+		if !bytes.Equal(out.Payload, in.Payload) {
+			t.Fatalf("kind %d: payload mismatch", in.Kind)
+		}
+	}
+}
+
+func TestLightServeMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"subupdate short hash":    append([]byte{1}, make([]byte, hashx.Size-1)...),
+		"subupdate missing flags": append(binary.AppendUvarint([]byte{}, 9), make([]byte, hashx.Size+1)...),
+	}
+	for name, body := range cases {
+		frame := append([]byte{SubUpdate, byte(len(body))}, body...)
+		if _, err := Read(bufio.NewReader(bytes.NewReader(frame))); err == nil {
+			t.Errorf("%s: parsed", name)
+		}
+	}
+	short := append([]byte{GetLightBlock, byte(hashx.Size - 1)}, make([]byte, hashx.Size-1)...)
+	if _, err := Read(bufio.NewReader(bytes.NewReader(short))); err == nil {
+		t.Error("short getlightblock parsed")
+	}
+	lb := append([]byte{LightBlock, byte(hashx.Size)}, make([]byte, hashx.Size)...)
+	if _, err := Read(bufio.NewReader(bytes.NewReader(lb))); err == nil {
+		t.Error("lightblock without height varint parsed")
+	}
+}
+
+// Forward compatibility: a hello advertising feature bits this version
+// does not know must parse cleanly as long as the unknown bits carry
+// no extra payload -- exactly how FeatureLightServe was added. Old
+// binaries must not break when a newer peer advertises new bits, and
+// new bits must therefore never add hello fields.
+func TestHelloUnknownFeatureBitsIgnored(t *testing.T) {
+	unknown := byte(1<<5 | 1<<6 | 1<<7)
+	for _, features := range []byte{
+		unknown,
+		FeatureLightServe | unknown,
+		FeatureStateSync | FeatureLightServe | unknown,
+	} {
+		body := binary.AppendUvarint(nil, 42)
+		body = append(body, features)
+		frame := append([]byte{Hello, byte(len(body))}, body...)
+		m, err := Read(bufio.NewReader(bytes.NewReader(frame)))
+		if err != nil {
+			t.Fatalf("hello with features %08b rejected: %v", features, err)
+		}
+		if m.Features != features || m.Height != 42 {
+			t.Fatalf("hello with features %08b decoded as %+v", features, m)
+		}
+	}
+	// The same tolerance composes with the fork-choice payload: known
+	// payload-bearing bits keep their fields, unknown bits add nothing.
+	body := binary.AppendUvarint(nil, 42)
+	body = append(body, FeatureForkChoice|unknown)
+	body = binary.AppendUvarint(body, 2)
+	body = append(body, 0xbe, 0xef)
+	frame := append([]byte{Hello, byte(len(body))}, body...)
+	m, err := Read(bufio.NewReader(bytes.NewReader(frame)))
+	if err != nil {
+		t.Fatalf("fork-choice hello with unknown bits rejected: %v", err)
+	}
+	if !bytes.Equal(m.TipWork, []byte{0xbe, 0xef}) {
+		t.Fatalf("tip work lost: %x", m.TipWork)
+	}
+	// A LightServe hello is byte-identical to a plain feature hello:
+	// the bit adds no payload, by design.
+	lightHello := &Message{Kind: Hello, Height: 42, Features: FeatureLightServe}
+	plainHello := &Message{Kind: Hello, Height: 42, Features: FeatureStateSync}
+	var lb, pb bytes.Buffer
+	lw, pw := bufio.NewWriter(&lb), bufio.NewWriter(&pb)
+	if err := Write(lw, lightHello); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(pw, plainHello); err != nil {
+		t.Fatal(err)
+	}
+	if lb.Len() != pb.Len() {
+		t.Fatalf("FeatureLightServe hello is %d bytes vs %d for a payload-free feature: the bit must not add hello fields", lb.Len(), pb.Len())
+	}
+}

@@ -107,6 +107,38 @@ func StandardUnlock(key sig.PrivateKey, sigHash hashx.Hash) ([]byte, error) {
 	return UnlockPubKeyHash(sigBytes, key.Public()), nil
 }
 
+// PushedData appends to dst every data element pushed by scr, in
+// script order, skipping opcodes and tolerating truncated pushes (the
+// elements before the truncation are still returned). The slices alias
+// scr. This is what filter matching scans: a P2PKH lock script, for
+// example, yields exactly its 20-byte address element.
+func PushedData(dst [][]byte, scr []byte) [][]byte {
+	for pc := 0; pc < len(scr); {
+		op := scr[pc]
+		pc++
+		n := -1
+		switch {
+		case op >= 1 && op <= opPushMax:
+			n = int(op)
+		case op == OpPushData1 && pc < len(scr):
+			n = int(scr[pc])
+			pc++
+		case op == OpPushData2 && pc+1 < len(scr):
+			n = int(scr[pc]) | int(scr[pc+1])<<8
+			pc += 2
+		}
+		if n < 0 {
+			continue
+		}
+		if pc+n > len(scr) {
+			return dst
+		}
+		dst = append(dst, scr[pc:pc+n])
+		pc += n
+	}
+	return dst
+}
+
 // Disassemble renders a script as space-separated mnemonics with hex
 // data pushes, for debugging and error messages.
 func Disassemble(scr []byte) string {

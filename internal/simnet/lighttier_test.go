@@ -1,0 +1,69 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunLightTier(t *testing.T) {
+	cfg := LightTierConfig{
+		Config:        Config{Nodes: 8, Regions: 4, Seed: 7, Validation: Fixed(5 * time.Millisecond)},
+		LightClients:  2000,
+		Servers:       4,
+		MatchPerBlock: 100 * time.Microsecond,
+		PushPerClient: 10 * time.Microsecond,
+		ClientLatency: 20 * time.Millisecond,
+		LightVerify:   Fixed(8 * time.Millisecond),
+	}
+	res, err := RunLightTier(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matched != 2000 || len(res.Verified) != 2000 {
+		t.Fatalf("matched %d/%d, want all 2000", res.Matched, len(res.Verified))
+	}
+	// Every client converges after its server received the block, and
+	// pays at least the match scan, one push, three one-way trips at
+	// 80%% jitter floor, and its verification.
+	floor := cfg.MatchPerBlock
+	for i, v := range res.Verified {
+		s := i % cfg.Servers
+		min := res.Full.Arrival[s] + floor + time.Duration(float64(3*cfg.ClientLatency)*0.8) + 8*time.Millisecond
+		if v < min {
+			t.Fatalf("client %d converged at %v, before floor %v", i, v, min)
+		}
+	}
+	if last := res.LastClient(); last <= res.Full.Max() {
+		t.Fatalf("last client %v not after last full node %v", last, res.Full.Max())
+	}
+	sorted := res.SortedClients()
+	if sorted[0] > sorted[len(sorted)-1] {
+		t.Fatal("SortedClients not ascending")
+	}
+	// Serve-side cost scales with that server's subscriber count, not
+	// the whole tier: one match scan plus per-subscriber pushes.
+	for s, busy := range res.ServeBusy {
+		want := cfg.MatchPerBlock + 500*cfg.PushPerClient
+		if busy != want {
+			t.Fatalf("server %d busy %v, want %v", s, busy, want)
+		}
+	}
+
+	// Half-matching tier: non-matching clients cost the servers nothing.
+	cfg.MatchFraction = 0.5
+	half, err := RunLightTier(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.Matched == 0 || half.Matched >= 2000 {
+		t.Fatalf("matched %d with fraction 0.5", half.Matched)
+	}
+	var fullBusy, halfBusy time.Duration
+	for s := range res.ServeBusy {
+		fullBusy += res.ServeBusy[s]
+		halfBusy += half.ServeBusy[s]
+	}
+	if halfBusy >= fullBusy {
+		t.Fatalf("half-matching tier cost %v, full tier %v", halfBusy, fullBusy)
+	}
+}

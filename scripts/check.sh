@@ -69,6 +69,8 @@ admit_pid=""
 relay_a_pid=""
 relay_b_pid=""
 relay_c_pid=""
+light_srv_pid=""
+light_client_pids=""
 cleanup() {
 	[ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null
 	[ -n "$heavy_pid" ] && kill "$heavy_pid" 2>/dev/null
@@ -77,6 +79,10 @@ cleanup() {
 	[ -n "$relay_a_pid" ] && kill "$relay_a_pid" 2>/dev/null
 	[ -n "$relay_b_pid" ] && kill "$relay_b_pid" 2>/dev/null
 	[ -n "$relay_c_pid" ] && kill "$relay_c_pid" 2>/dev/null
+	[ -n "$light_srv_pid" ] && kill "$light_srv_pid" 2>/dev/null
+	for p in $light_client_pids; do
+		kill "$p" 2>/dev/null
+	done
 	rm -rf "$tmp"
 }
 trap cleanup EXIT
@@ -414,5 +420,99 @@ if [ -z "$compact95" ] || [ -z "$full95" ] ||
 	exit 1
 fi
 echo "compact relay: warm receiver fetched 0 txns; 95% overlap cost $compact95 B vs $full95 B full"
+
+echo "== light-tier smoke (1 full node + 50 ebvlight clients) =="
+# One serving full node imports the 300-block chain. 50 light clients
+# attach, subscribe for the stock miner address at handshake, and sync
+# headers only. ebvload then fills the server's mempool and -mine
+# packages the spends into block 300, whose coinbase pays the watched
+# key — so the server pushes that one block to every subscriber. Each
+# client must verify it from headers + carried proofs alone and its
+# summary must show zero full-block downloads and zero verify failures.
+"$tmp/bin/ebvgossip" -datadir "$tmp/lightsrv" -import "$tmp/chains/inter/chain" \
+	-listen 127.0.0.1:0 -lightserve -txsubmit -mine 250ms -maxpeers 80 \
+	2>"$tmp/lightsrv.log" &
+light_srv_pid=$!
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+	addr=$(sed -n 's/^listening on \([^ ]*\).*/\1/p' "$tmp/lightsrv.log")
+	[ -n "$addr" ] && break
+	sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+	echo "check.sh: light-serve node did not come up" >&2
+	cat "$tmp/lightsrv.log" >&2
+	exit 1
+fi
+lc_count=50
+n=1
+while [ $n -le $lc_count ]; do
+	"$tmp/bin/ebvlight" -connect "$addr" -watchseed ebvgossip-miner \
+		-exitafter 1 -timeout 60s -quiet \
+		>"$tmp/lc.$n.out" 2>"$tmp/lc.$n.log" &
+	light_client_pids="$light_client_pids $!"
+	n=$((n + 1))
+done
+# Every client must reach the served tip before the matching block is
+# mined, so the verification below exercises a live push.
+lc_synced=0
+i=0
+while [ $i -lt 300 ]; do
+	lc_synced=$(grep -l '^synced: tip 299 ' "$tmp"/lc.*.log 2>/dev/null | wc -l)
+	[ "$lc_synced" -eq "$lc_count" ] && break
+	sleep 0.1
+	i=$((i + 1))
+done
+if [ "$lc_synced" -ne "$lc_count" ]; then
+	echo "check.sh: only $lc_synced/$lc_count light clients finished header sync" >&2
+	cat "$tmp/lightsrv.log" >&2
+	cat "$tmp/lc.1.log" >&2
+	exit 1
+fi
+"$tmp/bin/ebvload" -addr "$addr" -chain "$tmp/chains/inter/chain" \
+	-clients 8 -txs 64 -out "$tmp/light_load.json" 2>/dev/null
+lc_failed=0
+for p in $light_client_pids; do
+	if ! wait "$p"; then
+		lc_failed=$((lc_failed + 1))
+	fi
+done
+light_client_pids=""
+kill "$light_srv_pid" 2>/dev/null || true
+wait "$light_srv_pid" 2>/dev/null || true
+light_srv_pid=""
+if [ "$lc_failed" -ne 0 ]; then
+	echo "check.sh: $lc_failed/$lc_count light clients failed to verify a pushed block" >&2
+	grep -L 'SUMMARY' "$tmp"/lc.*.out >&2 || true
+	cat "$tmp"/lc.*.log >&2
+	exit 1
+fi
+n=1
+while [ $n -le $lc_count ]; do
+	if ! grep -q '"BlocksVerified":[1-9]' "$tmp/lc.$n.out" ||
+		! grep -q '"VerifyFailures":0' "$tmp/lc.$n.out" ||
+		! grep -q '"FullBlockDownloads":0' "$tmp/lc.$n.out"; then
+		echo "check.sh: light client $n summary is wrong:" >&2
+		cat "$tmp/lc.$n.out" >&2
+		cat "$tmp/lc.$n.log" >&2
+		exit 1
+	fi
+	n=$((n + 1))
+done
+echo "light tier: $lc_count clients synced headers and verified the pushed block with 0 full-block downloads"
+
+echo "== light bench smoke =="
+# Serve-side fan-out cost per 1k subscribers plus the client-verify vs
+# full-IBD yardstick; the experiment hard-fails if any client records
+# a full-block download.
+"$tmp/bin/ebvbench" -exp ablation-light -quick -blocks 300 \
+	-datadir "$tmp/bench" -artifactdir "$tmp" >/dev/null 2>&1
+if [ ! -f "$tmp/BENCH_light.json" ]; then
+	echo "check.sh: ablation-light wrote no BENCH_light.json" >&2
+	exit 1
+fi
+echo "BENCH_light.json written"
 
 echo "check.sh: all checks passed"
